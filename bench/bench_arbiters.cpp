@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Microbenchmarks of the arbiter implementations (Section 3): the
+ * gate-level Figure 8 mirror versus the behavioral reference, the full
+ * inverse-weighted arbiter, and the baselines. Uses google-benchmark.
+ *
+ * These are software microbenchmarks of the simulator's hot arbitration
+ * path; the paper's latency claim (prioritized arbitration in
+ * ceil(log2(k-1)) prefix stages) is a hardware property mirrored by the
+ * GateLevelPriorityArb structure.
+ */
+#include <benchmark/benchmark.h>
+
+#include "arb/basic_arbiters.hpp"
+#include "arb/inverse_weighted.hpp"
+#include "arb/priority_arb.hpp"
+#include "sim/rng.hpp"
+
+using namespace anton2;
+
+namespace {
+
+void
+BM_GateLevelGrant(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    const GateLevelPriorityArb arb(k, 2);
+    std::uint8_t pri[32];
+    Rng rng(1);
+    for (int i = 0; i < k; ++i)
+        pri[i] = static_cast<std::uint8_t>(rng.below(2));
+    std::uint32_t req = (1u << k) - 1;
+    std::uint32_t therm = (1u << (k / 2)) - 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arb.grant(req, pri, therm));
+        req = (req * 2654435761u) | 1u;
+        req &= (1u << k) - 1;
+    }
+}
+BENCHMARK(BM_GateLevelGrant)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_ReferenceGrant(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    std::uint8_t pri[32];
+    Rng rng(1);
+    for (int i = 0; i < k; ++i)
+        pri[i] = static_cast<std::uint8_t>(rng.below(2));
+    std::uint32_t req = (1u << k) - 1;
+    const std::uint32_t therm = (1u << (k / 2)) - 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            priorityArbReference(k, 2, req, pri, therm));
+        req = (req * 2654435761u) | 1u;
+        req &= (1u << k) - 1;
+    }
+}
+BENCHMARK(BM_ReferenceGrant)->Arg(6);
+
+void
+BM_InverseWeightedPick(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    InverseWeightedArbiter arb(k);
+    for (int i = 0; i < k; ++i) {
+        arb.accumulators().setWeight(i, 0, 1 + i * 3);
+        arb.accumulators().setWeight(i, 1, 31 - i * 3);
+    }
+    ReqInfo info[32];
+    const std::uint32_t req = (1u << k) - 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.pick(req, info));
+}
+BENCHMARK(BM_InverseWeightedPick)->Arg(6);
+
+void
+BM_RoundRobinPick(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    RoundRobinArbiter arb(k);
+    const std::uint32_t req = (1u << k) - 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.pick(req, nullptr));
+}
+BENCHMARK(BM_RoundRobinPick)->Arg(6);
+
+void
+BM_AgeBasedPick(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    AgeBasedArbiter arb(k);
+    ReqInfo info[32];
+    for (int i = 0; i < k; ++i)
+        info[i].age = static_cast<std::uint64_t>(1000 - i * 17);
+    const std::uint32_t req = (1u << k) - 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.pick(req, info));
+}
+BENCHMARK(BM_AgeBasedPick)->Arg(6);
+
+} // namespace
+
+BENCHMARK_MAIN();

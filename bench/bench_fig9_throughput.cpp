@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 9: throughput of 2-hop-neighbor and uniform random traffic versus
+ * batch size, with round-robin and inverse-weighted arbitration.
+ *
+ * Methodology (Section 4.1): every participating core sends a batch of
+ * packets; throughput = batch size / time-to-last-delivery, normalized so
+ * 1.0 means full utilization of the bottleneck torus channels (computed by
+ * the analytic load model). A single set of arbiter weights, derived from
+ * the uniform pattern's channel loads, is used for all traffic patterns -
+ * exactly as in the paper.
+ *
+ * Paper's result: beyond saturation, round-robin throughput collapses
+ * (uniform below 60% of ideal); inverse-weighted arbitration saturates
+ * near 90% and stays flat as the batch size grows.
+ *
+ * Defaults: 8x4x4 torus, 8 cores/node - the smallest configuration whose
+ * routing chains are deep enough for round-robin unfairness to compound
+ * visibly (the paper used 8x8x8 with 16 cores; use --kx/--ky/--kz/--cores
+ * and --maxbatch to scale up to it).
+ */
+#include <cstdio>
+
+#include "analysis/loads.hpp"
+#include "common.hpp"
+#include "core/machine.hpp"
+#include "traffic/driver.hpp"
+#include "traffic/patterns.hpp"
+
+using namespace anton2;
+
+namespace {
+
+struct RunResult
+{
+    double normalized;
+    Cycle cycles;
+};
+
+RunResult
+runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
+         const char *pattern_name, std::uint64_t batch,
+         std::uint64_t seed)
+{
+    MachineConfig cfg;
+    cfg.radix = radix;
+    cfg.chip.endpoints_per_node = 8;
+    cfg.chip.arb = policy;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = 20;
+    cfg.seed = seed;
+    Machine m(cfg);
+
+    const auto core_eps = firstEndpoints(cores);
+
+    UniformPattern uniform(m.geom());
+    NHopNeighborPattern twohop(m.geom(), 2);
+    const TrafficPattern *pat =
+        std::string(pattern_name) == "uniform"
+            ? static_cast<const TrafficPattern *>(&uniform)
+            : &twohop;
+
+    // Weights from the uniform pattern's loads (one set for all patterns).
+    LoadModel lm(m.geom(), m.layout(), cfg.chip, 1);
+    Rng lrng(seed + 1);
+    lm.addPattern(0, uniform, core_eps, 200, lrng);
+    if (policy == ArbPolicy::InverseWeighted)
+        lm.applyWeights(m);
+
+    // Normalization against the *measured* pattern's torus bottleneck.
+    LoadModel norm(m.geom(), m.layout(), cfg.chip, 1);
+    Rng nrng(seed + 2);
+    norm.addPattern(0, *pat, core_eps, 200, nrng);
+    const double ideal = norm.idealCoreThroughput(0);
+
+    BatchDriver::Config dcfg;
+    dcfg.cores = core_eps;
+    dcfg.batch_size = batch;
+    dcfg.pattern = pat;
+    dcfg.pattern_id = 0;
+    BatchDriver driver(m, dcfg);
+    m.engine().add(driver);
+
+    const Cycle max_cycles =
+        static_cast<Cycle>(batch) * 2000 + 200000;
+    if (!driver.run(max_cycles))
+        std::fprintf(stderr, "WARNING: batch timed out\n");
+
+    return { driver.throughputPerCore() / ideal, driver.completionTime() };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Args args(argc, argv);
+    const std::vector<int> radix{ static_cast<int>(args.flag("--kx", 8)),
+                                  static_cast<int>(args.flag("--ky", 4)),
+                                  static_cast<int>(args.flag("--kz", 4)) };
+    const int cores = static_cast<int>(args.flag("--cores", 8));
+    const auto max_batch =
+        static_cast<std::uint64_t>(args.flag("--maxbatch", 512));
+    const auto seed = static_cast<std::uint64_t>(args.flag("--seed", 12));
+
+    bench::printHeader(
+        "Figure 9: batch throughput vs. batch size "
+        "(normalized; 1.0 = torus channels fully utilized)");
+    std::printf("torus %dx%dx%d, %d cores/node\n", radix[0], radix[1],
+                radix[2], cores);
+    std::printf("%-18s %10s %14s %16s\n", "pattern", "batch",
+                "round-robin", "inverse-weighted");
+    bench::printRule();
+
+    for (const char *pattern : { "2-hop", "uniform" }) {
+        for (std::uint64_t batch = 16; batch <= max_batch; batch *= 4) {
+            const auto rr = runBatch(radix, cores, ArbPolicy::RoundRobin,
+                                     pattern, batch, seed);
+            const auto iw = runBatch(radix, cores,
+                                     ArbPolicy::InverseWeighted, pattern,
+                                     batch, seed);
+            std::printf("%-18s %10llu %14.3f %16.3f\n", pattern,
+                        static_cast<unsigned long long>(batch),
+                        rr.normalized, iw.normalized);
+        }
+        bench::printRule();
+    }
+
+    std::printf(
+        "Paper (8x8x8, 16 cores): round-robin uniform falls below 0.6 "
+        "beyond\nsaturation; inverse-weighted saturates near 0.9 and "
+        "stays flat.\n");
+    return 0;
+}

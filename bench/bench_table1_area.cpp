@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 1: contribution of the network component types to the die area
+ * (Section 4.4), from the calibrated analytic area model.
+ */
+#include <cstdio>
+
+#include "area/area_model.hpp"
+#include "common.hpp"
+
+using namespace anton2;
+
+int
+main()
+{
+    const AreaModel model;
+    const auto spec = AreaModel::referenceSpec();
+    const auto area = model.evaluate(spec);
+
+    bench::printHeader("Table 1: network component area");
+    std::printf("%-20s %16s %12s %12s\n", "Component", "Component count",
+                "% die area", "paper");
+    bench::printRule(64);
+
+    struct Row
+    {
+        const char *name;
+        NetComponent c;
+        int count;
+        double paper;
+    };
+    const Row rows[] = {
+        { "Router", NetComponent::Router, spec.routers, 3.4 },
+        { "Endpoint adapter", NetComponent::Endpoint, spec.endpoints, 1.1 },
+        { "Channel adapter", NetComponent::Channel, spec.channels, 4.7 },
+    };
+    double total = 0;
+    for (const auto &r : rows) {
+        const double pct = area.componentTotal(r.c);
+        total += pct;
+        std::printf("%-20s %16d %12.1f %12.1f\n", r.name, r.count, pct,
+                    r.paper);
+    }
+    bench::printRule(64);
+    std::printf("%-20s %16s %12.1f %12s\n", "Network total", "", total,
+                "< 10%");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 2: network area by category and component (Section 4.4), from the
+ * calibrated analytic area model, plus the arbiter-area split of
+ * Section 4.4 (~3/4 accumulators + weights, ~1/4 prioritized arbiter).
+ */
+#include <cstdio>
+
+#include "area/area_model.hpp"
+#include "common.hpp"
+
+using namespace anton2;
+
+int
+main()
+{
+    const AreaModel model;
+    const auto area = model.evaluate(AreaModel::referenceSpec());
+    const double net = area.networkTotal();
+
+    bench::printHeader("Table 2: network area by category (% network area)");
+    std::printf("%-16s %8s %10s %9s %8s %8s\n", "Category", "Router",
+                "Endpoint", "Channel", "Total", "paper");
+    bench::printRule(66);
+
+    const double paper_total[kNumAreaCategories] = { 46.6, 9.6, 8.9, 8.6,
+                                                     7.8, 7.3, 5.7, 5.4 };
+    // Print in the paper's order (descending total).
+    const AreaCategory order[] = {
+        AreaCategory::Queues,    AreaCategory::Reduction,
+        AreaCategory::Link,      AreaCategory::Config,
+        AreaCategory::Debug,     AreaCategory::Misc,
+        AreaCategory::Multicast, AreaCategory::Arbiters,
+    };
+    for (AreaCategory cat : order) {
+        const auto ci = static_cast<std::size_t>(cat);
+        const double r = area.pct[0][ci] / net * 100;
+        const double e = area.pct[1][ci] / net * 100;
+        const double c = area.pct[2][ci] / net * 100;
+        std::printf("%-16s %8.1f %10.1f %9.1f %8.1f %8.1f\n",
+                    areaCategoryName(cat), r, e, c, r + e + c,
+                    paper_total[ci]);
+    }
+    bench::printRule(66);
+
+    std::printf("\nArbiter area split (Section 4.4): ~3/4 accumulator "
+                "storage/update, ~1/4\nprioritized arbiter - encoded in "
+                "the model's arbiter structural formula.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: minimal flag parsing and
+ * aligned table printing. Every bench prints the paper's rows/series with
+ * defaults that reproduce the paper's setup at simulation-tractable scale;
+ * flags let you push to the paper's full 8x8x8 (or larger) machine.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace anton2::bench {
+
+/** Tiny --flag value parser: flag("--kx", 4) etc. */
+class Args
+{
+  public:
+    Args(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    long
+    flag(const char *name, long def) const
+    {
+        for (int i = 1; i + 1 < argc_; ++i) {
+            if (std::strcmp(argv_[i], name) == 0)
+                return std::atol(argv_[i + 1]);
+        }
+        return def;
+    }
+
+    bool
+    has(const char *name) const
+    {
+        for (int i = 1; i < argc_; ++i) {
+            if (std::strcmp(argv_[i], name) == 0)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    int argc_;
+    char **argv_;
+};
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+printRule(int width = 72)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace anton2::bench

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Link-layer demonstration: a torus channel's go-back-N retransmission
+ * keeping a flit stream reliable over an error-injecting SerDes
+ * (Section 2.2's "framing, error checking, and go-back-N retransmission").
+ */
+#include <cstdio>
+
+#include "link/link_layer.hpp"
+#include "sim/engine.hpp"
+
+using namespace anton2;
+
+int
+main()
+{
+    std::printf("%-14s %10s %12s %10s %12s\n", "bit-error", "sent",
+                "retransmits", "crc drops", "goodput");
+    for (double p : { 0.0, 1e-5, 1e-4, 1e-3 }) {
+        Engine engine;
+        LinkConfig cfg;
+        // The link spans a 40-cycle cable: the window must cover the
+        // bandwidth-delay product (~80 cycles x 14/45 = 25 frames) and the
+        // retry timer must exceed the ack round trip.
+        cfg.window = 32;
+        cfg.retry_timeout = 250;
+        LossyFrameChannel fwd(40, p, 11);
+        LossyFrameChannel ack(40, 0.0, 12);
+        std::uint64_t delivered = 0;
+        LinkSender tx("tx", cfg, fwd, ack);
+        LinkReceiver rx("rx", cfg, fwd, ack,
+                        [&](const FlitPayload &, Cycle) { ++delivered; });
+        engine.add(tx);
+        engine.add(rx);
+
+        for (std::uint64_t i = 0; i < 1000; ++i)
+            tx.offer(FlitPayload{ i, i * 7, i * 13 });
+        const Cycle budget = 40000;
+        engine.runUntil([&] { return delivered >= 1000; }, budget);
+
+        std::printf("%-14.0e %10llu %12llu %10llu %10.1f%%\n", p,
+                    static_cast<unsigned long long>(tx.framesTransmitted()),
+                    static_cast<unsigned long long>(tx.retransmissions()),
+                    static_cast<unsigned long long>(rx.crcDrops()),
+                    100.0 * static_cast<double>(delivered) / 1000.0);
+    }
+    std::printf("\nEvery delivered flit arrives exactly once and in order; "
+                "errors cost\nretransmission bandwidth (goodput below 100%% "
+                "means the error rate\noutran the cycle budget, not that "
+                "data was lost).\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Saturation study: open-loop injection-rate sweep showing latency rising
+ * toward the analytically predicted saturation throughput, and the
+ * equality-of-service contrast between round-robin and inverse-weighted
+ * arbitration beyond saturation (Section 3).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/loads.hpp"
+#include "core/machine.hpp"
+#include "traffic/driver.hpp"
+#include "traffic/patterns.hpp"
+
+using namespace anton2;
+
+int
+main()
+{
+    const std::vector<int> radix{ 4, 4, 4 };
+    const auto cores = firstEndpoints(4);
+
+    // Predicted saturation from the analytic load model.
+    ChipConfig chip_for_model;
+    chip_for_model.endpoints_per_node = 8;
+    const TorusGeom geom(radix);
+    const ChipLayout layout(8, 3);
+    LoadModel lm(geom, layout, chip_for_model, 1);
+    Rng lrng(2);
+    const TorusGeom g2(radix);
+    UniformPattern uniform(g2);
+    lm.addPattern(0, uniform, cores, 300, lrng);
+    const double sat = lm.idealCoreThroughput(0);
+    std::printf("predicted saturation: %.4f packets/cycle/core\n\n", sat);
+
+    std::printf("%-12s %14s %14s\n", "offered/sat", "mean lat (ns)",
+                "delivered/core/kcycle");
+    for (double frac : { 0.2, 0.4, 0.6, 0.8, 1.0 }) {
+        MachineConfig cfg;
+        cfg.radix = radix;
+        cfg.chip.endpoints_per_node = 8;
+        cfg.use_packaging = false;
+        cfg.fixed_torus_latency = 20;
+        cfg.seed = 3;
+        Machine m(cfg);
+        UniformPattern pat(m.geom());
+
+        OpenLoopDriver::Config dcfg;
+        dcfg.cores = cores;
+        dcfg.rate = frac * sat;
+        dcfg.pattern = &pat;
+        OpenLoopDriver driver(m, dcfg);
+        m.engine().add(driver);
+
+        m.run(8000);
+        const double per_core =
+            static_cast<double>(m.totalDelivered())
+            / (static_cast<double>(m.geom().numNodes()) * cores.size())
+            / 8.0;
+        std::printf("%-12.1f %14.1f %14.2f\n", frac,
+                    cyclesToNs(static_cast<Cycle>(m.latencyStat().mean())),
+                    per_core);
+    }
+
+    // Beyond saturation: per-core service spread (EoS, Section 3.1).
+    std::printf("\nbeyond saturation (batch, 2x offered): per-core service "
+                "spread at half-time\n");
+    for (ArbPolicy pol : { ArbPolicy::RoundRobin,
+                           ArbPolicy::InverseWeighted }) {
+        MachineConfig cfg;
+        cfg.radix = { 8, 4, 4 };
+        cfg.chip.endpoints_per_node = 8;
+        cfg.chip.arb = pol;
+        cfg.use_packaging = false;
+        cfg.fixed_torus_latency = 20;
+        cfg.seed = 3;
+        Machine m(cfg);
+        UniformPattern pat(m.geom());
+
+        LoadModel wl(m.geom(), m.layout(), cfg.chip, 1);
+        Rng wrng(5);
+        wl.addPattern(0, pat, cores, 150, wrng);
+        if (pol == ArbPolicy::InverseWeighted)
+            wl.applyWeights(m);
+
+        std::vector<std::uint64_t> per_src(
+            m.geom().numNodes() * cores.size(), 0);
+        m.setDeliverHook([&](const PacketPtr &p, Cycle) {
+            ++per_src[p->src.node * cores.size()
+                      + static_cast<std::size_t>(p->src.ep)];
+        });
+
+        BatchDriver::Config dcfg;
+        dcfg.cores = cores;
+        dcfg.batch_size = 256;
+        dcfg.pattern = &pat;
+        BatchDriver driver(m, dcfg);
+        m.engine().add(driver);
+        m.runUntilDelivered(driver.expected() / 2, 3000000);
+
+        const auto [mn, mx] =
+            std::minmax_element(per_src.begin(), per_src.end());
+        std::printf("  %-18s min %4llu / max %4llu packets per core\n",
+                    arbPolicyName(pol),
+                    static_cast<unsigned long long>(*mn),
+                    static_cast<unsigned long long>(*mx));
+    }
+    return 0;
+}

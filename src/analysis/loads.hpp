@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Analytic channel/arbiter load model (Sections 3.1-3.2).
+ *
+ * Equality of service requires knowing, for every arbiter input, the
+ * expected load contributed by each pre-computed traffic pattern. This
+ * model traces the route distribution of a pattern (Monte-Carlo over
+ * sources, dimension orders, slices, and tie-breaks) through the same
+ * ChipLayout::route() geometry the cycle simulator uses, accumulating:
+ *
+ *  - router output-arbiter loads per (router, out port, in port),
+ *  - channel-adapter egress/ingress arbiter loads per VC,
+ *  - torus and mesh channel loads (for throughput normalization and the
+ *    Figure 4 style analysis).
+ *
+ * applyWeights() then programs every inverse-weighted arbiter in a Machine
+ * from these loads (Section 3.3).
+ */
+#pragma once
+
+#include <vector>
+
+#include "arb/inverse_weighted.hpp"
+#include "core/chip.hpp"
+#include "core/machine.hpp"
+#include "traffic/patterns.hpp"
+
+namespace anton2 {
+
+class LoadModel
+{
+  public:
+    LoadModel(const TorusGeom &geom, const ChipLayout &layout,
+              const ChipConfig &chip, int num_patterns = kNumPatterns);
+
+    /**
+     * Accumulate pattern @p slot's loads: every core (node x endpoint in
+     * @p cores) injects at rate 1 packet/cycle, destinations drawn from
+     * @p pattern, destination endpoint uniform over @p cores.
+     */
+    void addPattern(int slot, const TrafficPattern &pattern,
+                    const std::vector<EndpointId> &cores,
+                    int samples_per_core, Rng &rng);
+
+    /** Trace one concrete unicast route, adding @p weight to slot's loads. */
+    void tracePacket(EndpointAddr src, EndpointAddr dst,
+                     const RouteSpec &spec, double weight, int slot);
+
+    // --- queries (loads are packets/cycle at unit per-core injection) ---
+    double routerLoad(NodeId n, RouterId r, int out_port, int in_port,
+                      int slot) const;
+    double caEgressLoad(NodeId n, int ca, int vc, int slot) const;
+    double caIngressLoad(NodeId n, int ca, int vc, int slot) const;
+    double torusLoad(NodeId n, int dim, Dir dir, int slice, int slot) const;
+    double meshLoad(NodeId n, RouterId from, MeshDir d, int slot) const;
+
+    double maxTorusLoad(int slot) const;
+    double maxMeshLoad(int slot) const;
+
+    /**
+     * Saturation per-core throughput (packets/cycle/core) implied by the
+     * torus-channel bottleneck: the normalization of Figure 9/10 where
+     * "throughput of 1 indicates full utilization of torus channels".
+     */
+    double idealCoreThroughput(int slot, int size_flits = 1) const;
+
+    /**
+     * Program every inverse-weighted arbiter in @p machine from these
+     * loads (no-op for other arbiter policies).
+     */
+    void applyWeights(Machine &machine) const;
+
+    int numPatterns() const { return num_patterns_; }
+
+  private:
+    std::size_t
+    routerIdx(NodeId n, RouterId r, int out_port, int in_port) const
+    {
+        return ((static_cast<std::size_t>(n) * nr_ + r) * np_
+                + static_cast<std::size_t>(out_port))
+                   * np_
+               + static_cast<std::size_t>(in_port);
+    }
+
+    std::size_t
+    caIdx(NodeId n, int ca, int vc) const
+    {
+        return (static_cast<std::size_t>(n) * nca_
+                + static_cast<std::size_t>(ca))
+                   * nvc_
+               + static_cast<std::size_t>(vc);
+    }
+
+    std::size_t
+    torusIdx(NodeId n, int dim, Dir dir, int slice) const
+    {
+        return ((static_cast<std::size_t>(n) * 3
+                 + static_cast<std::size_t>(dim))
+                    * 2
+                + static_cast<std::size_t>(dirIndex(dir)))
+                   * kNumSlices
+               + static_cast<std::size_t>(slice);
+    }
+
+    std::size_t
+    meshIdx(NodeId n, RouterId from, MeshDir d) const
+    {
+        return (static_cast<std::size_t>(n) * nr_ + from) * kNumMeshDirs
+               + static_cast<std::size_t>(meshDirIdx(d));
+    }
+
+    const TorusGeom &geom_;
+    const ChipLayout &layout_;
+    ChipConfig chip_;
+    int num_patterns_;
+    std::size_t nr_, np_, nca_, nvc_;
+
+    /** One flat array per slot for each arbitration-point family. */
+    std::vector<std::vector<double>> router_;
+    std::vector<std::vector<double>> ca_egress_;
+    std::vector<std::vector<double>> ca_ingress_;
+    std::vector<std::vector<double>> torus_;
+    std::vector<std::vector<double>> mesh_;
+};
+
+} // namespace anton2

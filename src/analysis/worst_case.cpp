@@ -1,0 +1,133 @@
+#include "analysis/worst_case.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace anton2 {
+
+std::vector<ExtChannel>
+allExtChannels()
+{
+    return { { 0, Dir::Pos }, { 0, Dir::Neg }, { 1, Dir::Pos },
+             { 1, Dir::Neg }, { 2, Dir::Pos }, { 2, Dir::Neg } };
+}
+
+SwitchPermutation
+equation1Permutation()
+{
+    // ( X+ X- Y+ Y- Z+ Z- )
+    // ( Z- X+ Y- Z+ X- Y+ )   (Equation (1))
+    // Indices into allExtChannels(): X+=0 X-=1 Y+=2 Y-=3 Z+=4 Z-=5.
+    return { 5, 0, 3, 4, 1, 2 };
+}
+
+int
+maxMeshLoadForPermutation(const ChipLayout &layout,
+                          const SwitchPermutation &perm,
+                          const MeshDirOrder &order, int slice)
+{
+    const auto channels = allExtChannels();
+    // Load per directed mesh channel, keyed by (from, to) router.
+    std::map<std::pair<RouterId, RouterId>, int> load;
+
+    for (std::size_t src = 0; src < perm.size(); ++src) {
+        const auto &in = channels[src];
+        const auto &out = channels[static_cast<std::size_t>(
+            perm[src])];
+        const auto entry = AttachPoint::forChannel(in.dim, in.dir, slice);
+        const auto exit = AttachPoint::forChannel(out.dim, out.dir, slice);
+        for (const auto &c : layout.route(entry, exit, order)) {
+            if (c.kind == ChipChannel::Kind::Mesh)
+                ++load[{ c.from_router, c.to_router }];
+        }
+    }
+
+    int mx = 0;
+    for (const auto &[key, v] : load)
+        mx = std::max(mx, v);
+    return mx;
+}
+
+std::vector<OrderEvaluation>
+searchDirectionOrders(const ChipLayout &layout, int slice)
+{
+    // Enumerate the 720 permutations of the six external channels,
+    // skipping demands containing a U-turn (a flow arriving on channel d
+    // and departing on channel d reverses direction - not a minimal
+    // route, so not a realizable switching demand).
+    std::vector<SwitchPermutation> demands;
+    SwitchPermutation perm(6);
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+        bool uturn = false;
+        for (int i = 0; i < 6; ++i)
+            uturn |= (perm[static_cast<std::size_t>(i)] == i);
+        if (!uturn)
+            demands.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    std::vector<OrderEvaluation> results;
+    for (const auto &order : allMeshDirOrders()) {
+        OrderEvaluation eval;
+        eval.order = order;
+        double sum = 0.0;
+        for (const auto &d : demands) {
+            const int load = maxMeshLoadForPermutation(layout, d, order,
+                                                       slice);
+            sum += load;
+            if (load > eval.worst_load) {
+                eval.worst_load = load;
+                eval.worst_perm = d;
+                eval.worst_count = 1;
+            } else if (load == eval.worst_load) {
+                ++eval.worst_count;
+            }
+        }
+        eval.mean_max_load = sum / static_cast<double>(demands.size());
+        results.push_back(std::move(eval));
+    }
+    // Primary criterion: worst-case load (the paper's objective).
+    // Secondary: how often the worst case is attained, then the mean -
+    // robustness tie-breakers among orders with equal worst case.
+    std::stable_sort(results.begin(), results.end(),
+                     [](const OrderEvaluation &a, const OrderEvaluation &b) {
+                         if (a.worst_load != b.worst_load)
+                             return a.worst_load < b.worst_load;
+                         if (a.worst_count != b.worst_count)
+                             return a.worst_count < b.worst_count;
+                         return a.mean_max_load < b.mean_max_load;
+                     });
+    return results;
+}
+
+std::string
+permutationToString(const SwitchPermutation &perm)
+{
+    const auto channels = allExtChannels();
+    auto name = [&](int i) {
+        const auto &c = channels[static_cast<std::size_t>(i)];
+        return std::string(1, kDimNames[c.dim]) + dirName(c.dir);
+    };
+    std::string top = "( ";
+    std::string bottom = "( ";
+    for (int i = 0; i < 6; ++i) {
+        top += name(i) + " ";
+        bottom += name(perm[static_cast<std::size_t>(i)]) + " ";
+    }
+    return top + ")\n" + bottom + ")";
+}
+
+std::string
+orderToString(const MeshDirOrder &order)
+{
+    std::string out;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += meshDirName(order[i]);
+    }
+    return out;
+}
+
+} // namespace anton2

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Optimization-based design of the on-chip routing algorithm
+ * (Section 2.4, Equation (1), Figure 4).
+ *
+ * The ASIC should look like a perfect switch to its external torus
+ * channels. For an oblivious (direction-order) routing algorithm, the
+ * worst-case mesh-channel load over all switching demands is attained at
+ * an extreme point of the demand polytope, and the extreme points are
+ * permutation traffic patterns [Towles & Dally, SPAA'02]. The search
+ * therefore evaluates every direction-order algorithm against every
+ * permutation of the six external channel directions (one slice; the two
+ * slices are mirror images) and picks the order minimizing the worst-case
+ * load. The paper reports that V-, U+, U-, V+ is optimal with a maximum
+ * mesh-channel load of two torus channels' worth of traffic.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/chip_layout.hpp"
+
+namespace anton2 {
+
+/** One external channel direction (dim, dir) - six per slice. */
+struct ExtChannel
+{
+    int dim;
+    Dir dir;
+};
+
+/** The six external directions in matrix order X+ X- Y+ Y- Z+ Z-. */
+std::vector<ExtChannel> allExtChannels();
+
+/**
+ * A switching demand: perm[i] = index of the destination channel for
+ * traffic arriving from source channel i (indices into allExtChannels()).
+ */
+using SwitchPermutation = std::vector<int>;
+
+/** The paper's Equation (1) worst-case permutation. */
+SwitchPermutation equation1Permutation();
+
+/**
+ * Maximum load induced on any single mesh (M-group) channel by routing the
+ * permutation's six unit flows through one slice of the chip under the
+ * given direction order. Loads are in units of one torus channel's
+ * bandwidth.
+ */
+int maxMeshLoadForPermutation(const ChipLayout &layout,
+                              const SwitchPermutation &perm,
+                              const MeshDirOrder &order, int slice);
+
+/** Result of evaluating one direction order over all demands. */
+struct OrderEvaluation
+{
+    MeshDirOrder order;
+    int worst_load = 0;             ///< max over permutations
+    SwitchPermutation worst_perm;   ///< a permutation attaining it
+    int worst_count = 0;            ///< how many demands attain worst_load
+    double mean_max_load = 0.0;     ///< max load averaged over demands
+};
+
+/**
+ * Evaluate every direction order against every permutation of the six
+ * external channels (720 demands; U-turn demands, which are not minimal
+ * routes, are skipped). Results are sorted by worst-case load ascending.
+ */
+std::vector<OrderEvaluation> searchDirectionOrders(const ChipLayout &layout,
+                                                   int slice = 0);
+
+/** Printable form of a permutation, in the paper's matrix notation. */
+std::string permutationToString(const SwitchPermutation &perm);
+
+/** Printable form of a direction order, e.g. "V-,U+,U-,V+". */
+std::string orderToString(const MeshDirOrder &order);
+
+} // namespace anton2

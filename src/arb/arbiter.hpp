@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Common interface for the network arbiters (Section 3).
+ *
+ * An arbiter owns one arbitration point (e.g. a router output port). Each
+ * cycle it is offered a request mask plus per-input metadata and grants at
+ * most one input, updating its internal fairness state.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace anton2 {
+
+/** Per-input request metadata consumed by some arbiter policies. */
+struct ReqInfo
+{
+    std::uint8_t pattern = 0; ///< traffic-pattern id (inverse-weighted)
+    std::uint64_t age = 0;    ///< packet injection time (age-based)
+};
+
+/** Abstract K-input, single-grant arbiter. */
+class Arbiter
+{
+  public:
+    explicit Arbiter(int num_inputs) : num_inputs_(num_inputs) {}
+    virtual ~Arbiter() = default;
+
+    Arbiter(const Arbiter &) = delete;
+    Arbiter &operator=(const Arbiter &) = delete;
+
+    /**
+     * Grant one requesting input.
+     *
+     * @param req_mask Bit i set iff input i requests this cycle.
+     * @param info Per-input metadata, indexed by input; entries for
+     *        non-requesting inputs are ignored. May be null if no
+     *        requesting input's metadata is needed by the policy.
+     * @return The granted input, or -1 if req_mask is empty.
+     */
+    virtual int pick(std::uint32_t req_mask, const ReqInfo *info) = 0;
+
+    int numInputs() const { return num_inputs_; }
+
+  private:
+    int num_inputs_;
+};
+
+/** The arbiter policies available at network arbitration points. */
+enum class ArbPolicy : std::uint8_t
+{
+    RoundRobin,     ///< locally fair baseline [9]
+    InverseWeighted,///< Section 3: per-pattern inverse weights
+    AgeBased,       ///< oldest-first baseline [1]
+};
+
+constexpr const char *
+arbPolicyName(ArbPolicy p)
+{
+    switch (p) {
+      case ArbPolicy::RoundRobin: return "round-robin";
+      case ArbPolicy::InverseWeighted: return "inverse-weighted";
+      case ArbPolicy::AgeBased: return "age-based";
+    }
+    return "?";
+}
+
+} // namespace anton2

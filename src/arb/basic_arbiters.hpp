@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Simple baseline arbiters: fixed-priority, round-robin, and age-based.
+ */
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "arb/arbiter.hpp"
+
+namespace anton2 {
+
+/** Grants the lowest-indexed requesting input. Stateless. */
+class FixedPriorityArbiter : public Arbiter
+{
+  public:
+    using Arbiter::Arbiter;
+
+    int
+    pick(std::uint32_t req_mask, const ReqInfo *) override
+    {
+        if (req_mask == 0)
+            return -1;
+        return std::countr_zero(req_mask);
+    }
+};
+
+/**
+ * Classic round-robin arbiter: grants the first requesting input at or
+ * after the rotating pointer, then advances the pointer past the grant.
+ * This is the "simple, locally fair" arbiter of [9] whose accumulated
+ * unfairness across a unified network Section 3 sets out to fix.
+ */
+class RoundRobinArbiter : public Arbiter
+{
+  public:
+    using Arbiter::Arbiter;
+
+    int
+    pick(std::uint32_t req_mask, const ReqInfo *) override
+    {
+        if (req_mask == 0)
+            return -1;
+        const int k = numInputs();
+        for (int off = 0; off < k; ++off) {
+            const int i = (ptr_ + off) % k;
+            if (req_mask & (1u << i)) {
+                ptr_ = (i + 1) % k;
+                return i;
+            }
+        }
+        return -1;
+    }
+
+  private:
+    int ptr_ = 0;
+};
+
+/**
+ * Age-based arbitration [Abts & Weisser]: grants the input whose packet is
+ * oldest (smallest injection timestamp). Provides strong global fairness
+ * but is the heavy-weight scheme the inverse-weighted arbiter avoids
+ * (per-packet age fields and wide comparators at every arbiter).
+ */
+class AgeBasedArbiter : public Arbiter
+{
+  public:
+    using Arbiter::Arbiter;
+
+    int
+    pick(std::uint32_t req_mask, const ReqInfo *info) override
+    {
+        if (req_mask == 0)
+            return -1;
+        assert(info != nullptr);
+        int best = -1;
+        for (int i = 0; i < numInputs(); ++i) {
+            if (!(req_mask & (1u << i)))
+                continue;
+            if (best < 0 || info[i].age < info[best].age)
+                best = i;
+        }
+        return best;
+    }
+};
+
+} // namespace anton2

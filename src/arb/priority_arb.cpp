@@ -1,0 +1,106 @@
+#include "arb/priority_arb.hpp"
+
+#include <cassert>
+
+namespace anton2 {
+
+namespace {
+
+/** SystemVerilog $clog2: ceil(log2(x)); 0 for x <= 1. */
+int
+clog2(int x)
+{
+    int bits = 0;
+    int v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Number of priority-band thresholds met by input i (see Figure 8). */
+int
+bandOf(int pri, bool boosted, int num_pri)
+{
+    const int value = 2 * pri + (boosted ? 1 : 0);
+    int band = 0;
+    for (int p = 1; p <= num_pri; ++p) {
+        if (value >= 2 * p - 1)
+            band = p;
+    }
+    return band;
+}
+
+} // namespace
+
+int
+priorityArbReference(int k, int num_pri, std::uint32_t req,
+                     const std::uint8_t *pri, std::uint32_t rr_therm)
+{
+    int best = -1;
+    int best_band = -1;
+    for (int i = 0; i < k; ++i) {
+        if (!(req & (1u << i)))
+            continue;
+        const int band = bandOf(pri[i], (rr_therm >> i) & 1u, num_pri);
+        // The fixed-priority rule grants the most significant set bit of
+        // the unrolled vector, i.e. the lexicographic max of (band, index).
+        if (band > best_band || (band == best_band && i > best)) {
+            best = i;
+            best_band = band;
+        }
+    }
+    return best;
+}
+
+GateLevelPriorityArb::GateLevelPriorityArb(int k, int num_pri)
+    : k_(k), num_pri_(num_pri)
+{
+    assert(k >= 1 && num_pri >= 1);
+    assert((num_pri + 1) * k <= 64 && "unrolled request vector exceeds 64b");
+}
+
+std::uint32_t
+GateLevelPriorityArb::grant(std::uint32_t req, const std::uint8_t *pri,
+                            std::uint32_t rr_therm) const
+{
+    if (k_ == 1)
+        return req & 1u;
+
+    const std::uint64_t mask_k = (k_ == 32) ? 0xffffffffULL
+                                            : ((1ULL << k_) - 1);
+
+    // Unrolled, thermometer-encoded request bands: band p at bits
+    // [p*k, (p+1)*k). req_unroll[p][i] = req[i] && ({pri,rr} >= 2p-1).
+    std::uint64_t vec = req & mask_k;
+    for (int p = 1; p <= num_pri_; ++p) {
+        std::uint64_t band = 0;
+        for (int i = 0; i < k_; ++i) {
+            if (!(req & (1u << i)))
+                continue;
+            const int value = 2 * pri[i] + ((rr_therm >> i) & 1u);
+            if (value >= 2 * p - 1)
+                band |= 1ULL << i;
+        }
+        vec |= band << (p * k_);
+    }
+
+    // Depth-limited Kogge-Stone parallel-prefix OR of strictly-higher bits.
+    // The thermometer structure of the bands guarantees that a window of
+    // 2^ceil(log2(k-1)) suffices (Figure 8).
+    std::uint64_t higher = vec >> 1;
+    for (int i = 0; i < clog2(k_ - 1); ++i)
+        higher |= higher >> (1 << i);
+
+    std::uint64_t grant_unroll = vec & ~higher;
+
+    // Fold the surviving band grants (all in the winner's column) onto
+    // band 0.
+    for (int i = 0; i < clog2(num_pri_ + 1); ++i)
+        grant_unroll |= grant_unroll >> (static_cast<std::uint64_t>(k_) << i);
+
+    return static_cast<std::uint32_t>(grant_unroll & mask_k);
+}
+
+} // namespace anton2

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The optimized prioritized arbiter of Section 3.4 (Figures 7 and 8).
+ *
+ * A k-input arbiter with P priority levels and round-robin tie-breaking.
+ * The key optimization: after the round-robin pointer splits each priority
+ * level's request vector into boosted (at-or-below-pointer) and unboosted
+ * halves, the adjacent halves of neighboring levels are mutually exclusive
+ * and can share one fixed-priority arbiter, reducing the count from 2P to
+ * P+1 fixed-priority arbiters.
+ *
+ * Two implementations are provided:
+ *  - priorityArbReference(): straightforward behavioral model.
+ *  - GateLevelPriorityArb: a bit-accurate C++ mirror of the SystemVerilog
+ *    in Figure 8 (thermometer-encoded round-robin state, thermometer-
+ *    encoded unrolled requests, depth-limited Kogge-Stone parallel-prefix
+ *    grant generation). Tests check the two agree exhaustively.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace anton2 {
+
+/**
+ * Reference behavioral model: among requesting inputs, grant within the
+ * highest occupied priority band; bands are (from highest):
+ * for p = P..1: inputs with priority >= p that are boosted by the
+ * round-robin thermometer when p is the upper band... concretely, input i
+ * belongs to band b(i) = pri[i] + (rr_therm[i] ? 1 : 0) scaled as in
+ * Figure 8: band(i) counts how many thresholds 2p-1 the value
+ * 2*pri[i]+rr_therm[i] meets. Within a band, the highest index wins.
+ *
+ * @param k          number of inputs
+ * @param num_pri    P, number of priority levels (pri values in [0, P))
+ * @param req        request bit-mask
+ * @param pri        per-input priority level
+ * @param rr_therm   thermometer round-robin state: bit i set iff input i is
+ *                   "boosted"; must satisfy bit i set => bit i-1 set
+ * @return granted input, or -1 when req == 0
+ */
+int priorityArbReference(int k, int num_pri, std::uint32_t req,
+                         const std::uint8_t *pri, std::uint32_t rr_therm);
+
+/** Bit-accurate mirror of the Figure 8 SystemVerilog module. */
+class GateLevelPriorityArb
+{
+  public:
+    /**
+     * @param k Number of inputs; (P+1)*k must fit in 64 bits.
+     * @param num_pri Number of priority levels P (>= 1).
+     */
+    GateLevelPriorityArb(int k, int num_pri);
+
+    /**
+     * Combinational grant function, exactly as in Figure 8.
+     * @return one-hot grant vector (k bits); 0 when req == 0.
+     */
+    std::uint32_t grant(std::uint32_t req, const std::uint8_t *pri,
+                        std::uint32_t rr_therm) const;
+
+    int k() const { return k_; }
+    int numPri() const { return num_pri_; }
+
+  private:
+    int k_;
+    int num_pri_;
+};
+
+/** rr_therm value encoding "inputs strictly below @p last_grant are boosted". */
+inline std::uint32_t
+rrThermAfterGrant(int k, int last_grant)
+{
+    (void)k;
+    return (1u << last_grant) - 1u;
+}
+
+} // namespace anton2

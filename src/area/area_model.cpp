@@ -1,0 +1,125 @@
+#include "area/area_model.hpp"
+
+namespace anton2 {
+
+namespace {
+
+/**
+ * Table 2 of the paper: % of *network* area per (component, category),
+ * at the reference configuration. Rows: Router, Endpoint, Channel.
+ */
+constexpr double kTable2[kNumNetComponents][kNumAreaCategories] = {
+    // Queues, Reduction, Link, Config, Debug, Misc, Multicast, Arbiters
+    { 21.2, 0.0, 0.0, 3.3, 3.0, 4.3, 0.0, 5.2 },  // Router
+    { 2.7, 0.0, 0.0, 2.5, 2.5, 1.0, 3.2, 0.05 },  // Endpoint
+    { 22.7, 9.6, 8.9, 2.8, 2.3, 2.0, 2.5, 0.2 },  // Channel
+};
+
+/** Table 1: the network occupies 3.4 + 1.1 + 4.7 = 9.2 % of the die. */
+constexpr double kNetworkPctOfDie = 3.4 + 1.1 + 4.7;
+
+/** Sum of every Table 2 entry (should be ~100, up to rounding). */
+double
+table2Total()
+{
+    double t = 0;
+    for (const auto &row : kTable2) {
+        for (double v : row)
+            t += v;
+    }
+    return t;
+}
+
+} // namespace
+
+double
+AreaModel::structuralCount(NetComponent c, AreaCategory cat,
+                           const NetworkSpec &spec)
+{
+    const bool router = c == NetComponent::Router;
+    const bool endpoint = c == NetComponent::Endpoint;
+    const bool channel = c == NetComponent::Channel;
+
+    const int count = router ? spec.routers
+                             : endpoint ? spec.endpoints
+                                        : spec.channels;
+    const int ports = router ? spec.router_ports : spec.adapter_ports;
+    const int vcs = router ? spec.router_vcs
+                           : endpoint ? spec.endpoint_vcs
+                                      : spec.channel_vcs;
+
+    switch (cat) {
+      case AreaCategory::Queues:
+        // Input buffering: ports x VCs x depth x width. This is the
+        // category the VC-promotion optimization of Section 2.5 shrinks.
+        return static_cast<double>(count) * ports * vcs * spec.buf_flits
+               * spec.flit_bits;
+      case AreaCategory::Arbiters: {
+          // ~3/4 accumulators + weight storage (inputs x patterns x
+          // M-bit weights plus (M+1)-bit accumulators), ~1/4 prioritized
+          // arbiter logic (Section 4.4).
+          const int inputs = router ? spec.router_ports : vcs;
+          const double accum =
+              static_cast<double>(inputs)
+              * (spec.patterns * spec.weight_bits + spec.weight_bits + 1);
+          const double prio = static_cast<double>(inputs);
+          return count * (0.75 * accum / (2.0 * 5 + 5 + 1)
+                          + 0.25 * prio);
+      }
+      case AreaCategory::Multicast:
+        return static_cast<double>(count) * spec.mcast_entries;
+      case AreaCategory::Link:
+      case AreaCategory::Reduction:
+        // Per external channel: framing/CRC/retry and in-network
+        // reduction logic - independent of VC/buffer configuration.
+        return static_cast<double>(count);
+      case AreaCategory::Config:
+      case AreaCategory::Debug:
+      case AreaCategory::Misc:
+        return static_cast<double>(count);
+    }
+    return static_cast<double>(count);
+}
+
+AreaModel::AreaModel()
+{
+    const NetworkSpec ref = referenceSpec();
+    const double to_die = kNetworkPctOfDie / table2Total();
+    for (int c = 0; c < kNumNetComponents; ++c) {
+        for (int cat = 0; cat < kNumAreaCategories; ++cat) {
+            const double pct_die =
+                kTable2[static_cast<std::size_t>(c)]
+                       [static_cast<std::size_t>(cat)]
+                * to_die;
+            reference_.pct[static_cast<std::size_t>(c)]
+                          [static_cast<std::size_t>(cat)] = pct_die;
+            const double n = structuralCount(static_cast<NetComponent>(c),
+                                             static_cast<AreaCategory>(cat),
+                                             ref);
+            unit_[static_cast<std::size_t>(c)]
+                 [static_cast<std::size_t>(cat)] =
+                n > 0 ? pct_die / n : 0.0;
+        }
+    }
+}
+
+AreaBreakdown
+AreaModel::evaluate(const NetworkSpec &spec) const
+{
+    AreaBreakdown out;
+    for (int c = 0; c < kNumNetComponents; ++c) {
+        for (int cat = 0; cat < kNumAreaCategories; ++cat) {
+            const double n = structuralCount(static_cast<NetComponent>(c),
+                                             static_cast<AreaCategory>(cat),
+                                             spec);
+            out.pct[static_cast<std::size_t>(c)]
+                   [static_cast<std::size_t>(cat)] =
+                unit_[static_cast<std::size_t>(c)]
+                     [static_cast<std::size_t>(cat)]
+                * n;
+        }
+    }
+    return out;
+}
+
+} // namespace anton2

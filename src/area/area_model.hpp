@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Analytic silicon-area model of the network components (Section 4.4,
+ * Tables 1 and 2).
+ *
+ * The model expresses each area category as unit-area x structural-count:
+ * queue area scales with (ports x VCs x buffer depth x flit bits), arbiter
+ * accumulator area with (inputs x pattern weights x weight bits), and so
+ * on. The unit areas are calibrated once so that the *reference*
+ * configuration - the Anton 2 ASIC as built (16 routers, 23 endpoint
+ * adapters, 12 channel adapters, 8 VCs, Table 1/2 percentages) -
+ * reproduces the paper's numbers exactly. Ablations (e.g. the 2n-VC
+ * baseline of Section 2.5, or deeper buffers) then change the structural
+ * counts and the model reports how total area shifts.
+ *
+ * Area figures are reported as percentages of the ASIC die, as in the
+ * paper; absolute um^2 are never needed.
+ */
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "routing/vc_promotion.hpp"
+
+namespace anton2 {
+
+/** The three network component types (Table 1). */
+enum class NetComponent : int { Router = 0, Endpoint = 1, Channel = 2 };
+inline constexpr int kNumNetComponents = 3;
+
+/** The eight area categories (Table 2). */
+enum class AreaCategory : int
+{
+    Queues = 0,
+    Reduction,
+    Link,
+    Config,
+    Debug,
+    Misc,
+    Multicast,
+    Arbiters,
+};
+inline constexpr int kNumAreaCategories = 8;
+
+constexpr const char *
+areaCategoryName(AreaCategory c)
+{
+    switch (c) {
+      case AreaCategory::Queues: return "Queues";
+      case AreaCategory::Reduction: return "Reduction";
+      case AreaCategory::Link: return "Link";
+      case AreaCategory::Config: return "Configuration";
+      case AreaCategory::Debug: return "Debug";
+      case AreaCategory::Misc: return "Miscellaneous";
+      case AreaCategory::Multicast: return "Multicast";
+      case AreaCategory::Arbiters: return "Arbiters";
+    }
+    return "?";
+}
+
+/** Structural parameters that area scales against. */
+struct NetworkSpec
+{
+    // Component counts per ASIC (Table 1).
+    int routers = 16;
+    int endpoints = 23;
+    int channels = 12;
+
+    // Queue structure.
+    int router_ports = 6;
+    int adapter_ports = 2;
+    int router_vcs = 8;   ///< 2 classes x numUnifiedVcs(policy, 3)
+    int channel_vcs = 8;
+    int endpoint_vcs = 2; ///< one VC per traffic class (Section 4.4)
+    int buf_flits = 8;
+    int flit_bits = 192;
+
+    // Arbiter structure (Section 3.3-3.4).
+    int weight_bits = 5;
+    int patterns = 2;
+
+    // Multicast tables (Section 2.3).
+    int mcast_entries = 512;
+
+    /** Spec with the VC counts implied by a deadlock-avoidance policy. */
+    static NetworkSpec
+    forPolicy(VcPolicy policy)
+    {
+        NetworkSpec s;
+        const int vcs = kNumTrafficClassesForArea * numUnifiedVcs(policy, 3);
+        s.router_vcs = vcs;
+        s.channel_vcs = vcs;
+        return s;
+    }
+
+    static constexpr int kNumTrafficClassesForArea = 2;
+};
+
+/** Per-component, per-category area as a percentage of the die. */
+struct AreaBreakdown
+{
+    /** [component][category], % of die area (all instances combined). */
+    std::array<std::array<double, kNumAreaCategories>, kNumNetComponents>
+        pct{};
+
+    double
+    componentTotal(NetComponent c) const
+    {
+        double t = 0;
+        for (double v : pct[static_cast<std::size_t>(c)])
+            t += v;
+        return t;
+    }
+
+    double
+    categoryTotal(AreaCategory cat) const
+    {
+        double t = 0;
+        for (const auto &row : pct)
+            t += row[static_cast<std::size_t>(cat)];
+        return t;
+    }
+
+    double
+    networkTotal() const
+    {
+        double t = 0;
+        for (const auto &row : pct) {
+            for (double v : row)
+                t += v;
+        }
+        return t;
+    }
+};
+
+/**
+ * The calibrated area model. Constructed from the paper's Table 1/2
+ * percentages at the reference spec; evaluate() rescales each category by
+ * its structural count under a modified spec.
+ */
+class AreaModel
+{
+  public:
+    AreaModel();
+
+    /** Area breakdown (% of die) for an arbitrary configuration. */
+    AreaBreakdown evaluate(const NetworkSpec &spec) const;
+
+    /** The reference (as-built Anton 2) breakdown - Tables 1 and 2. */
+    const AreaBreakdown &reference() const { return reference_; }
+
+    static NetworkSpec referenceSpec() { return NetworkSpec{}; }
+
+  private:
+    /** Structural scaling count for (component, category) under a spec. */
+    static double structuralCount(NetComponent c, AreaCategory cat,
+                                  const NetworkSpec &spec);
+
+    AreaBreakdown reference_;
+    /** unit_[component][category] = %die per structural unit. */
+    std::array<std::array<double, kNumAreaCategories>, kNumNetComponents>
+        unit_{};
+};
+
+} // namespace anton2

@@ -1,0 +1,285 @@
+#include "core/chip.hpp"
+
+#include <cassert>
+
+#include "routing/mesh_route.hpp"
+
+namespace anton2 {
+
+Chip::Chip(NodeId node, const ChipConfig &cfg, const ChipLayout &layout,
+           const TorusGeom &geom)
+    : node_(node), cfg_(cfg), layout_(layout), geom_(geom)
+{
+    const std::string prefix = "n" + std::to_string(node) + ".";
+
+    RouterConfig rcfg;
+    rcfg.num_ports = kRouterPorts;
+    rcfg.num_vcs = cfg_.numVcs();
+    rcfg.buf_flits_per_vc = cfg_.buf_flits;
+    rcfg.out_arb = cfg_.arb;
+    rcfg.weight_bits = cfg_.weight_bits;
+
+    for (RouterId r = 0; r < layout_.numRouters(); ++r) {
+        routers_.push_back(std::make_unique<Router>(
+            prefix + layout_.mesh().routerName(r), rcfg,
+            [this, r](Packet &pkt) { return routeAt(r, pkt); }));
+        if (cfg_.enable_energy) {
+            energy_.push_back(
+                std::make_unique<RouterEnergyMeter>(rcfg.num_ports));
+            routers_.back()->setEnergyMeter(energy_.back().get());
+        }
+    }
+
+    ChannelAdapterConfig ccfg;
+    ccfg.num_vcs = cfg_.numVcs();
+    ccfg.buf_flits_per_vc = cfg_.buf_flits;
+    ccfg.arb = cfg_.arb;
+    ccfg.weight_bits = cfg_.weight_bits;
+
+    for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
+        int dim, slice;
+        Dir dir;
+        layout_.channelAdapterParams(ca, dim, dir, slice);
+        const std::string name = prefix + "C" + std::string(1, kDimNames[dim])
+                                 + std::to_string(slice) + dirName(dir);
+        channel_adapters_.push_back(std::make_unique<ChannelAdapter>(
+            name, ccfg,
+            [this, ca](const PacketPtr &pkt) { return ingressAt(ca, pkt); },
+            [this, ca](Packet &pkt, bool commit) {
+                return egressVcAt(ca, pkt, commit);
+            }));
+    }
+
+    EndpointConfig ecfg;
+    ecfg.num_vcs = cfg_.numVcs();
+    ecfg.eject_buf_flits = cfg_.buf_flits * 2;
+    for (EndpointId e = 0; e < layout_.numEndpoints(); ++e) {
+        endpoints_.push_back(std::make_unique<EndpointAdapter>(
+            prefix + "E" + std::to_string(e), ecfg,
+            EndpointAddr{ node_, e }));
+    }
+
+    // ------------------------------------------------------------------
+    // Wiring. Every channel is a unidirectional data+credit bundle owned
+    // by the chip; the Machine wires the torus-side channels.
+    // ------------------------------------------------------------------
+    auto newChannel = [&](Cycle latency) -> Channel & {
+        channels_.push_back(std::make_unique<Channel>(latency, 1));
+        return *channels_.back();
+    };
+
+    const MeshGeom &mesh = layout_.mesh();
+    for (RouterId r = 0; r < layout_.numRouters(); ++r) {
+        const auto &ports = layout_.routerPorts(r);
+        for (int p = 0; p < static_cast<int>(ports.size()); ++p) {
+            const auto &port = ports[static_cast<std::size_t>(p)];
+            switch (port.kind) {
+              case RouterPort::Kind::Mesh: {
+                  // Create the channel from r to its neighbor; the
+                  // neighbor's input side is wired when we visit r, so
+                  // only create outgoing channels here.
+                  const RouterId peer = mesh.move(r, port.mesh_dir);
+                  Channel &ch = newChannel(cfg_.mesh_latency);
+                  router(r).connectOut(p, ch, cfg_.buf_flits);
+                  router(peer).connectIn(
+                      layout_.meshPort(peer, meshOpposite(port.mesh_dir)),
+                      ch);
+                  break;
+              }
+              case RouterPort::Kind::Skip: {
+                  const RouterId peer = port.skip_peer;
+                  Channel &ch = newChannel(cfg_.skip_latency);
+                  router(r).connectOut(p, ch, cfg_.buf_flits);
+                  router(peer).connectIn(layout_.skipPort(peer), ch);
+                  break;
+              }
+              case RouterPort::Kind::Channel: {
+                  ChannelAdapter &ca = channelAdapter(port.adapter);
+                  Channel &to_ca = newChannel(cfg_.attach_latency);
+                  router(r).connectOut(p, to_ca, cfg_.buf_flits);
+                  ca.connectRouterIn(to_ca);
+                  Channel &from_ca = newChannel(cfg_.attach_latency);
+                  ca.connectRouterOut(from_ca, cfg_.buf_flits);
+                  router(r).connectIn(p, from_ca);
+                  break;
+              }
+              case RouterPort::Kind::Endpoint: {
+                  EndpointAdapter &ep = endpoint(port.adapter);
+                  Channel &to_ep = newChannel(cfg_.attach_latency);
+                  router(r).connectOut(p, to_ep, ecfg.eject_buf_flits);
+                  ep.connectRouterIn(to_ep);
+                  Channel &from_ep = newChannel(cfg_.attach_latency);
+                  ep.connectRouterOut(from_ep, cfg_.buf_flits);
+                  router(r).connectIn(p, from_ep);
+                  break;
+              }
+              case RouterPort::Kind::Unused:
+                break;
+            }
+        }
+    }
+}
+
+void
+Chip::registerWith(Engine &engine)
+{
+    for (auto &r : routers_)
+        engine.add(*r);
+    for (auto &ca : channel_adapters_)
+        engine.add(*ca);
+    for (auto &ep : endpoints_)
+        engine.add(*ep);
+}
+
+RouterEnergyMeter *
+Chip::energyMeter(RouterId r)
+{
+    return cfg_.enable_energy ? energy_[r].get() : nullptr;
+}
+
+void
+Chip::addMcastEntry(std::int32_t group, McastNodeEntry entry)
+{
+    mcast_[group] = std::move(entry);
+}
+
+const McastNodeEntry *
+Chip::mcastEntry(std::int32_t group) const
+{
+    const auto it = mcast_.find(group);
+    return it == mcast_.end() ? nullptr : &it->second;
+}
+
+void
+Chip::setExit(Packet &pkt, int next_dim) const
+{
+    pkt.x_through = false;
+    if (next_dim < 0) {
+        pkt.chip_exit = AttachPoint::forEndpoint(pkt.dst.ep);
+    } else {
+        pkt.chip_exit = AttachPoint::forChannel(
+            next_dim, pkt.route.dirs[static_cast<std::size_t>(next_dim)],
+            pkt.route.slice);
+    }
+}
+
+RouteDecision
+Chip::routeAt(RouterId r, Packet &pkt) const
+{
+    const RouterId r_out = layout_.attachRouter(pkt.chip_exit);
+    RouteDecision d;
+
+    if (pkt.x_through && r != r_out) {
+        // X through-route: cross the chip on the skip channel (T-group).
+        d.out_port = layout_.skipPort(r);
+        d.out_vc = static_cast<std::uint8_t>(
+            fullVc(pkt.tc, pkt.vc.torusVc()));
+        return d;
+    }
+
+    if (r == r_out) {
+        // Exit the mesh here.
+        if (pkt.chip_exit.kind == AttachPoint::Kind::Endpoint) {
+            d.out_port = layout_.endpointPort(r, pkt.chip_exit.endpoint);
+            d.out_vc = static_cast<std::uint8_t>(
+                fullVc(pkt.tc, pkt.vc.meshVc()));
+        } else {
+            d.out_port = layout_.channelPort(
+                r, layout_.channelAdapterIndex(pkt.chip_exit.dim,
+                                               pkt.chip_exit.dir,
+                                               pkt.chip_exit.slice));
+            d.out_vc = static_cast<std::uint8_t>(
+                fullVc(pkt.tc, pkt.vc.torusVc()));
+        }
+        return d;
+    }
+
+    // Local route: next mesh hop under direction-order routing (M-group).
+    MeshDir dir;
+    const bool more = meshNextDir(layout_.mesh(), r, r_out, cfg_.dir_order,
+                                  dir);
+    assert(more);
+    (void)more;
+    d.out_port = layout_.meshPort(r, dir);
+    d.out_vc = static_cast<std::uint8_t>(fullVc(pkt.tc, pkt.vc.meshVc()));
+    return d;
+}
+
+std::vector<IngressCopy>
+Chip::ingressAt(int ca, const PacketPtr &pkt)
+{
+    int dim, slice;
+    Dir dir;
+    layout_.channelAdapterParams(ca, dim, dir, slice);
+    // Arriving packets travel opposite to the adapter's label.
+    const Dir travel = opposite(dir);
+
+    std::vector<IngressCopy> copies;
+
+    if (pkt->mcast_group >= 0) {
+        const McastNodeEntry *entry = mcastEntry(pkt->mcast_group);
+        assert(entry != nullptr && "multicast packet at node without entry");
+        for (const auto &hop : entry->forward) {
+            auto copy = std::make_shared<Packet>(*pkt);
+            const auto arrival_vc = copy->vc.torusVc();
+            if (hop.dim != dim)
+                copy->vc.onDimComplete();
+            copy->x_through = (hop.dim == dim && hop.dim == 0
+                               && hop.dir == travel);
+            copy->chip_exit =
+                AttachPoint::forChannel(hop.dim, hop.dir, slice);
+            copies.push_back({ copy, static_cast<std::uint8_t>(
+                                         fullVc(copy->tc, arrival_vc)) });
+        }
+        for (int ep : entry->local) {
+            auto copy = std::make_shared<Packet>(*pkt);
+            const auto arrival_vc = copy->vc.torusVc();
+            copy->vc.onDimComplete();
+            copy->x_through = false;
+            copy->chip_exit = AttachPoint::forEndpoint(ep);
+            copy->dst = EndpointAddr{ node_, ep };
+            copies.push_back({ copy, static_cast<std::uint8_t>(
+                                         fullVc(copy->tc, arrival_vc)) });
+        }
+        return copies;
+    }
+
+    // Unicast: continue in the same dimension, turn, or eject.
+    const int next = nextRouteDim(geom_, node_, pkt->dst.node, pkt->route);
+    const auto arrival_vc = pkt->vc.torusVc();
+    if (next == dim) {
+        pkt->x_through = (dim == 0);
+        pkt->chip_exit = AttachPoint::forChannel(dim, travel, slice);
+    } else {
+        pkt->vc.onDimComplete();
+        setExit(*pkt, next);
+    }
+    copies.push_back({ pkt, static_cast<std::uint8_t>(
+                                fullVc(pkt->tc, arrival_vc)) });
+    return copies;
+}
+
+std::uint8_t
+Chip::egressVcAt(int ca, Packet &pkt, bool commit) const
+{
+    int dim, slice;
+    Dir dir;
+    layout_.channelAdapterParams(ca, dim, dir, slice);
+    (void)slice;
+
+    const Coords c = geom_.coords(node_);
+    const int from = c[static_cast<std::size_t>(dim)];
+    const int to = geom_.neighborCoord(from, dim, dir);
+    const bool crossing = geom_.crossesDateline(from, to, dim);
+
+    std::uint8_t vc;
+    if (commit) {
+        vc = pkt.vc.onTorusHop(crossing);
+        ++pkt.hops;
+    } else {
+        vc = pkt.vc.peekTorusHop(crossing);
+    }
+    return static_cast<std::uint8_t>(fullVc(pkt.tc, vc));
+}
+
+} // namespace anton2

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * One Anton 2 ASIC's network: the 4x4 mesh, skip channels, 12 torus-channel
+ * adapters, and endpoint adapters, assembled per the ChipLayout and bound
+ * to the inter-node routing logic (Sections 2.2-2.5, Figure 1).
+ */
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/chip_layout.hpp"
+#include "noc/channel_adapter.hpp"
+#include "noc/endpoint.hpp"
+#include "noc/router.hpp"
+#include "routing/multicast.hpp"
+#include "routing/vc_promotion.hpp"
+#include "sim/engine.hpp"
+#include "topo/torus.hpp"
+
+namespace anton2 {
+
+/** Per-chip static configuration (shared by every chip in a machine). */
+struct ChipConfig
+{
+    int endpoints_per_node = 23;
+    VcPolicy vc_policy = VcPolicy::Anton2;
+    ArbPolicy arb = ArbPolicy::RoundRobin;
+    int weight_bits = 5;
+    int buf_flits = 8;           ///< per-VC input buffer depth
+    MeshDirOrder dir_order = anton2DirOrder();
+    Cycle mesh_latency = 1;
+    Cycle skip_latency = 2;      ///< skip channels span the chip
+    Cycle attach_latency = 1;    ///< router <-> adapter links
+    bool enable_energy = false;  ///< attach RouterEnergyMeters
+
+    /** VCs per traffic class implied by the deadlock-avoidance policy. */
+    int
+    vcsPerClass() const
+    {
+        return numUnifiedVcs(vc_policy, 3);
+    }
+
+    int
+    numVcs() const
+    {
+        return kNumTrafficClasses * vcsPerClass();
+    }
+};
+
+class Chip
+{
+  public:
+    /**
+     * @param layout Shared placement (identical for every chip).
+     * @param geom The machine's torus geometry (for dateline decisions).
+     */
+    Chip(NodeId node, const ChipConfig &cfg, const ChipLayout &layout,
+         const TorusGeom &geom);
+
+    /** Register every component of this chip with the engine. */
+    void registerWith(Engine &engine);
+
+    NodeId node() const { return node_; }
+    const ChipLayout &layout() const { return layout_; }
+    const ChipConfig &config() const { return cfg_; }
+
+    Router &router(RouterId r) { return *routers_[r]; }
+    ChannelAdapter &channelAdapter(int ca) { return *channel_adapters_[
+        static_cast<std::size_t>(ca)]; }
+    ChannelAdapter &
+    channelAdapter(int dim, Dir dir, int slice)
+    {
+        return channelAdapter(layout_.channelAdapterIndex(dim, dir, slice));
+    }
+    EndpointAdapter &endpoint(EndpointId e) { return *endpoints_[
+        static_cast<std::size_t>(e)]; }
+    int numEndpoints() const { return layout_.numEndpoints(); }
+
+    RouterEnergyMeter *energyMeter(RouterId r);
+
+    /** Install a multicast-table entry for @p group at this node. */
+    void addMcastEntry(std::int32_t group, McastNodeEntry entry);
+    const McastNodeEntry *mcastEntry(std::int32_t group) const;
+
+    /**
+     * Prepare a packet's chip-exit attach point given that it must next
+     * route in dimension @p next_dim (or eject if @p next_dim < 0).
+     * Shared by source injection and ingress turning.
+     */
+    void setExit(Packet &pkt, int next_dim) const;
+
+    /** Full VC index helpers bound to this chip's configuration. */
+    int
+    fullVc(TrafficClass tc, int promotion_vc) const
+    {
+        return fullVcIndex(tc, promotion_vc, cfg_.vcsPerClass());
+    }
+
+  private:
+    RouteDecision routeAt(RouterId r, Packet &pkt) const;
+    std::vector<IngressCopy> ingressAt(int ca, const PacketPtr &pkt);
+    std::uint8_t egressVcAt(int ca, Packet &pkt, bool commit) const;
+
+    NodeId node_;
+    ChipConfig cfg_;
+    const ChipLayout &layout_;
+    const TorusGeom &geom_;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<ChannelAdapter>> channel_adapters_;
+    std::vector<std::unique_ptr<EndpointAdapter>> endpoints_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<std::unique_ptr<RouterEnergyMeter>> energy_;
+    std::unordered_map<std::int32_t, McastNodeEntry> mcast_;
+};
+
+} // namespace anton2

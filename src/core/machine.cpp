@@ -1,0 +1,208 @@
+#include "core/machine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace anton2 {
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg),
+      geom_(cfg.radix),
+      layout_(cfg.chip.endpoints_per_node, static_cast<int>(
+                                               cfg.radix.size())),
+      rng_(cfg.seed)
+{
+    if (geom_.ndims() != 3)
+        throw std::invalid_argument("Machine models a 3-D torus");
+
+    chips_.reserve(geom_.numNodes());
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        chips_.push_back(
+            std::make_unique<Chip>(n, cfg_.chip, layout_, geom_));
+    }
+
+    // Wire the torus: for every (node, dim, dir, slice), one channel from
+    // that adapter's egress to the peer node's opposite adapter's ingress.
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        for (int dim = 0; dim < 3; ++dim) {
+            for (Dir dir : kDirs) {
+                const NodeId peer = geom_.neighbor(n, dim, dir);
+                const Cycle latency =
+                    cfg_.use_packaging
+                        ? cfg_.packaging.linkLatency(geom_, n, dim, dir)
+                        : cfg_.fixed_torus_latency;
+                for (int slice = 0; slice < kNumSlices; ++slice) {
+                    torus_channels_.push_back(std::make_unique<Channel>(
+                        latency, latency));
+                    Channel &ch = *torus_channels_.back();
+                    chip(n).channelAdapter(dim, dir, slice)
+                        .connectTorusOut(ch, cfg_.chip.buf_flits);
+                    chip(peer)
+                        .channelAdapter(dim, opposite(dir), slice)
+                        .connectTorusIn(ch);
+                }
+            }
+        }
+    }
+
+    for (auto &c : chips_)
+        c->registerWith(engine_);
+
+    // Delivery accounting and the programming-model hooks on every
+    // endpoint adapter.
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        for (EndpointId e = 0; e < layout_.numEndpoints(); ++e) {
+            auto &ep = chip(n).endpoint(e);
+            ep.setDeliverFn([this](const PacketPtr &pkt, Cycle now) {
+                ++delivered_;
+                last_delivery_ = now;
+                latency_.add(static_cast<double>(now - pkt->inject_time));
+                if (deliver_hook_)
+                    deliver_hook_(pkt, now);
+            });
+            ep.setReadFn([this](const PacketPtr &req, Cycle) {
+                // Generate the read reply in the Reply traffic class.
+                auto reply = makeWrite(req->dst, req->src, req->pattern,
+                                       req->size_flits);
+                reply->tc = TrafficClass::Reply;
+                reply->op = OpKind::ReadReply;
+                prepareUnicast(*reply);
+                send(reply);
+            });
+        }
+    }
+}
+
+void
+Machine::prepareUnicast(Packet &pkt)
+{
+    pkt.route = randomRoute(geom_, pkt.src.node, pkt.dst.node, rng_);
+    pkt.vc = VcState(cfg_.chip.vc_policy);
+    const int next = nextRouteDim(geom_, pkt.src.node, pkt.dst.node,
+                                  pkt.route);
+    chip(pkt.src.node).setExit(pkt, next);
+}
+
+PacketPtr
+Machine::makeWrite(EndpointAddr src, EndpointAddr dst, std::uint8_t pattern,
+                   int size_flits, std::int32_t counter)
+{
+    assert(size_flits >= 1 && size_flits <= kMaxPacketFlits);
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = next_packet_id_++;
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->tc = TrafficClass::Request;
+    pkt->op = OpKind::Write;
+    pkt->pattern = pattern;
+    pkt->size_flits = static_cast<std::uint16_t>(size_flits);
+    pkt->payload.resize(static_cast<std::size_t>(size_flits));
+    pkt->counter = counter;
+    pkt->birth = engine_.now();
+    prepareUnicast(*pkt);
+    return pkt;
+}
+
+PacketPtr
+Machine::makeRead(EndpointAddr src, EndpointAddr dst, std::uint8_t pattern)
+{
+    auto pkt = makeWrite(src, dst, pattern, 1);
+    pkt->op = OpKind::ReadRequest;
+    return pkt;
+}
+
+void
+Machine::send(const PacketPtr &pkt)
+{
+    endpoint(pkt->src).inject(pkt);
+}
+
+std::int32_t
+Machine::installTree(const McastTree &tree)
+{
+    const std::int32_t group = next_group_++;
+    group_slices_.push_back(tree.slice);
+    for (const auto &[node, entry] : tree.nodes)
+        chip(node).addMcastEntry(group, entry);
+    return group;
+}
+
+void
+Machine::sendMulticast(EndpointAddr src, std::int32_t group,
+                       std::uint8_t pattern, int size_flits,
+                       std::int32_t counter)
+{
+    const McastNodeEntry *entry = chip(src.node).mcastEntry(group);
+    assert(entry != nullptr && "multicast group not installed at source");
+
+    // The source node's table entry is expanded at injection: one packet
+    // per source branch (the network replicates at later branch points).
+    auto makeCopy = [&]() {
+        auto pkt = std::make_shared<Packet>();
+        pkt->id = next_packet_id_++;
+        pkt->src = src;
+        pkt->tc = TrafficClass::Request;
+        pkt->op = OpKind::Write;
+        pkt->pattern = pattern;
+        pkt->size_flits = static_cast<std::uint16_t>(size_flits);
+        pkt->payload.resize(static_cast<std::size_t>(size_flits));
+        pkt->counter = counter;
+        pkt->mcast_group = group;
+        pkt->birth = engine_.now();
+        pkt->vc = VcState(cfg_.chip.vc_policy);
+        return pkt;
+    };
+
+    // The multicast slice comes from the tree's installed entries; the
+    // RouteSpec slice field is what setExit/chip routing consult.
+    for (const auto &hop : entry->forward) {
+        auto pkt = makeCopy();
+        pkt->dst = src; // updated at delivery branches
+        pkt->route.slice = group_slices_[static_cast<std::size_t>(group)];
+        pkt->route.order = DimOrder{ 0, 1, 2 };
+        pkt->route.dirs = { Dir::Pos, Dir::Pos, Dir::Pos };
+        pkt->chip_exit = AttachPoint::forChannel(hop.dim, hop.dir,
+                                                 pkt->route.slice);
+        pkt->x_through = false;
+        send(pkt);
+    }
+    for (int ep : entry->local) {
+        auto pkt = makeCopy();
+        pkt->dst = EndpointAddr{ src.node, ep };
+        pkt->route.slice = group_slices_[static_cast<std::size_t>(group)];
+        pkt->route.order = DimOrder{ 0, 1, 2 };
+        pkt->route.dirs = { Dir::Pos, Dir::Pos, Dir::Pos };
+        pkt->mcast_group = -1; // plain local delivery
+        pkt->chip_exit = AttachPoint::forEndpoint(ep);
+        pkt->x_through = false;
+        send(pkt);
+    }
+}
+
+void
+Machine::setDeliverHook(std::function<void(const PacketPtr &, Cycle)> fn)
+{
+    deliver_hook_ = std::move(fn);
+}
+
+bool
+Machine::runUntilDelivered(std::uint64_t count, Cycle max_cycles)
+{
+    return engine_.runUntil([&] { return delivered_ >= count; },
+                            max_cycles);
+}
+
+bool
+Machine::runUntilQuiescent(Cycle max_cycles)
+{
+    // Check quiescence only every few cycles: busy() walks all components.
+    const Cycle end = engine_.now() + max_cycles;
+    while (engine_.now() < end) {
+        if (!engine_.busy())
+            return true;
+        engine_.run(8);
+    }
+    return !engine_.busy();
+}
+
+} // namespace anton2

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The whole-machine assembly and the library's primary facade.
+ *
+ * A Machine is a k_X x k_Y x k_Z torus of Chips whose torus-channel
+ * adapters are wired together with latencies from the packaging model
+ * (Figure 2). It provides the packet factory (remote writes, remote reads,
+ * counted writes, multicast), global delivery statistics, and run helpers
+ * used by the experiment harnesses.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/chip.hpp"
+#include "core/packaging.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace anton2 {
+
+struct MachineConfig
+{
+    std::vector<int> radix{ 4, 4, 4 }; ///< torus shape (3-D)
+    ChipConfig chip;
+    bool use_packaging = true;      ///< per-link latency from PackagingModel
+    Cycle fixed_torus_latency = 33; ///< used when use_packaging is false
+    PackagingModel packaging;
+    std::uint64_t seed = 1;
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+
+    const MachineConfig &config() const { return cfg_; }
+    const TorusGeom &geom() const { return geom_; }
+    const ChipLayout &layout() const { return layout_; }
+    Engine &engine() { return engine_; }
+    Rng &rng() { return rng_; }
+
+    Chip &chip(NodeId n) { return *chips_[n]; }
+    EndpointAdapter &
+    endpoint(const EndpointAddr &a)
+    {
+        return chip(a.node).endpoint(a.ep);
+    }
+
+    // ------------------------------------------------------------------
+    // Packet factory (Section 2.1 programming model)
+    // ------------------------------------------------------------------
+
+    /**
+     * Create a remote write. The route (dimension order, slice, direction
+     * tie-breaks) is randomized per Section 2.3; the payload defaults to
+     * zero and can be overwritten before send().
+     *
+     * @param counter Counted-write counter id at the destination endpoint,
+     *        or -1 for a plain write.
+     */
+    PacketPtr makeWrite(EndpointAddr src, EndpointAddr dst,
+                        std::uint8_t pattern = 0, int size_flits = 1,
+                        std::int32_t counter = -1);
+
+    /** Create a remote read request (the reply is generated automatically). */
+    PacketPtr makeRead(EndpointAddr src, EndpointAddr dst,
+                       std::uint8_t pattern = 0);
+
+    /** Queue a prepared packet at its source endpoint. */
+    void send(const PacketPtr &pkt);
+
+    /**
+     * Install a multicast tree on every involved node's tables.
+     * @return the group id to pass to sendMulticast().
+     */
+    std::int32_t installTree(const McastTree &tree);
+
+    /**
+     * Send one packet down an installed tree. The source node's table
+     * entry is expanded at injection (one packet per source branch).
+     */
+    void sendMulticast(EndpointAddr src, std::int32_t group,
+                       std::uint8_t pattern = 0, int size_flits = 1,
+                       std::int32_t counter = -1);
+
+    // ------------------------------------------------------------------
+    // Run helpers and statistics
+    // ------------------------------------------------------------------
+
+    /** Extra hook invoked on every delivery, after internal accounting. */
+    void setDeliverHook(std::function<void(const PacketPtr &, Cycle)> fn);
+
+    void run(Cycle cycles) { engine_.run(cycles); }
+
+    /** Run until @p count packets have been delivered (or timeout). */
+    bool runUntilDelivered(std::uint64_t count, Cycle max_cycles);
+
+    /** Run until no component holds work (or timeout). */
+    bool runUntilQuiescent(Cycle max_cycles);
+
+    std::uint64_t totalDelivered() const { return delivered_; }
+    Cycle lastDeliveryTime() const { return last_delivery_; }
+    Cycle now() const { return engine_.now(); }
+
+    /** Latency statistics over delivered packets (inject -> eject). */
+    const ScalarStat &latencyStat() const { return latency_; }
+
+  private:
+    void prepareUnicast(Packet &pkt);
+
+    MachineConfig cfg_;
+    TorusGeom geom_;
+    ChipLayout layout_;
+    Engine engine_;
+    Rng rng_;
+
+    std::vector<std::unique_ptr<Chip>> chips_;
+    std::vector<std::unique_ptr<Channel>> torus_channels_;
+
+    std::uint64_t next_packet_id_ = 1;
+    std::int32_t next_group_ = 0;
+    std::vector<std::uint8_t> group_slices_;
+    std::uint64_t delivered_ = 0;
+    Cycle last_delivery_ = 0;
+    ScalarStat latency_;
+    std::function<void(const PacketPtr &, Cycle)> deliver_hook_;
+};
+
+} // namespace anton2

@@ -1,0 +1,134 @@
+#include "link/link_layer.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace anton2 {
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= data[i];
+        for (int b = 0; b < 8; ++b)
+            crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1u) + 1u));
+    }
+    return ~crc;
+}
+
+std::uint32_t
+frameCrc(std::uint32_t seq, const FlitPayload &data)
+{
+    std::uint8_t buf[4 + sizeof(FlitPayload)];
+    std::memcpy(buf, &seq, 4);
+    std::memcpy(buf + 4, data.data(), sizeof(FlitPayload));
+    return crc32(buf, sizeof(buf));
+}
+
+LinkSender::LinkSender(std::string name, const LinkConfig &cfg,
+                       LossyFrameChannel &tx, LossyFrameChannel &ack_rx)
+    : Component(std::move(name)), cfg_(cfg), tx_(tx), ack_rx_(ack_rx)
+{
+}
+
+void
+LinkSender::offer(const FlitPayload &flit)
+{
+    queue_.push_back(flit);
+}
+
+void
+LinkSender::tick(Cycle now)
+{
+    // Process cumulative acknowledgments.
+    while (auto frame = ack_rx_.take(now)) {
+        if (!frame->is_ack)
+            continue;
+        // ack_seq acknowledges every frame with seq < ack_seq.
+        while (base_ < frame->ack_seq && !queue_.empty()) {
+            queue_.pop_front();
+            ++base_;
+            last_progress_ = now;
+        }
+        if (frame->ack_seq > next_)
+            next_ = frame->ack_seq; // defensive; cannot happen normally
+    }
+
+    // Go-back-N: if the window has been open too long with no progress,
+    // rewind and resend everything outstanding.
+    if (next_ > base_ && now - last_progress_ > cfg_.retry_timeout) {
+        retransmissions_ += next_ - base_;
+        next_ = base_;
+        last_progress_ = now;
+    }
+
+    // Transmit at the SerDes rate, up to the window limit.
+    tokens_ += cfg_.tokens_per_cycle;
+    const int cap = cfg_.tokens_per_frame + cfg_.tokens_per_cycle;
+    if (tokens_ > cap)
+        tokens_ = cap;
+
+    const std::uint32_t unsent_index = next_ - base_;
+    if (tokens_ >= cfg_.tokens_per_frame
+        && unsent_index < queue_.size()
+        && next_ - base_ < static_cast<std::uint32_t>(cfg_.window)) {
+        LinkFrame frame;
+        frame.seq = next_;
+        frame.data = queue_[unsent_index];
+        frame.crc = frameCrc(frame.seq, frame.data);
+        tx_.send(now, frame);
+        tokens_ -= cfg_.tokens_per_frame;
+        ++next_;
+        ++transmitted_;
+        if (next_ == base_ + 1)
+            last_progress_ = now; // first frame of a fresh window
+    }
+}
+
+bool
+LinkSender::busy() const
+{
+    return !queue_.empty();
+}
+
+LinkReceiver::LinkReceiver(std::string name, const LinkConfig &cfg,
+                           LossyFrameChannel &rx, LossyFrameChannel &ack_tx,
+                           DeliverFn deliver)
+    : Component(std::move(name)),
+      cfg_(cfg),
+      rx_(rx),
+      ack_tx_(ack_tx),
+      deliver_(std::move(deliver))
+{
+}
+
+void
+LinkReceiver::tick(Cycle now)
+{
+    auto frame = rx_.take(now);
+    if (!frame)
+        return;
+
+    if (!frame->crcOk()) {
+        ++crc_drops_;
+    } else if (frame->seq != expected_) {
+        // Go-back-N accepts only the next in-order frame.
+        ++order_drops_;
+    } else {
+        ++expected_;
+        ++delivered_;
+        if (deliver_)
+            deliver_(frame->data, now);
+    }
+
+    // Cumulative acknowledgment (sent every received frame; a real link
+    // would piggy-back or batch these).
+    LinkFrame ack;
+    ack.is_ack = true;
+    ack.ack_seq = expected_;
+    ack.crc = frameCrc(ack.seq, ack.data);
+    ack_tx_.send(now, ack);
+}
+
+} // namespace anton2

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Physical channel bundles (data + reverse credit wires) and credit
+ * bookkeeping for virtual cut-through flow control.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "noc/packet.hpp"
+#include "sim/wire.hpp"
+
+namespace anton2 {
+
+/**
+ * A unidirectional channel: a data wire carrying one phit per cycle and a
+ * reverse wire returning one credit per cycle.
+ */
+struct Channel
+{
+    explicit Channel(Cycle data_latency = 1, Cycle credit_latency = 1)
+        : data(data_latency), credit(credit_latency)
+    {
+    }
+
+    Wire<Phit> data;
+    Wire<Credit> credit;
+
+    bool busy() const { return data.busy() || credit.busy(); }
+};
+
+/**
+ * Upstream-side credit counters for one output channel: tracks free flit
+ * slots per VC in the downstream input buffer.
+ */
+class CreditCounter
+{
+  public:
+    void
+    init(int num_vcs, int slots_per_vc)
+    {
+        credits_.assign(static_cast<std::size_t>(num_vcs), slots_per_vc);
+    }
+
+    int
+    available(int vc) const
+    {
+        return credits_[static_cast<std::size_t>(vc)];
+    }
+
+    /** Reserve @p flits slots at packet-grant time (VCT allocation). */
+    void
+    consume(int vc, int flits)
+    {
+        auto &c = credits_[static_cast<std::size_t>(vc)];
+        assert(c >= flits);
+        c -= flits;
+    }
+
+    /** One slot freed downstream. */
+    void
+    release(int vc)
+    {
+        ++credits_[static_cast<std::size_t>(vc)];
+    }
+
+    int numVcs() const { return static_cast<int>(credits_.size()); }
+
+  private:
+    std::vector<int> credits_;
+};
+
+/**
+ * A per-VC input buffer holding virtual-cut-through packets at flit
+ * granularity. Packets are queued whole; `arrived` tracks cut-through
+ * progress so a packet can begin leaving before its tail arrives.
+ */
+class VcBuffer
+{
+  public:
+    struct Entry
+    {
+        PacketPtr pkt;
+        std::uint16_t arrived = 0; ///< flits received so far
+        std::uint16_t sent = 0;    ///< flits forwarded so far
+        Cycle head_at = 0;         ///< cycle the packet became buffer head
+
+        // --- router pipeline state (unused by adapters) ----------------
+        bool routed = false;
+        bool va_done = false;
+        int out_port = -1;
+        std::uint8_t out_vc = 0;
+        Cycle routed_at = 0;
+        Cycle va_at = 0;
+        bool granted = false;
+    };
+
+    void
+    init(int capacity_flits)
+    {
+        capacity_ = capacity_flits;
+    }
+
+    int capacity() const { return capacity_; }
+    int occupancy() const { return occupancy_; }
+    bool empty() const { return entries_.empty(); }
+
+    /** Accept one incoming flit (head flit enqueues the packet). */
+    void
+    acceptFlit(const Phit &phit, Cycle now)
+    {
+        if (phit.head) {
+            Entry e;
+            e.pkt = phit.pkt;
+            e.head_at = now;
+            entries_.push_back(std::move(e));
+        }
+        assert(!entries_.empty());
+        ++entries_.back().arrived;
+        ++occupancy_;
+        assert(occupancy_ <= capacity_);
+    }
+
+    Entry &head() { return entries_.front(); }
+    const Entry &head() const { return entries_.front(); }
+
+    /** Record one flit leaving the head packet; frees one slot. */
+    void
+    sendFlit()
+    {
+        assert(!entries_.empty());
+        auto &e = entries_.front();
+        assert(e.sent < e.arrived);
+        ++e.sent;
+        --occupancy_;
+    }
+
+    /**
+     * Pop the head packet once fully forwarded. The next entry keeps its
+     * arrival timestamp (and any pipeline progress made via lookahead), so
+     * back-to-back packets do not restart the pipeline.
+     */
+    void
+    popHead(Cycle now)
+    {
+        assert(!entries_.empty());
+        assert(entries_.front().sent == entries_.front().pkt->size_flits);
+        entries_.erase(entries_.begin());
+        (void)now;
+    }
+
+    std::size_t packetCount() const { return entries_.size(); }
+
+    /** Entry @p i from the head (for pipeline lookahead). */
+    Entry &entry(std::size_t i) { return entries_[i]; }
+
+  private:
+    std::vector<Entry> entries_;
+    int capacity_ = 0;
+    int occupancy_ = 0;
+};
+
+} // namespace anton2

@@ -1,0 +1,305 @@
+#include "noc/channel_adapter.hpp"
+
+#include <cassert>
+
+#include "arb/inverse_weighted.hpp"
+#include "noc/router.hpp"
+
+namespace anton2 {
+
+ChannelAdapter::ChannelAdapter(std::string name,
+                               const ChannelAdapterConfig &cfg,
+                               IngressFn ingress_fn, EgressVcFn egress_fn)
+    : Component(std::move(name)),
+      cfg_(cfg),
+      ingress_fn_(std::move(ingress_fn)),
+      egress_fn_(std::move(egress_fn)),
+      egress_vcs_(static_cast<std::size_t>(cfg.num_vcs)),
+      egress_arb_(makeArbiter(cfg.arb, cfg.num_vcs, cfg.weight_bits)),
+      ingress_vcs_(static_cast<std::size_t>(cfg.num_vcs)),
+      ingress_heads_(static_cast<std::size_t>(cfg.num_vcs)),
+      ingress_expanded_(static_cast<std::size_t>(cfg.num_vcs), false),
+      ingress_arb_(makeArbiter(cfg.arb, cfg.num_vcs, cfg.weight_bits))
+{
+    for (auto &vc : egress_vcs_)
+        vc.init(cfg.buf_flits_per_vc);
+    for (auto &vc : ingress_vcs_)
+        vc.init(cfg.buf_flits_per_vc);
+}
+
+void
+ChannelAdapter::connectRouterIn(Channel &ch)
+{
+    router_in_ = &ch;
+}
+
+void
+ChannelAdapter::connectRouterOut(Channel &ch, int router_buf_flits)
+{
+    router_out_ = &ch;
+    router_credits_.init(cfg_.num_vcs, router_buf_flits);
+}
+
+void
+ChannelAdapter::connectTorusOut(Channel &ch, int peer_buf_flits)
+{
+    torus_out_ = &ch;
+    torus_credits_.init(cfg_.num_vcs, peer_buf_flits);
+}
+
+void
+ChannelAdapter::connectTorusIn(Channel &ch)
+{
+    torus_in_ = &ch;
+}
+
+InverseWeightedArbiter *
+ChannelAdapter::egressArbiter()
+{
+    return dynamic_cast<InverseWeightedArbiter *>(egress_arb_.get());
+}
+
+InverseWeightedArbiter *
+ChannelAdapter::ingressArbiter()
+{
+    return dynamic_cast<InverseWeightedArbiter *>(ingress_arb_.get());
+}
+
+void
+ChannelAdapter::tickEgress(Cycle now)
+{
+    if (router_in_ == nullptr || torus_out_ == nullptr)
+        return;
+
+    if (auto cr = torus_out_->credit.take(now))
+        torus_credits_.release(cr->vc);
+    if (auto phit = router_in_->data.take(now)) {
+        if (phit->head)
+            ++egress_packets_;
+        egress_vcs_[phit->vc].acceptFlit(*phit, now);
+    }
+
+    // Serialization tokens: 14 per cycle, 45 per flit (89.6/288 Gb/s).
+    // When idle, tokens cap at one flit's worth so a newly arriving packet
+    // starts immediately but cannot burst beyond the SerDes rate.
+    ser_tokens_ += cfg_.ser_tokens_per_cycle;
+    const int cap = cfg_.ser_tokens_per_flit + cfg_.ser_tokens_per_cycle;
+    if (ser_tokens_ > cap)
+        ser_tokens_ = cap;
+
+    if (egress_packets_ == 0)
+        return;
+
+    // Packet-granular virtual cut-through grant.
+    if (!egress_busy_) {
+        std::uint32_t req = 0;
+        ReqInfo info[32];
+        for (int v = 0; v < cfg_.num_vcs; ++v) {
+            auto &buf = egress_vcs_[static_cast<std::size_t>(v)];
+            if (buf.empty())
+                continue;
+            auto &head = buf.head();
+            if (now <= head.head_at)
+                continue;
+            const std::uint8_t link_vc =
+                egress_fn_(*head.pkt, /*commit=*/false);
+            if (torus_credits_.available(link_vc) < head.pkt->size_flits)
+                continue;
+            req |= 1u << v;
+            info[v].pattern = head.pkt->pattern;
+            info[v].age = head.pkt->birth;
+        }
+        if (req != 0) {
+            const int v = egress_arb_->pick(req, info);
+            auto &head = egress_vcs_[static_cast<std::size_t>(v)].head();
+            egress_link_vc_ = egress_fn_(*head.pkt, /*commit=*/true);
+            torus_credits_.consume(egress_link_vc_, head.pkt->size_flits);
+            egress_busy_ = true;
+            egress_vc_ = v;
+        }
+    }
+
+    // Transmit at the SerDes rate.
+    if (egress_busy_) {
+        auto &buf = egress_vcs_[static_cast<std::size_t>(egress_vc_)];
+        auto &head = buf.head();
+        if (ser_tokens_ >= cfg_.ser_tokens_per_flit
+            && head.sent < head.arrived) {
+            Phit phit;
+            phit.pkt = head.pkt;
+            phit.vc = egress_link_vc_;
+            phit.index = head.sent;
+            phit.head = (head.sent == 0);
+            phit.tail = (head.sent + 1 == head.pkt->size_flits);
+            phit.payload = head.pkt->payload[head.sent];
+            torus_out_->data.send(now, phit);
+            ser_tokens_ -= cfg_.ser_tokens_per_flit;
+            router_in_->credit.send(
+                now, Credit{ static_cast<std::uint8_t>(egress_vc_) });
+            buf.sendFlit();
+            ++flits_sent_;
+            if (phit.tail) {
+                buf.popHead(now);
+                --egress_packets_;
+                egress_busy_ = false;
+                egress_vc_ = -1;
+            }
+        }
+    } else if (ser_tokens_ >= cfg_.ser_tokens_per_flit) {
+        ++idle_cycles_;
+    }
+}
+
+void
+ChannelAdapter::tickIngress(Cycle now)
+{
+    if (torus_in_ == nullptr || router_out_ == nullptr)
+        return;
+
+    if (auto cr = router_out_->credit.take(now))
+        router_credits_.release(cr->vc);
+    if (auto phit = torus_in_->data.take(now)) {
+        if (phit->head)
+            ++ingress_packets_;
+        ingress_vcs_[phit->vc].acceptFlit(*phit, now);
+        ++flits_received_;
+    }
+
+    if (ingress_packets_ == 0 && pending_credits_.empty())
+        return;
+
+    // Expand new head packets: inter-node route decision (and multicast
+    // fan-out) happens once per packet, at the adapter.
+    for (int v = 0; v < cfg_.num_vcs; ++v) {
+        auto &buf = ingress_vcs_[static_cast<std::size_t>(v)];
+        if (buf.empty() || ingress_expanded_[static_cast<std::size_t>(v)])
+            continue;
+        auto &entry = ingress_heads_[static_cast<std::size_t>(v)];
+        entry.copies = ingress_fn_(buf.head().pkt);
+        entry.next_copy = 0;
+        entry.copy_sent = 0;
+        ingress_expanded_[static_cast<std::size_t>(v)] = true;
+    }
+
+    auto finishEntry = [&](int v) {
+        auto &buf = ingress_vcs_[static_cast<std::size_t>(v)];
+        auto &entry = ingress_heads_[static_cast<std::size_t>(v)];
+        const auto size = buf.head().pkt->size_flits;
+        // Multi-copy (and dropped) packets release their buffer slots and
+        // link credits only once all copies have been forwarded.
+        if (entry.copies.size() != 1) {
+            while (buf.head().sent < size) {
+                buf.sendFlit();
+                pendingTorusCredit(v);
+            }
+        }
+        buf.popHead(now);
+        --ingress_packets_;
+        ingress_expanded_[static_cast<std::size_t>(v)] = false;
+        entry.copies.clear();
+    };
+
+    // Grant a packet copy for the adapter->router channel.
+    if (!ingress_busy_) {
+        std::uint32_t req = 0;
+        ReqInfo info[32];
+        for (int v = 0; v < cfg_.num_vcs; ++v) {
+            auto &buf = ingress_vcs_[static_cast<std::size_t>(v)];
+            if (buf.empty() || !ingress_expanded_[static_cast<std::size_t>(v)])
+                continue;
+            auto &entry = ingress_heads_[static_cast<std::size_t>(v)];
+            if (entry.copies.empty()) {
+                finishEntry(v); // all copies done (or none): retire
+                continue;
+            }
+            if (entry.next_copy >= entry.copies.size())
+                continue;
+            auto &head = buf.head();
+            if (now <= head.head_at)
+                continue;
+            const auto &copy = entry.copies[entry.next_copy];
+            if (router_credits_.available(copy.vc) < copy.pkt->size_flits)
+                continue;
+            req |= 1u << v;
+            info[v].pattern = copy.pkt->pattern;
+            info[v].age = copy.pkt->birth;
+        }
+        if (req != 0) {
+            const int v = ingress_arb_->pick(req, info);
+            auto &entry = ingress_heads_[static_cast<std::size_t>(v)];
+            const auto &copy = entry.copies[entry.next_copy];
+            router_credits_.consume(copy.vc, copy.pkt->size_flits);
+            ingress_busy_ = true;
+            ingress_vc_ = v;
+        }
+    }
+
+    // Forward one flit of the active copy per cycle.
+    if (ingress_busy_) {
+        const int v = ingress_vc_;
+        auto &buf = ingress_vcs_[static_cast<std::size_t>(v)];
+        auto &entry = ingress_heads_[static_cast<std::size_t>(v)];
+        auto &head = buf.head();
+        auto &copy = entry.copies[entry.next_copy];
+        if (entry.copy_sent < head.arrived) {
+            Phit phit;
+            phit.pkt = copy.pkt;
+            phit.vc = copy.vc;
+            phit.index = entry.copy_sent;
+            phit.head = (entry.copy_sent == 0);
+            phit.tail = (entry.copy_sent + 1 == copy.pkt->size_flits);
+            phit.payload = copy.pkt->payload[entry.copy_sent];
+            router_out_->data.send(now, phit);
+            ++entry.copy_sent;
+            if (entry.copies.size() == 1) {
+                // Unicast: stream buffer slots / link credits per flit.
+                buf.sendFlit();
+                pendingTorusCredit(v);
+            }
+            if (entry.copy_sent == copy.pkt->size_flits) {
+                ++entry.next_copy;
+                entry.copy_sent = 0;
+                ingress_busy_ = false;
+                ingress_vc_ = -1;
+                if (entry.next_copy >= entry.copies.size())
+                    finishEntry(v);
+            }
+        }
+    }
+
+    // Return at most one torus-link credit per cycle.
+    if (!pending_credits_.empty()) {
+        torus_in_->credit.send(now, Credit{ pending_credits_.front() });
+        pending_credits_.erase(pending_credits_.begin());
+    }
+}
+
+void
+ChannelAdapter::tick(Cycle now)
+{
+    tickEgress(now);
+    tickIngress(now);
+}
+
+bool
+ChannelAdapter::busy() const
+{
+    for (const auto &vc : egress_vcs_) {
+        if (!vc.empty())
+            return true;
+    }
+    for (const auto &vc : ingress_vcs_) {
+        if (!vc.empty())
+            return true;
+    }
+    if (!pending_credits_.empty())
+        return true;
+    for (const Channel *ch : { router_in_, router_out_, torus_in_,
+                               torus_out_ }) {
+        if (ch != nullptr && ch->busy())
+            return true;
+    }
+    return false;
+}
+
+} // namespace anton2

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Torus-channel adapter (Sections 2.2, 4.4).
+ *
+ * One adapter terminates one external torus channel: it rate-matches
+ * between the on-chip mesh (one 24-byte flit per 1.5 GHz cycle, 288 Gb/s)
+ * and the external SerDes channel (89.6 Gb/s effective), a ratio of exactly
+ * 14/45 flits per core cycle. The adapter implements the full set of
+ * 8 VCs with virtual cut-through and credits on both sides, and applies
+ * the inter-node routing steps that happen at node boundaries: dateline VC
+ * promotion on egress, and next-dimension/ejection decisions (plus
+ * multicast expansion) on ingress.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arb/arbiter.hpp"
+#include "noc/channel.hpp"
+#include "noc/packet.hpp"
+#include "sim/component.hpp"
+
+namespace anton2 {
+
+class InverseWeightedArbiter;
+
+/** Exact SerDes/mesh rate ratio: 89.6 / 288 = 14 / 45 flits per cycle. */
+inline constexpr int kSerdesTokensPerCycle = 14;
+inline constexpr int kSerdesTokensPerFlit = 45;
+
+struct ChannelAdapterConfig
+{
+    int num_vcs = 8;
+    int buf_flits_per_vc = 8;
+    ArbPolicy arb = ArbPolicy::RoundRobin;
+    int weight_bits = 5;
+    /** Serialization tokens gained per cycle / spent per flit. */
+    int ser_tokens_per_cycle = kSerdesTokensPerCycle;
+    int ser_tokens_per_flit = kSerdesTokensPerFlit;
+};
+
+/** One expanded ingress delivery: a packet copy and its on-chip entry VC. */
+struct IngressCopy
+{
+    PacketPtr pkt;
+    std::uint8_t vc = 0; ///< VC on the adapter->router channel
+};
+
+/**
+ * Ingress routing callback, bound by the chip assembly. Called once when a
+ * packet becomes head of an ingress VC buffer; it applies VC promotion /
+ * dimension-completion updates and computes the packet's exit attach point
+ * on this chip. For multicast it may return several copies.
+ */
+using IngressFn = std::function<std::vector<IngressCopy>(const PacketPtr &)>;
+
+/**
+ * Egress VC callback: returns the VC the packet occupies on the torus link
+ * (applying the dateline-crossing promotion of Section 2.5).
+ * If @p commit is false, the packet state must not be mutated (credit
+ * probing); the grant path calls it again with commit = true.
+ */
+using EgressVcFn = std::function<std::uint8_t(Packet &, bool commit)>;
+
+class ChannelAdapter : public Component
+{
+  public:
+    ChannelAdapter(std::string name, const ChannelAdapterConfig &cfg,
+                   IngressFn ingress_fn, EgressVcFn egress_fn);
+
+    /** Channel from the attached router (egress data in, credits out). */
+    void connectRouterIn(Channel &ch);
+    /** Channel to the attached router (ingress data out, credits in). */
+    void connectRouterOut(Channel &ch, int router_buf_flits);
+    /** Outgoing torus link to the peer adapter on the neighbor node. */
+    void connectTorusOut(Channel &ch, int peer_buf_flits);
+    /** Incoming torus link from the peer adapter. */
+    void connectTorusIn(Channel &ch);
+
+    void tick(Cycle now) override;
+    bool busy() const override;
+
+    InverseWeightedArbiter *egressArbiter();
+    InverseWeightedArbiter *ingressArbiter();
+
+    std::uint64_t flitsSent() const { return flits_sent_; }
+    std::uint64_t flitsReceived() const { return flits_received_; }
+    /** Cycles in which the serializer had tokens but nothing to send. */
+    std::uint64_t idleCycles() const { return idle_cycles_; }
+
+  private:
+    struct IngressEntry
+    {
+        std::vector<IngressCopy> copies;
+        std::size_t next_copy = 0;
+        std::uint16_t copy_sent = 0; ///< flits of the active copy sent
+        bool active_granted = false;
+    };
+
+    void tickEgress(Cycle now);
+    void tickIngress(Cycle now);
+
+    /** Queue one torus-link credit for VC @p vc (drained one per cycle). */
+    void
+    pendingTorusCredit(int vc)
+    {
+        pending_credits_.push_back(static_cast<std::uint8_t>(vc));
+    }
+
+    ChannelAdapterConfig cfg_;
+    IngressFn ingress_fn_;
+    EgressVcFn egress_fn_;
+
+    // Egress side: router -> torus.
+    Channel *router_in_ = nullptr;
+    Channel *torus_out_ = nullptr;
+    std::vector<VcBuffer> egress_vcs_;
+    CreditCounter torus_credits_;
+    std::unique_ptr<Arbiter> egress_arb_;
+    int ser_tokens_ = 0;
+    bool egress_busy_ = false;
+    int egress_vc_ = -1;           ///< source VC buffer of active packet
+    std::uint8_t egress_link_vc_ = 0;
+
+    // Ingress side: torus -> router.
+    Channel *torus_in_ = nullptr;
+    Channel *router_out_ = nullptr;
+    std::vector<VcBuffer> ingress_vcs_;
+    std::vector<IngressEntry> ingress_heads_; ///< per VC, expansion state
+    std::vector<bool> ingress_expanded_;
+    CreditCounter router_credits_;
+    std::unique_ptr<Arbiter> ingress_arb_;
+    bool ingress_busy_ = false;
+    int ingress_vc_ = -1;
+    std::vector<std::uint8_t> pending_credits_;
+
+    std::uint64_t flits_sent_ = 0;
+    std::uint64_t flits_received_ = 0;
+    std::uint64_t idle_cycles_ = 0;
+    int egress_packets_ = 0;
+    int ingress_packets_ = 0;
+};
+
+} // namespace anton2

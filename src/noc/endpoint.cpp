@@ -1,0 +1,175 @@
+#include "noc/endpoint.hpp"
+
+#include <cassert>
+
+namespace anton2 {
+
+EndpointAdapter::EndpointAdapter(std::string name, const EndpointConfig &cfg,
+                                 EndpointAddr addr)
+    : Component(std::move(name)),
+      cfg_(cfg),
+      addr_(addr),
+      eject_(static_cast<std::size_t>(cfg.num_vcs))
+{
+}
+
+void
+EndpointAdapter::connectRouterOut(Channel &ch, int router_buf_flits)
+{
+    to_router_ = &ch;
+    router_credits_.init(cfg_.num_vcs, router_buf_flits);
+}
+
+void
+EndpointAdapter::connectRouterIn(Channel &ch)
+{
+    from_router_ = &ch;
+}
+
+void
+EndpointAdapter::inject(const PacketPtr &pkt)
+{
+    inject_q_[static_cast<int>(pkt->tc)].push_back(pkt);
+}
+
+std::size_t
+EndpointAdapter::injectQueueDepth(TrafficClass tc) const
+{
+    std::size_t depth = inject_q_[static_cast<int>(tc)].size();
+    if (inj_active_ != nullptr && inj_active_->tc == tc)
+        ++depth;
+    return depth;
+}
+
+void
+EndpointAdapter::armCounter(std::int32_t counter, int count)
+{
+    counters_[counter] += count;
+}
+
+void
+EndpointAdapter::tickInject(Cycle now)
+{
+    if (to_router_ == nullptr)
+        return;
+    if (auto cr = to_router_->credit.take(now))
+        router_credits_.release(cr->vc);
+
+    // Start a new packet: round-robin between the two traffic classes,
+    // gated on full-packet credits (virtual cut-through).
+    if (inj_active_ == nullptr) {
+        for (int attempt = 0; attempt < kNumTrafficClasses; ++attempt) {
+            const int c = (next_class_ + attempt) % kNumTrafficClasses;
+            if (inject_q_[c].empty())
+                continue;
+            const PacketPtr &pkt = inject_q_[c].front();
+            // The endpoint->router channel is M-group; a fresh packet's
+            // mesh VC within its traffic class is 0.
+            const int vc = fullVcIndex(pkt->tc, pkt->vc.meshVc(),
+                                       cfg_.num_vcs / kNumTrafficClasses);
+            if (router_credits_.available(vc) < pkt->size_flits)
+                continue;
+            router_credits_.consume(vc, pkt->size_flits);
+            inj_active_ = pkt;
+            inj_sent_ = 0;
+            inject_q_[c].pop_front();
+            next_class_ = (c + 1) % kNumTrafficClasses;
+            inj_active_->inject_time = now;
+            break;
+        }
+    }
+
+    if (inj_active_ != nullptr) {
+        const int vc = fullVcIndex(inj_active_->tc, inj_active_->vc.meshVc(),
+                                   cfg_.num_vcs / kNumTrafficClasses);
+        Phit phit;
+        phit.pkt = inj_active_;
+        phit.vc = static_cast<std::uint8_t>(vc);
+        phit.index = inj_sent_;
+        phit.head = (inj_sent_ == 0);
+        phit.tail = (inj_sent_ + 1 == inj_active_->size_flits);
+        phit.payload = inj_active_->payload[inj_sent_];
+        to_router_->data.send(now, phit);
+        ++inj_sent_;
+        if (phit.tail) {
+            inj_active_.reset();
+            inj_sent_ = 0;
+            ++injected_;
+        }
+    }
+}
+
+void
+EndpointAdapter::tickEject(Cycle now)
+{
+    if (from_router_ == nullptr)
+        return;
+    auto phit = from_router_->data.take(now);
+    if (!phit)
+        return;
+
+    // Sink semantics: accept the flit and return the credit immediately.
+    from_router_->credit.send(now, Credit{ phit->vc });
+
+    auto &slot = eject_[phit->vc];
+    if (phit->head) {
+        assert(slot.pkt == nullptr && "interleaved packets on one VC");
+        slot.pkt = phit->pkt;
+        slot.arrived = 0;
+    }
+    ++slot.arrived;
+    if (slot.arrived < slot.pkt->size_flits)
+        return;
+
+    // Full packet delivered.
+    PacketPtr pkt = std::move(slot.pkt);
+    slot = EjectSlot{};
+    pkt->eject_time = now;
+    ++delivered_;
+    last_delivery_ = now;
+
+    if (deliver_fn_)
+        deliver_fn_(pkt, now);
+
+    if (pkt->op == OpKind::ReadRequest) {
+        if (read_fn_)
+            read_fn_(pkt, now);
+    } else if (pkt->counter >= 0) {
+        // Counted write: decrement; dispatch the handler at zero.
+        auto it = counters_.find(pkt->counter);
+        if (it != counters_.end() && --it->second <= 0) {
+            counters_.erase(it);
+            if (handler_fn_)
+                handler_fn_(pkt->counter, now);
+        }
+    }
+}
+
+void
+EndpointAdapter::tick(Cycle now)
+{
+    tickInject(now);
+    tickEject(now);
+}
+
+bool
+EndpointAdapter::busy() const
+{
+    if (inj_active_ != nullptr)
+        return true;
+    for (const auto &q : inject_q_) {
+        if (!q.empty())
+            return true;
+    }
+    for (const auto &slot : eject_) {
+        if (slot.pkt != nullptr)
+            return true;
+    }
+    for (const Channel *ch : { to_router_, from_router_ }) {
+        if (ch != nullptr && ch->busy())
+            return true;
+    }
+    return false;
+}
+
+} // namespace anton2

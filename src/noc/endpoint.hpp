@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Endpoint adapter (Sections 2.1, 4.3).
+ *
+ * Endpoint adapters connect compute resources to the on-chip network. The
+ * programming model is global distributed memory: remote writes (the common
+ * case), remote reads with replies in a separate traffic class, and
+ * counted-write synchronization that dispatches a software handler when a
+ * counter of expected writes reaches zero.
+ *
+ * Endpoint adapters implement one VC per traffic class (Section 4.4); the
+ * ejection side is a pure sink (it always drains), so it is trivially
+ * deadlock-free.
+ */
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/channel.hpp"
+#include "noc/packet.hpp"
+#include "sim/component.hpp"
+#include "sim/stats.hpp"
+
+namespace anton2 {
+
+struct EndpointConfig
+{
+    int num_vcs = 8;        ///< VC indices used on the router link
+    int eject_buf_flits = 16;
+};
+
+class EndpointAdapter : public Component
+{
+  public:
+    /** Called for every fully delivered packet. */
+    using DeliverFn = std::function<void(const PacketPtr &, Cycle)>;
+    /**
+     * Called when a counted-write counter fires (reaches zero), modeling
+     * the hardware handler-dispatch mechanism of [15].
+     */
+    using HandlerFn = std::function<void(std::int32_t counter, Cycle)>;
+    /** Called for an arriving read request; must produce the reply. */
+    using ReadFn = std::function<void(const PacketPtr &, Cycle)>;
+
+    EndpointAdapter(std::string name, const EndpointConfig &cfg,
+                    EndpointAddr addr);
+
+    void connectRouterOut(Channel &ch, int router_buf_flits);
+    void connectRouterIn(Channel &ch);
+
+    void tick(Cycle now) override;
+    bool busy() const override;
+
+    /**
+     * Queue a packet for injection. The packet must have its route fields
+     * (route, vc policy, chip_exit) prepared; Machine::preparePacket does
+     * this. Injection queues model software send descriptors and are
+     * unbounded; drivers use injectQueueDepth() for self-throttling.
+     */
+    void inject(const PacketPtr &pkt);
+
+    std::size_t injectQueueDepth(TrafficClass tc) const;
+
+    /** Arm a counted-write counter: handler fires after @p count writes. */
+    void armCounter(std::int32_t counter, int count);
+
+    void setDeliverFn(DeliverFn fn) { deliver_fn_ = std::move(fn); }
+    void setHandlerFn(HandlerFn fn) { handler_fn_ = std::move(fn); }
+    void setReadFn(ReadFn fn) { read_fn_ = std::move(fn); }
+
+    const EndpointAddr &addr() const { return addr_; }
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t injected() const { return injected_; }
+    Cycle lastDeliveryTime() const { return last_delivery_; }
+
+  private:
+    void tickInject(Cycle now);
+    void tickEject(Cycle now);
+
+    EndpointConfig cfg_;
+    EndpointAddr addr_;
+
+    Channel *to_router_ = nullptr;
+    Channel *from_router_ = nullptr;
+    CreditCounter router_credits_;
+
+    /** Per-traffic-class software injection queues. */
+    std::deque<PacketPtr> inject_q_[kNumTrafficClasses];
+    int next_class_ = 0; ///< round-robin between the classes
+    /** In-flight injection (flit streaming). */
+    PacketPtr inj_active_;
+    std::uint16_t inj_sent_ = 0;
+
+    /** Reassembly of the (at most one per VC) arriving packet. */
+    struct EjectSlot
+    {
+        PacketPtr pkt;
+        std::uint16_t arrived = 0;
+    };
+    std::vector<EjectSlot> eject_;
+
+    std::unordered_map<std::int32_t, int> counters_;
+
+    DeliverFn deliver_fn_;
+    HandlerFn handler_fn_;
+    ReadFn read_fn_;
+
+    std::uint64_t delivered_ = 0;
+    std::uint64_t injected_ = 0;
+    Cycle last_delivery_ = 0;
+};
+
+} // namespace anton2

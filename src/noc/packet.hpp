@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Packets, flits, and the phit/credit protocol units (Section 2.1).
+ *
+ * Anton 2 packets are fine-grained: the common case is 16 bytes of payload
+ * plus 8 bytes of header (one 24-byte flit, transmitted by a mesh channel
+ * in a single cycle), and the maximum is twice that (two flits). The
+ * network uses virtual cut-through flow control: arbitration happens once
+ * per packet, and buffers/credits are managed in flit units.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/chip_layout.hpp"
+#include "routing/route.hpp"
+#include "routing/vc_promotion.hpp"
+#include "sim/types.hpp"
+#include "topo/torus.hpp"
+
+namespace anton2 {
+
+/** One 192-bit flit payload (the mesh channel width, Section 2.2). */
+using FlitPayload = std::array<std::uint64_t, 3>;
+
+/** Bits per flit (192-bit mesh channels at 1.5 GHz = 288 Gb/s). */
+inline constexpr int kFlitBits = 192;
+
+/** Bytes per flit (24 B: common-case packet = 16 B payload + 8 B header). */
+inline constexpr int kFlitBytes = kFlitBits / 8;
+
+/** Maximum packet size in flits (32 B payload + 16 B header = 48 B). */
+inline constexpr int kMaxPacketFlits = 2;
+
+/** The two traffic classes (request/reply) avoiding protocol deadlock. */
+enum class TrafficClass : std::uint8_t { Request = 0, Reply = 1 };
+inline constexpr int kNumTrafficClasses = 2;
+
+/** Remote-memory operation carried by a packet (Section 2.1). */
+enum class OpKind : std::uint8_t
+{
+    Write,      ///< remote write (the common case)
+    ReadRequest,///< remote read request; elicits a ReadReply
+    ReadReply,  ///< data returned for a read (travels in the Reply class)
+};
+
+/** A global endpoint address: (node, endpoint adapter on that node). */
+struct EndpointAddr
+{
+    NodeId node = 0;
+    EndpointId ep = 0;
+
+    bool
+    operator==(const EndpointAddr &o) const
+    {
+        return node == o.node && ep == o.ep;
+    }
+};
+
+/**
+ * A network packet. Owned via shared_ptr; a multicast delivery clones the
+ * packet at branch points.
+ */
+struct Packet
+{
+    std::uint64_t id = 0;
+    EndpointAddr src;
+    EndpointAddr dst;
+    TrafficClass tc = TrafficClass::Request;
+    OpKind op = OpKind::Write;
+    std::uint8_t pattern = 0; ///< traffic-pattern id for inverse weighting
+    std::uint16_t size_flits = 1;
+    std::vector<FlitPayload> payload; ///< size_flits entries
+
+    /** Counted-write synchronization: counter id at the destination. */
+    std::int32_t counter = -1;
+
+    /** Multicast group id at each hop's node table, or -1 for unicast. */
+    std::int32_t mcast_group = -1;
+
+    // --- routing state -------------------------------------------------
+    RouteSpec route;                  ///< fixed at the source
+    VcState vc{ VcPolicy::Anton2 };   ///< promotion state, updated en route
+    AttachPoint chip_exit;            ///< exit point on the current chip
+    bool x_through = false;           ///< current chip traversal uses skip
+
+    // --- timestamps (free-running cycle counters, Section 4) -----------
+    Cycle birth = 0;       ///< creation time (age-based arbitration)
+    Cycle inject_time = 0; ///< first flit entered the network
+    Cycle eject_time = 0;  ///< last flit delivered
+
+    int hops = 0; ///< inter-node hops taken (for latency-vs-hops plots)
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/**
+ * One phit on a channel wire: a single flit plus control. The head phit
+ * carries the packet pointer.
+ */
+struct Phit
+{
+    PacketPtr pkt;          ///< set on every phit (simulation convenience)
+    std::uint8_t vc = 0;    ///< VC this flit occupies on the channel
+    std::uint16_t index = 0;///< flit index within the packet
+    bool head = false;
+    bool tail = false;
+    FlitPayload payload{};
+};
+
+/** A flow-control credit: one freed flit slot in the given VC. */
+struct Credit
+{
+    std::uint8_t vc = 0;
+};
+
+/**
+ * Full VC index on routers and channel adapters: traffic class x promotion
+ * VC. Routers and channel adapters implement 8 VCs (2 classes x 4, Section
+ * 4.4).
+ */
+constexpr int
+fullVcIndex(TrafficClass tc, int promotion_vc, int vcs_per_class)
+{
+    return static_cast<int>(tc) * vcs_per_class + promotion_vc;
+}
+
+} // namespace anton2

@@ -1,0 +1,302 @@
+#include "noc/router.hpp"
+
+#include <bit>
+
+#include <cassert>
+
+#include "arb/basic_arbiters.hpp"
+#include "arb/inverse_weighted.hpp"
+
+namespace anton2 {
+
+std::unique_ptr<Arbiter>
+makeArbiter(ArbPolicy policy, int num_inputs, int weight_bits)
+{
+    switch (policy) {
+      case ArbPolicy::RoundRobin:
+        return std::make_unique<RoundRobinArbiter>(num_inputs);
+      case ArbPolicy::InverseWeighted:
+        return std::make_unique<InverseWeightedArbiter>(num_inputs,
+                                                        weight_bits);
+      case ArbPolicy::AgeBased:
+        return std::make_unique<AgeBasedArbiter>(num_inputs);
+    }
+    return nullptr;
+}
+
+Router::Router(std::string name, const RouterConfig &cfg, RouteFn route_fn)
+    : Component(std::move(name)),
+      cfg_(cfg),
+      route_fn_(std::move(route_fn)),
+      in_(static_cast<std::size_t>(cfg.num_ports)),
+      out_(static_cast<std::size_t>(cfg.num_ports)),
+      sa1_winner_(static_cast<std::size_t>(cfg.num_ports), -1)
+{
+    for (auto &ip : in_) {
+        ip.vcs.resize(static_cast<std::size_t>(cfg.num_vcs));
+        for (auto &vc : ip.vcs)
+            vc.init(cfg.buf_flits_per_vc);
+    }
+    for (int p = 0; p < cfg.num_ports; ++p) {
+        // SA1 arbitrates among this input's VCs; SA2 among input ports.
+        // SA1 fairness is secondary (round-robin suffices); SA2 is where
+        // the inverse-weighted policy applies (Section 3).
+        sa1_.push_back(std::make_unique<RoundRobinArbiter>(cfg.num_vcs));
+        sa2_.push_back(makeArbiter(cfg.out_arb, cfg.num_ports,
+                                   cfg.weight_bits));
+    }
+}
+
+void
+Router::connectIn(int port, Channel &ch)
+{
+    in_[static_cast<std::size_t>(port)].ch = &ch;
+}
+
+void
+Router::connectOut(int port, Channel &ch, int downstream_buf_flits)
+{
+    auto &op = out_[static_cast<std::size_t>(port)];
+    op.ch = &ch;
+    op.credits.init(cfg_.num_vcs, downstream_buf_flits);
+}
+
+InverseWeightedArbiter *
+Router::outputArbiter(int port)
+{
+    return dynamic_cast<InverseWeightedArbiter *>(
+        sa2_[static_cast<std::size_t>(port)].get());
+}
+
+void
+Router::receive(Cycle now)
+{
+    for (auto &op : out_) {
+        if (op.ch == nullptr)
+            continue;
+        if (auto cr = op.ch->credit.take(now))
+            op.credits.release(cr->vc);
+    }
+    for (std::size_t p = 0; p < in_.size(); ++p) {
+        auto &ip = in_[p];
+        if (ip.ch == nullptr)
+            continue;
+        if (auto phit = ip.ch->data.take(now)) {
+            if (phit->head) {
+                ++buffered_packets_;
+                ip.nonempty |= 1u << phit->vc;
+            }
+            ip.vcs[phit->vc].acceptFlit(*phit, now);
+            if (energy_ != nullptr)
+                energy_->onFlit(static_cast<int>(p), phit->payload, now);
+            ++flits_routed_;
+        }
+    }
+}
+
+void
+Router::stageRc(Cycle now)
+{
+    // Two-deep lookahead: the packet behind the head proceeds through RC
+    // and VA while the head drains, so back-to-back packets on one VC do
+    // not restart the pipeline.
+    for (auto &ip : in_) {
+        for (std::uint32_t mask = ip.nonempty; mask != 0;
+             mask &= mask - 1) {
+            auto &vc = ip.vcs[static_cast<std::size_t>(
+                std::countr_zero(mask))];
+            const std::size_t depth = std::min<std::size_t>(
+                vc.packetCount(), 4);
+            for (std::size_t i = 0; i < depth; ++i) {
+                auto &entry = vc.entry(i);
+                if (!entry.routed && now > entry.head_at) {
+                    const RouteDecision d = route_fn_(*entry.pkt);
+                    assert(d.out_port >= 0 && d.out_port < cfg_.num_ports);
+                    assert(out_[static_cast<std::size_t>(d.out_port)].ch
+                           != nullptr);
+                    entry.out_port = d.out_port;
+                    entry.out_vc = d.out_vc;
+                    entry.routed = true;
+                    entry.routed_at = now;
+                }
+            }
+        }
+    }
+}
+
+void
+Router::stageVa(Cycle now)
+{
+    for (auto &ip : in_) {
+        for (std::uint32_t mask = ip.nonempty; mask != 0;
+             mask &= mask - 1) {
+            auto &vc = ip.vcs[static_cast<std::size_t>(
+                std::countr_zero(mask))];
+            const std::size_t depth = std::min<std::size_t>(
+                vc.packetCount(), 4);
+            for (std::size_t i = 0; i < depth; ++i) {
+                auto &entry = vc.entry(i);
+                if (entry.routed && !entry.va_done
+                    && now > entry.routed_at) {
+                    const auto &op =
+                        out_[static_cast<std::size_t>(entry.out_port)];
+                    if (op.credits.available(entry.out_vc)
+                        >= entry.pkt->size_flits) {
+                        entry.va_done = true;
+                        entry.va_at = now;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+Router::stageSa1(Cycle now)
+{
+    for (std::size_t p = 0; p < in_.size(); ++p) {
+        auto &ip = in_[p];
+        sa1_winner_[p] = -1;
+        if (ip.draining)
+            continue;
+        std::uint32_t req = 0;
+        for (std::uint32_t mask = ip.nonempty; mask != 0;
+             mask &= mask - 1) {
+            const auto v = static_cast<std::size_t>(
+                std::countr_zero(mask));
+            const auto &head = ip.vcs[v].head();
+            if (head.va_done && !head.granted && now > head.va_at)
+                req |= 1u << v;
+        }
+        if (req != 0)
+            sa1_winner_[p] = sa1_[p]->pick(req, nullptr);
+    }
+}
+
+void
+Router::stageSa2(Cycle now)
+{
+    for (std::size_t o = 0; o < out_.size(); ++o) {
+        auto &op = out_[o];
+        if (op.ch == nullptr || op.busy)
+            continue;
+
+        std::uint32_t req = 0;
+        ReqInfo info[kRouterPorts];
+        for (std::size_t p = 0; p < in_.size(); ++p) {
+            const int v = sa1_winner_[p];
+            if (v < 0 || in_[p].draining)
+                continue;
+            const auto &vcbuf = in_[p].vcs[static_cast<std::size_t>(v)];
+            // Re-validate: the SA1 pick is a cycle old and the head may
+            // have been popped or granted since.
+            if (vcbuf.empty())
+                continue;
+            const auto &head = vcbuf.head();
+            if (!head.va_done || head.granted)
+                continue;
+            if (head.out_port != static_cast<int>(o))
+                continue;
+            // Re-validate credits at grant time: VA eligibility may be
+            // stale if an earlier grant consumed the slots.
+            if (op.credits.available(head.out_vc) < head.pkt->size_flits)
+                continue;
+            req |= 1u << p;
+            info[p].pattern = head.pkt->pattern;
+            info[p].age = head.pkt->birth;
+        }
+        if (req == 0)
+            continue;
+
+        const int winner = sa2_[o]->pick(req, info);
+        assert(winner >= 0);
+        auto &ip = in_[static_cast<std::size_t>(winner)];
+        auto &head = ip.vcs[static_cast<std::size_t>(
+                                sa1_winner_[static_cast<std::size_t>(
+                                    winner)])]
+                         .head();
+        head.granted = true;
+        op.busy = true;
+        op.src_port = winner;
+        op.src_vc = sa1_winner_[static_cast<std::size_t>(winner)];
+        op.out_vc = head.out_vc;
+        op.credits.consume(head.out_vc, head.pkt->size_flits);
+        ip.draining = true;
+        sa1_winner_[static_cast<std::size_t>(winner)] = -1;
+        (void)now;
+    }
+}
+
+void
+Router::stageSt(Cycle now)
+{
+    for (auto &op : out_) {
+        if (!op.busy)
+            continue;
+        auto &ip = in_[static_cast<std::size_t>(op.src_port)];
+        auto &vcbuf = ip.vcs[static_cast<std::size_t>(op.src_vc)];
+        auto &head = vcbuf.head();
+        if (head.sent >= head.arrived)
+            continue; // cut-through: tail not yet arrived
+
+        Phit phit;
+        phit.pkt = head.pkt;
+        phit.vc = op.out_vc;
+        phit.index = head.sent;
+        phit.head = (head.sent == 0);
+        phit.tail = (head.sent + 1 == head.pkt->size_flits);
+        phit.payload = head.pkt->payload[head.sent];
+        op.ch->data.send(now, phit);
+
+        ip.ch->credit.send(now, Credit{ static_cast<std::uint8_t>(
+                                    op.src_vc) });
+        vcbuf.sendFlit();
+
+        if (phit.tail) {
+            vcbuf.popHead(now);
+            if (vcbuf.empty())
+                ip.nonempty &= ~(1u << op.src_vc);
+            --buffered_packets_;
+            op.busy = false;
+            op.src_port = -1;
+            ip.draining = false;
+        }
+    }
+}
+
+void
+Router::tick(Cycle now)
+{
+    receive(now);
+    if (buffered_packets_ == 0)
+        return; // nothing buffered: the pipeline stages have no work
+    stageRc(now);
+    stageVa(now);
+    // SA2 consumes the SA1 winners registered in the previous cycle, so
+    // SA1 and SA2 are distinct pipeline stages as in Figure 12. SA1 runs
+    // after ST so that an input port freed by a departing tail flit can
+    // nominate its next packet in the same cycle (no turnaround bubble).
+    stageSa2(now);
+    stageSt(now);
+    stageSa1(now);
+}
+
+bool
+Router::busy() const
+{
+    for (const auto &ip : in_) {
+        for (const auto &vc : ip.vcs) {
+            if (!vc.empty())
+                return true;
+        }
+        if (ip.ch != nullptr && ip.ch->busy())
+            return true;
+    }
+    for (const auto &op : out_) {
+        if (op.busy)
+            return true;
+    }
+    return false;
+}
+
+} // namespace anton2

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The on-chip router (Sections 2.2, 4.4; Figure 12).
+ *
+ * Six ports, eight VCs (two traffic classes x four promotion VCs), virtual
+ * cut-through flow control with credits, and a four-stage pipeline matching
+ * Figure 12: route computation (RC), virtual-channel allocation (VA), input
+ * switch arbitration (SA1), and output switch arbitration (SA2), followed
+ * by switch traversal. Output arbitration is pluggable: round-robin,
+ * age-based, or the inverse-weighted arbiter of Section 3.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arb/arbiter.hpp"
+#include "noc/channel.hpp"
+#include "noc/packet.hpp"
+#include "power/energy.hpp"
+#include "sim/component.hpp"
+
+namespace anton2 {
+
+class InverseWeightedArbiter;
+
+/** Static configuration of one router instance. */
+struct RouterConfig
+{
+    int num_ports = 6;
+    int num_vcs = 8;          ///< 2 classes x numUnifiedVcs(policy, n)
+    int buf_flits_per_vc = 8; ///< input buffer depth per VC
+    ArbPolicy out_arb = ArbPolicy::RoundRobin;
+    int weight_bits = 5;
+};
+
+/** Result of route computation for one packet at one router. */
+struct RouteDecision
+{
+    int out_port = -1;
+    std::uint8_t out_vc = 0;
+};
+
+/**
+ * Routing callback bound by the chip assembly: decides the output port and
+ * VC for a packet at this router (using the chip layout and the packet's
+ * exit attach point).
+ */
+using RouteFn = std::function<RouteDecision(Packet &)>;
+
+class Router : public Component
+{
+  public:
+    Router(std::string name, const RouterConfig &cfg, RouteFn route_fn);
+
+    /** Attach the channel arriving at input @p port (data in, credits out). */
+    void connectIn(int port, Channel &ch);
+
+    /**
+     * Attach the channel leaving output @p port (data out, credits in).
+     * @param downstream_buf_flits per-VC buffer depth at the receiver.
+     */
+    void connectOut(int port, Channel &ch, int downstream_buf_flits);
+
+    void tick(Cycle now) override;
+    bool busy() const override;
+
+    /** Inverse-weighted output arbiter for @p port (null for other policies). */
+    InverseWeightedArbiter *outputArbiter(int port);
+
+    /** Optional energy meter (not owned); charges per-flit events. */
+    void setEnergyMeter(RouterEnergyMeter *meter) { energy_ = meter; }
+
+    const RouterConfig &config() const { return cfg_; }
+    std::uint64_t flitsRouted() const { return flits_routed_; }
+
+  private:
+    struct InPort
+    {
+        Channel *ch = nullptr;
+        std::vector<VcBuffer> vcs;
+        std::uint32_t nonempty = 0; ///< bit v set iff vcs[v] holds packets
+        bool draining = false; ///< a granted packet is crossing the switch
+    };
+
+    struct OutPort
+    {
+        Channel *ch = nullptr;
+        CreditCounter credits;
+        bool busy = false;
+        int src_port = -1;
+        int src_vc = -1;
+        std::uint8_t out_vc = 0;
+    };
+
+    void receive(Cycle now);
+    void stageRc(Cycle now);
+    void stageVa(Cycle now);
+    void stageSa1(Cycle now);
+    void stageSa2(Cycle now);
+    void stageSt(Cycle now);
+
+    RouterConfig cfg_;
+    RouteFn route_fn_;
+    std::vector<InPort> in_;
+    std::vector<OutPort> out_;
+    std::vector<std::unique_ptr<Arbiter>> sa1_;      ///< per input port
+    std::vector<std::unique_ptr<Arbiter>> sa2_;      ///< per output port
+    std::vector<int> sa1_winner_;                    ///< vc per input, -1
+    RouterEnergyMeter *energy_ = nullptr;
+    std::uint64_t flits_routed_ = 0;
+    int buffered_packets_ = 0;
+};
+
+/** Construct an arbiter of the given policy. */
+std::unique_ptr<Arbiter> makeArbiter(ArbPolicy policy, int num_inputs,
+                                     int weight_bits);
+
+} // namespace anton2

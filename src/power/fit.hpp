@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ordinary least squares for the router energy model (Section 4.5).
+ *
+ * The paper's model E = c0 + c1*h + (c2 + c3*n)(a/r) is linear in the
+ * regressors (1, h, a/r, n*(a/r)), so the coefficients are recovered by
+ * solving the 4x4 normal equations.
+ */
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace anton2 {
+
+/** One energy observation. */
+struct EnergySample
+{
+    double energy_pj;      ///< measured energy per flit
+    double hamming;        ///< avg bit flips between successive flits (h)
+    double set_bits;       ///< avg set payload bits per flit (n)
+    double act_per_flit;   ///< activations per flit (a/r)
+};
+
+/** Coefficients of E = c0 + c1*h + (c2 + c3*n)*(a/r). */
+struct EnergyFit
+{
+    double c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    double rms_error_pj = 0;
+
+    double
+    predict(double h, double n, double act_per_flit) const
+    {
+        return c0 + c1 * h + (c2 + c3 * n) * act_per_flit;
+    }
+};
+
+/** Solve a small dense linear system in place (Gaussian elimination). */
+template <std::size_t N>
+bool
+solveLinear(std::array<std::array<double, N>, N> a, std::array<double, N> b,
+            std::array<double, N> &x)
+{
+    for (std::size_t col = 0; col < N; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < N; ++r) {
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        }
+        if (std::abs(a[pivot][col]) < 1e-12)
+            return false;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (std::size_t r = 0; r < N; ++r) {
+            if (r == col)
+                continue;
+            const double f = a[r][col] / a[col][col];
+            for (std::size_t c = col; c < N; ++c)
+                a[r][c] -= f * a[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    for (std::size_t i = 0; i < N; ++i)
+        x[i] = b[i] / a[i][i];
+    return true;
+}
+
+/** Fit the Section 4.5 model to a set of samples. */
+inline EnergyFit
+fitEnergyModel(const std::vector<EnergySample> &samples)
+{
+    std::array<std::array<double, 4>, 4> ata{};
+    std::array<double, 4> atb{};
+    for (const auto &s : samples) {
+        const std::array<double, 4> row = {
+            1.0, s.hamming, s.act_per_flit, s.set_bits * s.act_per_flit
+        };
+        for (std::size_t i = 0; i < 4; ++i) {
+            for (std::size_t j = 0; j < 4; ++j)
+                ata[i][j] += row[i] * row[j];
+            atb[i] += row[i] * s.energy_pj;
+        }
+    }
+    EnergyFit fit;
+    std::array<double, 4> x{};
+    if (!solveLinear(ata, atb, x))
+        return fit;
+    fit.c0 = x[0];
+    fit.c1 = x[1];
+    fit.c2 = x[2];
+    fit.c3 = x[3];
+
+    double se = 0;
+    for (const auto &s : samples) {
+        const double e =
+            s.energy_pj - fit.predict(s.hamming, s.set_bits,
+                                      s.act_per_flit);
+        se += e * e;
+    }
+    fit.rms_error_pj =
+        samples.empty() ? 0.0
+                        : std::sqrt(se / static_cast<double>(
+                                             samples.size()));
+    return fit;
+}
+
+} // namespace anton2

@@ -1,0 +1,52 @@
+#include "routing/mesh_route.hpp"
+
+#include <cassert>
+
+namespace anton2 {
+
+bool
+meshNextDir(const MeshGeom &geom, RouterId here, RouterId dst,
+            const MeshDirOrder &order, MeshDir &out)
+{
+    const int du = geom.u(dst) - geom.u(here);
+    const int dv = geom.v(dst) - geom.v(here);
+    if (du == 0 && dv == 0)
+        return false;
+    for (MeshDir d : order) {
+        const int need = meshDirDu(d) * du + meshDirDv(d) * dv;
+        // The direction is useful if the remaining displacement has a
+        // positive component along it.
+        if (need > 0 && (meshDirDu(d) != 0 ? du != 0 : dv != 0)) {
+            out = d;
+            return true;
+        }
+    }
+    assert(false && "direction order cannot reach destination");
+    return false;
+}
+
+std::vector<MeshDir>
+meshRoute(const MeshGeom &geom, RouterId src, RouterId dst,
+          const MeshDirOrder &order)
+{
+    std::vector<MeshDir> hops;
+    RouterId here = src;
+    MeshDir d;
+    while (meshNextDir(geom, here, dst, order, d)) {
+        hops.push_back(d);
+        here = geom.move(here, d);
+    }
+    return hops;
+}
+
+std::vector<RouterId>
+meshPath(const MeshGeom &geom, RouterId src, RouterId dst,
+         const MeshDirOrder &order)
+{
+    std::vector<RouterId> path{ src };
+    for (MeshDir d : meshRoute(geom, src, dst, order))
+        path.push_back(geom.move(path.back(), d));
+    return path;
+}
+
+} // namespace anton2

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * On-chip direction-order local routing (Section 2.4).
+ *
+ * Direction-order algorithms specify the order in which packets traverse the
+ * mesh directions (U+, U-, V+, V-); they are deterministic and deadlock-free
+ * with a single VC. Anton 2 routes V-, then U+, then U-, then V+, the order
+ * selected by the worst-case load optimization in analysis/worst_case.
+ */
+#pragma once
+
+#include <vector>
+
+#include "topo/mesh.hpp"
+
+namespace anton2 {
+
+/**
+ * The next direction a packet at router @p here must take toward @p dst
+ * under direction order @p order, or no value if it has arrived.
+ */
+bool meshNextDir(const MeshGeom &geom, RouterId here, RouterId dst,
+                 const MeshDirOrder &order, MeshDir &out);
+
+/** Full hop list from @p src to @p dst under direction order @p order. */
+std::vector<MeshDir> meshRoute(const MeshGeom &geom, RouterId src,
+                               RouterId dst, const MeshDirOrder &order);
+
+/**
+ * The sequence of routers visited, inclusive of both endpoints, from @p src
+ * to @p dst under direction order @p order.
+ */
+std::vector<RouterId> meshPath(const MeshGeom &geom, RouterId src,
+                               RouterId dst, const MeshDirOrder &order);
+
+} // namespace anton2

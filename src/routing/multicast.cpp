@@ -1,0 +1,75 @@
+#include "routing/multicast.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace anton2 {
+
+McastTree
+buildMcastTree(const TorusGeom &geom, NodeId src,
+               const std::vector<McastDest> &dests, const DimOrder &order,
+               std::uint8_t slice, Rng &rng)
+{
+    McastTree tree;
+    tree.root = src;
+    tree.slice = slice;
+
+    // Direction ties (offset exactly k/2) are broken once per dimension
+    // for the WHOLE tree. With a fixed order and per-dimension tie
+    // directions, the dimension-order path from the source to any node is
+    // unique, so merged branches form a proper tree: no node is crossed by
+    // two different branches, which would make its forwarding-table entry
+    // duplicate deliveries.
+    std::vector<Dir> tie_dirs(static_cast<std::size_t>(geom.ndims()));
+    for (auto &d : tie_dirs)
+        d = rng.bit() ? Dir::Pos : Dir::Neg;
+
+    for (const auto &[dst_node, dst_ep] : dests) {
+        RouteSpec spec;
+        spec.order = order;
+        spec.slice = slice;
+        spec.dirs.assign(static_cast<std::size_t>(geom.ndims()), Dir::Pos);
+        const Coords cs = geom.coords(src);
+        const Coords cd = geom.coords(dst_node);
+        for (int d = 0; d < geom.ndims(); ++d) {
+            const auto dd = static_cast<std::size_t>(d);
+            const auto minimal = geom.minimalDirs(cs[dd], cd[dd], d);
+            if (minimal.size() == 1)
+                spec.dirs[dd] = minimal[0];
+            else if (minimal.size() == 2)
+                spec.dirs[dd] = tie_dirs[dd];
+        }
+        NodeId here = src;
+        for (const auto &hop : torusHops(geom, src, dst_node, spec)) {
+            auto &entry = tree.nodes[here];
+            const McastHop mh{ hop.dim, hop.dir };
+            if (std::find(entry.forward.begin(), entry.forward.end(), mh)
+                == entry.forward.end()) {
+                entry.forward.push_back(mh);
+            }
+            here = geom.neighbor(here, hop.dim, hop.dir);
+        }
+        auto &leaf = tree.nodes[here];
+        if (std::find(leaf.local.begin(), leaf.local.end(), dst_ep)
+            == leaf.local.end()) {
+            leaf.local.push_back(dst_ep);
+        }
+    }
+    return tree;
+}
+
+int
+unicastTorusHops(const TorusGeom &geom, NodeId src,
+                 const std::vector<McastDest> &dests)
+{
+    // One unicast per destination *endpoint*; copies to multiple endpoints
+    // within a node each pay the full inter-node distance (Section 2.3).
+    int total = 0;
+    for (const auto &[node, ep] : dests) {
+        (void)ep;
+        total += geom.hopDistance(src, node);
+    }
+    return total;
+}
+
+} // namespace anton2

@@ -1,0 +1,78 @@
+#include "routing/route.hpp"
+
+#include <cassert>
+
+namespace anton2 {
+
+RouteSpec
+makeRoute(const TorusGeom &geom, NodeId src, NodeId dst, DimOrder order,
+          std::uint8_t slice, Rng &rng)
+{
+    RouteSpec spec;
+    spec.order = std::move(order);
+    spec.slice = slice;
+    spec.dirs.assign(static_cast<std::size_t>(geom.ndims()), Dir::Pos);
+
+    const Coords cs = geom.coords(src);
+    const Coords cd = geom.coords(dst);
+    for (int d = 0; d < geom.ndims(); ++d) {
+        const auto dims = geom.minimalDirs(cs[static_cast<std::size_t>(d)],
+                                           cd[static_cast<std::size_t>(d)], d);
+        if (dims.empty())
+            continue;
+        const std::size_t pick =
+            dims.size() > 1 ? static_cast<std::size_t>(rng.bit()) : 0;
+        spec.dirs[static_cast<std::size_t>(d)] = dims[pick];
+    }
+    return spec;
+}
+
+RouteSpec
+randomRoute(const TorusGeom &geom, NodeId src, NodeId dst, Rng &rng)
+{
+    // Draw a uniformly random permutation of the dimensions (Fisher-Yates).
+    DimOrder order(static_cast<std::size_t>(geom.ndims()));
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    for (std::size_t i = order.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(rng.below(i));
+        std::swap(order[i - 1], order[j]);
+    }
+    const auto slice = static_cast<std::uint8_t>(rng.below(kNumSlices));
+    return makeRoute(geom, src, dst, std::move(order), slice, rng);
+}
+
+std::vector<TorusHop>
+torusHops(const TorusGeom &geom, NodeId src, NodeId dst,
+          const RouteSpec &spec)
+{
+    std::vector<TorusHop> hops;
+    const Coords cd = geom.coords(dst);
+    Coords c = geom.coords(src);
+    for (int d : spec.order) {
+        const auto dd = static_cast<std::size_t>(d);
+        const Dir dir = spec.dirs[dd];
+        while (c[dd] != cd[dd]) {
+            hops.push_back({ static_cast<std::uint8_t>(d), dir });
+            c[dd] = geom.neighborCoord(c[dd], d, dir);
+        }
+    }
+    assert(c == cd);
+    return hops;
+}
+
+int
+nextRouteDim(const TorusGeom &geom, NodeId here, NodeId dst,
+             const RouteSpec &spec)
+{
+    const Coords ch = geom.coords(here);
+    const Coords cd = geom.coords(dst);
+    for (int d : spec.order) {
+        const auto dd = static_cast<std::size_t>(d);
+        if (ch[dd] != cd[dd])
+            return d;
+    }
+    return -1;
+}
+
+} // namespace anton2

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Inter-node oblivious routing (Section 2.3).
+ *
+ * Unicast routes are minimal and dimension-ordered. Each packet is assigned
+ * a dimension order (any of the n! permutations), a torus slice (the network
+ * is channel-sliced with two physical channels per neighbor), and a travel
+ * direction for each dimension. Orders and slices are typically randomized
+ * at the source and are independent of network load.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "topo/torus.hpp"
+
+namespace anton2 {
+
+/** One inter-node hop: travel along @p dim in direction @p dir. */
+struct TorusHop
+{
+    std::uint8_t dim;
+    Dir dir;
+};
+
+/**
+ * The routing decision made at the source for one packet: dimension order,
+ * torus slice, and the direction of travel chosen for each dimension
+ * (relevant when the minimal direction is ambiguous, i.e. the offset is
+ * exactly k/2 on an even ring).
+ */
+struct RouteSpec
+{
+    DimOrder order;        ///< permutation of dimension indices
+    std::uint8_t slice;    ///< torus slice, in [0, kNumSlices)
+    std::vector<Dir> dirs; ///< chosen direction per dimension (indexed by dim)
+};
+
+/**
+ * Build a RouteSpec with the given order and slice, resolving direction ties
+ * with @p rng. Directions for dimensions needing no travel are set to Pos
+ * and never used.
+ */
+RouteSpec makeRoute(const TorusGeom &geom, NodeId src, NodeId dst,
+                    DimOrder order, std::uint8_t slice, Rng &rng);
+
+/** Fully randomized route: random dimension order, slice, and tie-breaks. */
+RouteSpec randomRoute(const TorusGeom &geom, NodeId src, NodeId dst, Rng &rng);
+
+/**
+ * Expand a RouteSpec into the exact sequence of inter-node hops from @p src
+ * to @p dst. Hops for one dimension are contiguous (dimension-order).
+ */
+std::vector<TorusHop> torusHops(const TorusGeom &geom, NodeId src, NodeId dst,
+                                const RouteSpec &spec);
+
+/**
+ * The next dimension (index into spec.order traversal) a packet at @p here
+ * must route in, or -1 if @p here == @p dst. Used for per-chip incremental
+ * route decisions.
+ */
+int nextRouteDim(const TorusGeom &geom, NodeId here, NodeId dst,
+                 const RouteSpec &spec);
+
+} // namespace anton2

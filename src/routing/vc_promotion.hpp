@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Virtual-channel promotion for deadlock avoidance (Section 2.5).
+ *
+ * For the dependency analysis, the network channels are divided into an
+ * M-group (the interior on-chip mesh channels) and a T-group (torus
+ * channels, skip channels, and router<->torus-adapter channels). All routes
+ * alternate between the groups: M, T (one torus dimension), M, T, ...
+ *
+ * The Anton 2 scheme increments a packet's VC only when it
+ *   1) crosses a dateline, or
+ *   2) finishes routing along a torus dimension in which it did not cross a
+ *      dateline,
+ * so the VC is incremented at most once per dimension and n+1 VCs suffice
+ * for an n-dimensional torus. The baseline scheme [Nesson & Johnsson, ROMM]
+ * uses a fresh dateline VC pair per dimension, requiring 2n T-group VCs.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace anton2 {
+
+/** Which deadlock-avoidance VC scheme to apply. */
+enum class VcPolicy : std::uint8_t
+{
+    Anton2,     ///< n+1 VCs per traffic class (Section 2.5)
+    Baseline2n, ///< 2n T-group VCs, n+1 M-group VCs [20]
+    NoDateline, ///< single VC, no dateline: negative control, NOT deadlock-free
+};
+
+constexpr const char *
+vcPolicyName(VcPolicy p)
+{
+    switch (p) {
+      case VcPolicy::Anton2: return "anton2";
+      case VcPolicy::Baseline2n: return "baseline2n";
+      case VcPolicy::NoDateline: return "no-dateline";
+    }
+    return "?";
+}
+
+/** Number of T-group VCs required per traffic class. */
+constexpr int
+numTorusVcs(VcPolicy p, int ndims)
+{
+    switch (p) {
+      case VcPolicy::Anton2: return ndims + 1;
+      case VcPolicy::Baseline2n: return 2 * ndims;
+      case VcPolicy::NoDateline: return 1;
+    }
+    return 1;
+}
+
+/** Number of M-group VCs required per traffic class. */
+constexpr int
+numMeshVcs(VcPolicy p, int ndims)
+{
+    switch (p) {
+      case VcPolicy::Anton2: return ndims + 1;
+      case VcPolicy::Baseline2n: return ndims + 1;
+      case VcPolicy::NoDateline: return 1;
+    }
+    return 1;
+}
+
+/**
+ * VCs a router / channel adapter must implement per traffic class: the
+ * larger of the two group requirements (both groups pass through the same
+ * buffers in the unified network).
+ */
+constexpr int
+numUnifiedVcs(VcPolicy p, int ndims)
+{
+    const int t = numTorusVcs(p, ndims);
+    const int m = numMeshVcs(p, ndims);
+    return t > m ? t : m;
+}
+
+/**
+ * Per-packet VC promotion state machine. Drives the VC used on every
+ * channel of a route; the same code runs in the cycle simulator, the
+ * analytic route tracer, and the deadlock checker, so all three agree by
+ * construction.
+ */
+class VcState
+{
+  public:
+    explicit VcState(VcPolicy policy) : policy_(policy) {}
+
+    /**
+     * VC to use on the next torus (T-group) hop, given whether that hop
+     * crosses the dateline. Call exactly once per hop, in route order;
+     * updates internal state.
+     */
+    std::uint8_t
+    onTorusHop(bool crosses_dateline)
+    {
+        if (crosses_dateline && policy_ != VcPolicy::NoDateline)
+            crossed_ = true;
+        return torusVc();
+    }
+
+    /**
+     * VC the next torus hop would use, without mutating state. Used for
+     * credit probing before a packet is granted the link.
+     */
+    std::uint8_t
+    peekTorusHop(bool crosses_dateline) const
+    {
+        VcState copy = *this;
+        return copy.onTorusHop(crosses_dateline);
+    }
+
+    /**
+     * Record the completion of routing along one torus dimension (called
+     * only for dimensions in which the packet actually traveled).
+     */
+    void
+    onDimComplete()
+    {
+        ++dims_completed_;
+        crossed_ = false;
+    }
+
+    /** VC for T-group channels at the current point in the route. */
+    std::uint8_t
+    torusVc() const
+    {
+        switch (policy_) {
+          case VcPolicy::Anton2:
+            return static_cast<std::uint8_t>(dims_completed_
+                                             + (crossed_ ? 1 : 0));
+          case VcPolicy::Baseline2n:
+            return static_cast<std::uint8_t>(2 * dims_completed_
+                                             + (crossed_ ? 1 : 0));
+          case VcPolicy::NoDateline:
+            return 0;
+        }
+        return 0;
+    }
+
+    /** VC for M-group channels at the current point in the route. */
+    std::uint8_t
+    meshVc() const
+    {
+        switch (policy_) {
+          case VcPolicy::Anton2:
+            return static_cast<std::uint8_t>(dims_completed_
+                                             + (crossed_ ? 1 : 0));
+          case VcPolicy::Baseline2n:
+            return static_cast<std::uint8_t>(dims_completed_);
+          case VcPolicy::NoDateline:
+            return 0;
+        }
+        return 0;
+    }
+
+    int dimsCompleted() const { return dims_completed_; }
+    bool crossedInCurrentDim() const { return crossed_; }
+    VcPolicy policy() const { return policy_; }
+
+  private:
+    VcPolicy policy_;
+    std::uint8_t dims_completed_ = 0;
+    bool crossed_ = false;
+};
+
+} // namespace anton2

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Base class for cycle-evaluated hardware components.
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/types.hpp"
+
+namespace anton2 {
+
+/**
+ * A hardware block evaluated once per clock cycle by the Engine.
+ *
+ * Components communicate exclusively through Wire<T> delay lines, so the
+ * relative evaluation order of components within a cycle is unobservable.
+ */
+class Component
+{
+  public:
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Evaluate one clock cycle at time @p now. */
+    virtual void tick(Cycle now) = 0;
+
+    /**
+     * True while the component holds buffered state that still needs clock
+     * cycles to drain (used for quiescence detection).
+     */
+    virtual bool busy() const { return false; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace anton2

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The cycle-driven simulation engine.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace anton2 {
+
+/**
+ * Steps a fixed set of components through synchronous clock cycles.
+ *
+ * The engine owns neither the components nor the wires; assemblies (Chip,
+ * Machine) own their parts and register them here. Registration order is
+ * irrelevant to simulation results because all communication is through
+ * latency >= 1 wires.
+ */
+class Engine
+{
+  public:
+    /** Register a component to be ticked every cycle. */
+    void
+    add(Component &c)
+    {
+        components_.push_back(&c);
+    }
+
+    /** Current simulation time in cycles. */
+    Cycle now() const { return now_; }
+
+    /** Advance the simulation by @p cycles clock cycles. */
+    void
+    run(Cycle cycles)
+    {
+        const Cycle end = now_ + cycles;
+        while (now_ < end)
+            step();
+    }
+
+    /** Advance one clock cycle. */
+    void
+    step()
+    {
+        for (auto *c : components_)
+            c->tick(now_);
+        ++now_;
+    }
+
+    /**
+     * Run until @p done returns true (checked once per cycle) or until
+     * @p max_cycles have elapsed. Returns true if the predicate fired.
+     */
+    bool
+    runUntil(const std::function<bool()> &done, Cycle max_cycles)
+    {
+        const Cycle end = now_ + max_cycles;
+        while (now_ < end) {
+            if (done())
+                return true;
+            step();
+        }
+        return done();
+    }
+
+    /** True if any registered component reports buffered work. */
+    bool
+    busy() const
+    {
+        for (const auto *c : components_) {
+            if (c->busy())
+                return true;
+        }
+        return false;
+    }
+
+    std::size_t componentCount() const { return components_.size(); }
+
+  private:
+    std::vector<Component *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace anton2

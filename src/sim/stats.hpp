@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used throughout the simulator.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace anton2 {
+
+/**
+ * Streaming scalar statistic: count, sum, min, max, mean, and variance
+ * (Welford's algorithm, numerically stable).
+ */
+class ScalarStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++count_;
+        sum_ += x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    void
+    reset()
+    {
+        *this = ScalarStat{};
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over [0, bins*width), with an overflow bin for samples
+ * beyond the range.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::size_t bins, double width)
+        : width_(width), counts_(bins + 1, 0)
+    {
+    }
+
+    void
+    add(double x)
+    {
+        stat_.add(x);
+        auto idx = static_cast<std::size_t>(x / width_);
+        if (idx >= counts_.size() - 1)
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+    const ScalarStat &stat() const { return stat_; }
+    double binWidth() const { return width_; }
+
+    /** Approximate p-quantile (q in [0,1]) from the binned counts. */
+    double
+    quantile(double q) const
+    {
+        const auto total = stat_.count();
+        if (total == 0)
+            return 0.0;
+        const auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(total));
+        std::uint64_t running = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            running += counts_[i];
+            if (running > target)
+                return (static_cast<double>(i) + 0.5) * width_;
+        }
+        return stat_.max();
+    }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    ScalarStat stat_;
+};
+
+/**
+ * Ordinary least-squares fit of y = a + b*x. Used to reproduce the paper's
+ * latency fit (Figure 11: 80.7 ns + 39.1 ns/hop).
+ */
+struct LinearFit
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r2 = 0.0;
+
+    static LinearFit
+    fit(const std::vector<double> &xs, const std::vector<double> &ys)
+    {
+        LinearFit f;
+        const auto n = static_cast<double>(xs.size());
+        if (xs.size() < 2 || xs.size() != ys.size())
+            return f;
+        double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            sx += xs[i];
+            sy += ys[i];
+            sxx += xs[i] * xs[i];
+            sxy += xs[i] * ys[i];
+            syy += ys[i] * ys[i];
+        }
+        const double denom = n * sxx - sx * sx;
+        if (denom == 0.0)
+            return f;
+        f.slope = (n * sxy - sx * sy) / denom;
+        f.intercept = (sy - f.slope * sx) / n;
+        const double ssTot = syy - sy * sy / n;
+        double ssRes = 0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+            ssRes += e * e;
+        }
+        f.r2 = ssTot > 0 ? 1.0 - ssRes / ssTot : 1.0;
+        return f;
+    }
+};
+
+} // namespace anton2

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by the whole simulator.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace anton2 {
+
+/** Simulation time, in core clock cycles (1.5 GHz in the Anton 2 ASIC). */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not yet happened". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/** Core clock frequency of the Anton 2 ASIC, in Hz (Section 2.2). */
+inline constexpr double kCoreClockHz = 1.5e9;
+
+/** Duration of one core clock cycle, in nanoseconds. */
+inline constexpr double kNsPerCycle = 1e9 / kCoreClockHz;
+
+/** Convert a cycle count to nanoseconds at the core clock. */
+constexpr double
+cyclesToNs(Cycle c)
+{
+    return static_cast<double>(c) * kNsPerCycle;
+}
+
+/** Convert a (real, non-negative) nanosecond figure to whole cycles, rounding up. */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    const auto exact = ns / kNsPerCycle;
+    auto c = static_cast<Cycle>(exact);
+    if (static_cast<double>(c) < exact)
+        ++c;
+    return c;
+}
+
+} // namespace anton2

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fixed-latency, single-value-per-cycle communication channels.
+ *
+ * All inter-component communication in the simulator flows through Wire<T>
+ * delay lines with latency >= 1 cycle. Because a value sent at cycle t is
+ * visible no earlier than cycle t+1, components may be evaluated in any
+ * order within a cycle and the simulation remains deterministic.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace anton2 {
+
+/**
+ * A unidirectional delay line carrying at most one value of type T per
+ * cycle. Values sent at cycle t are receivable exactly at cycle t+latency.
+ *
+ * Implemented as a ring buffer of optional slots indexed by delivery cycle.
+ */
+template <typename T>
+class Wire
+{
+  public:
+    /** @param latency Delivery delay in cycles; must be >= 1. */
+    explicit Wire(Cycle latency = 1)
+        : latency_(latency),
+          slots_(ringSize(latency)),
+          deliver_at_(ringSize(latency), kNoCycle)
+    {
+        assert(latency >= 1 && "zero-latency wires would make evaluation "
+                               "order-dependent");
+    }
+
+    Cycle latency() const { return latency_; }
+
+    /**
+     * Send a value at cycle @p now; it becomes visible at now+latency.
+     * At most one value may be sent per cycle.
+     */
+    void
+    send(Cycle now, T value)
+    {
+        const std::size_t i = index(now + latency_);
+        assert(!slots_[i].has_value() && "wire driven twice in one cycle");
+        slots_[i] = std::move(value);
+        deliver_at_[i] = now + latency_;
+    }
+
+    /** True if a value is deliverable at cycle @p now. */
+    bool
+    pending(Cycle now) const
+    {
+        const std::size_t i = index(now);
+        // The delivery-cycle tag prevents reading a value early when a
+        // receiver was not polling on earlier cycles (slot aliasing).
+        return slots_[i].has_value() && deliver_at_[i] == now;
+    }
+
+    /** Consume and return the value deliverable at cycle @p now, if any. */
+    std::optional<T>
+    take(Cycle now)
+    {
+        const std::size_t i = index(now);
+        if (!slots_[i].has_value() || deliver_at_[i] != now)
+            return std::nullopt;
+        std::optional<T> out = std::move(slots_[i]);
+        slots_[i].reset();
+        return out;
+    }
+
+    /**
+     * True if any value is still in flight anywhere in the delay line.
+     * Used for quiescence detection; O(latency).
+     */
+    bool
+    busy() const
+    {
+        for (const auto &slot : slots_) {
+            if (slot.has_value())
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    static std::size_t
+    ringSize(Cycle latency)
+    {
+        // One slot per in-flight cycle plus the current one.
+        return static_cast<std::size_t>(latency) + 1;
+    }
+
+    std::size_t
+    index(Cycle c) const
+    {
+        return static_cast<std::size_t>(c % slots_.size());
+    }
+
+    Cycle latency_;
+    std::vector<std::optional<T>> slots_;
+    std::vector<Cycle> deliver_at_;
+};
+
+} // namespace anton2

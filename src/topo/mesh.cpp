@@ -1,0 +1,20 @@
+#include "topo/mesh.hpp"
+
+#include <algorithm>
+
+namespace anton2 {
+
+std::vector<MeshDirOrder>
+allMeshDirOrders()
+{
+    MeshDirOrder order = { MeshDir::UPos, MeshDir::UNeg, MeshDir::VPos,
+                           MeshDir::VNeg };
+    std::sort(order.begin(), order.end());
+    std::vector<MeshDirOrder> out;
+    do {
+        out.push_back(order);
+    } while (std::next_permutation(order.begin(), order.end()));
+    return out;
+}
+
+} // namespace anton2

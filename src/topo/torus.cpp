@@ -1,0 +1,20 @@
+#include "topo/torus.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace anton2 {
+
+std::vector<DimOrder>
+allDimOrders(int ndims)
+{
+    DimOrder order(static_cast<std::size_t>(ndims));
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<DimOrder> out;
+    do {
+        out.push_back(order);
+    } while (std::next_permutation(order.begin(), order.end()));
+    return out;
+}
+
+} // namespace anton2

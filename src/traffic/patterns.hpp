@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Synthetic traffic patterns (Sections 4.1, 4.2).
+ *
+ *  - Uniform random: any destination node, no locality.
+ *  - n-hop neighbor [Agarwal]: destination at most n hops away along each
+ *    dimension of the torus.
+ *  - Tornado / reverse tornado [Singh et al.]: node (x,y,z) sends to
+ *    (x +- (k_X/2 - 1), y +- (k_Y/2 - 1), z +- (k_Z/2 - 1)) - adversarial,
+ *    maximally non-local permutations used for the pattern-blending
+ *    experiment (Figure 10).
+ *  - Bit complement and explicit permutations for the analysis tools.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "topo/torus.hpp"
+
+namespace anton2 {
+
+/** Maps a source node to a destination node, possibly stochastically. */
+class TrafficPattern
+{
+  public:
+    explicit TrafficPattern(const TorusGeom &geom) : geom_(geom) {}
+    virtual ~TrafficPattern() = default;
+
+    TrafficPattern(const TrafficPattern &) = delete;
+    TrafficPattern &operator=(const TrafficPattern &) = delete;
+
+    /** Draw a destination for a packet from @p src. */
+    virtual NodeId dest(NodeId src, Rng &rng) const = 0;
+
+    virtual std::string name() const = 0;
+
+    const TorusGeom &geom() const { return geom_; }
+
+  protected:
+    const TorusGeom &geom_;
+};
+
+/** Uniform random over all nodes except the source. */
+class UniformPattern : public TrafficPattern
+{
+  public:
+    using TrafficPattern::TrafficPattern;
+
+    NodeId
+    dest(NodeId src, Rng &rng) const override
+    {
+        // Uniform over the other numNodes()-1 nodes.
+        auto d = static_cast<NodeId>(rng.below(geom_.numNodes() - 1));
+        return d >= src ? d + 1 : d;
+    }
+
+    std::string name() const override { return "uniform"; }
+};
+
+/**
+ * n-hop neighbor traffic: per-dimension offset uniform in [-n, n], with the
+ * all-zero offset (self) redrawn.
+ */
+class NHopNeighborPattern : public TrafficPattern
+{
+  public:
+    NHopNeighborPattern(const TorusGeom &geom, int n)
+        : TrafficPattern(geom), n_(n)
+    {
+    }
+
+    NodeId
+    dest(NodeId src, Rng &rng) const override
+    {
+        Coords c = geom_.coords(src);
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            Coords d = c;
+            bool moved = false;
+            for (int dim = 0; dim < geom_.ndims(); ++dim) {
+                const int k = geom_.radix(dim);
+                const int off = static_cast<int>(rng.range(-n_, n_));
+                moved |= (off != 0);
+                d[static_cast<std::size_t>(dim)] =
+                    ((c[static_cast<std::size_t>(dim)] + off) % k + k) % k;
+            }
+            if (moved && geom_.id(d) != src)
+                return geom_.id(d);
+        }
+        return geom_.neighbor(src, 0, Dir::Pos);
+    }
+
+    std::string name() const override
+    {
+        return std::to_string(n_) + "-hop-neighbor";
+    }
+
+  private:
+    int n_;
+};
+
+/** Tornado: (x,y,z) -> (x + kx/2 - 1, y + ky/2 - 1, z + kz/2 - 1). */
+class TornadoPattern : public TrafficPattern
+{
+  public:
+    TornadoPattern(const TorusGeom &geom, bool reverse = false)
+        : TrafficPattern(geom), reverse_(reverse)
+    {
+    }
+
+    NodeId
+    dest(NodeId src, Rng &) const override
+    {
+        Coords c = geom_.coords(src);
+        for (int dim = 0; dim < geom_.ndims(); ++dim) {
+            const int k = geom_.radix(dim);
+            const int off = k / 2 - 1;
+            const int signed_off = reverse_ ? -off : off;
+            c[static_cast<std::size_t>(dim)] =
+                ((c[static_cast<std::size_t>(dim)] + signed_off) % k + k)
+                % k;
+        }
+        return geom_.id(c);
+    }
+
+    std::string name() const override
+    {
+        return reverse_ ? "reverse-tornado" : "tornado";
+    }
+
+  private:
+    bool reverse_;
+};
+
+/** Bit complement: every coordinate c -> k-1-c. */
+class BitComplementPattern : public TrafficPattern
+{
+  public:
+    using TrafficPattern::TrafficPattern;
+
+    NodeId
+    dest(NodeId src, Rng &) const override
+    {
+        Coords c = geom_.coords(src);
+        for (int dim = 0; dim < geom_.ndims(); ++dim) {
+            c[static_cast<std::size_t>(dim)] =
+                geom_.radix(dim) - 1 - c[static_cast<std::size_t>(dim)];
+        }
+        return geom_.id(c);
+    }
+
+    std::string name() const override { return "bit-complement"; }
+};
+
+/** Explicit permutation (node -> node table). */
+class PermutationPattern : public TrafficPattern
+{
+  public:
+    PermutationPattern(const TorusGeom &geom, std::vector<NodeId> map)
+        : TrafficPattern(geom), map_(std::move(map))
+    {
+    }
+
+    NodeId
+    dest(NodeId src, Rng &) const override
+    {
+        return map_[src];
+    }
+
+    std::string name() const override { return "permutation"; }
+
+  private:
+    std::vector<NodeId> map_;
+};
+
+} // namespace anton2

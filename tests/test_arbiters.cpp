@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests for the arbiter library (Section 3): baselines, the gate-level
+ * Figure 8 prioritized arbiter, and the Figure 6 inverse-weighted
+ * accumulators, including the equality-of-service property under pattern
+ * blending.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arb/basic_arbiters.hpp"
+#include "arb/inverse_weighted.hpp"
+#include "arb/priority_arb.hpp"
+#include "sim/rng.hpp"
+
+namespace anton2 {
+namespace {
+
+TEST(FixedPriority, GrantsLowestIndex)
+{
+    FixedPriorityArbiter arb(6);
+    EXPECT_EQ(arb.pick(0b101000, nullptr), 3);
+    EXPECT_EQ(arb.pick(0b000001, nullptr), 0);
+    EXPECT_EQ(arb.pick(0, nullptr), -1);
+}
+
+TEST(RoundRobin, RotatesThroughAllRequesters)
+{
+    RoundRobinArbiter arb(4);
+    const std::uint32_t all = 0b1111;
+    std::vector<int> grants;
+    for (int i = 0; i < 8; ++i)
+        grants.push_back(arb.pick(all, nullptr));
+    // Each input granted exactly twice in 8 rounds.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(std::count(grants.begin(), grants.end(), i), 2);
+}
+
+TEST(RoundRobin, SkipsNonRequesters)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.pick(0b0100, nullptr), 2);
+    EXPECT_EQ(arb.pick(0b0101, nullptr), 0); // pointer past 2
+    EXPECT_EQ(arb.pick(0b0101, nullptr), 2);
+}
+
+TEST(RoundRobin, EmptyRequestReturnsMinusOne)
+{
+    RoundRobinArbiter arb(3);
+    EXPECT_EQ(arb.pick(0, nullptr), -1);
+}
+
+TEST(AgeBased, GrantsOldest)
+{
+    AgeBasedArbiter arb(3);
+    ReqInfo info[3];
+    info[0].age = 30;
+    info[1].age = 10;
+    info[2].age = 20;
+    EXPECT_EQ(arb.pick(0b111, info), 1);
+    EXPECT_EQ(arb.pick(0b101, info), 2);
+}
+
+// ---------------------------------------------------------------------
+// Figure 8 gate-level arbiter vs. reference model
+// ---------------------------------------------------------------------
+
+/** Exhaustive equivalence sweep over (k, P). */
+class GateLevelSweep : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(GateLevelSweep, MatchesReferenceExhaustively)
+{
+    const auto [k, p] = GetParam();
+    const GateLevelPriorityArb arb(k, p);
+    std::vector<std::uint8_t> pri(static_cast<std::size_t>(k));
+
+    // All request masks x a sample of priority assignments x all valid
+    // thermometer states (k+1 of them).
+    Rng rng(static_cast<std::uint64_t>(k * 31 + p));
+    for (std::uint32_t req = 0; req < (1u << k); ++req) {
+        for (int pcase = 0; pcase < 8; ++pcase) {
+            for (int i = 0; i < k; ++i)
+                pri[static_cast<std::size_t>(i)] =
+                    static_cast<std::uint8_t>(rng.below(
+                        static_cast<std::uint64_t>(p)));
+            for (int boost = 0; boost <= k; ++boost) {
+                const std::uint32_t therm = (1u << boost) - 1u;
+                const std::uint32_t g = arb.grant(req, pri.data(), therm);
+                const int ref = priorityArbReference(k, p, req, pri.data(),
+                                                     therm);
+                if (req == 0) {
+                    EXPECT_EQ(g, 0u);
+                    EXPECT_EQ(ref, -1);
+                } else {
+                    ASSERT_NE(g, 0u);
+                    EXPECT_EQ(g & (g - 1), 0u) << "grant must be one-hot";
+                    EXPECT_EQ(g, 1u << ref)
+                        << "k=" << k << " p=" << p << " req=" << req
+                        << " therm=" << therm;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GateLevelSweep,
+    ::testing::Values(std::tuple{ 2, 2 }, std::tuple{ 3, 2 },
+                      std::tuple{ 4, 2 }, std::tuple{ 5, 2 },
+                      std::tuple{ 6, 2 }, std::tuple{ 7, 2 },
+                      std::tuple{ 6, 1 }, std::tuple{ 6, 3 },
+                      std::tuple{ 4, 4 }, std::tuple{ 8, 2 }),
+    [](const auto &info) {
+        return "k" + std::to_string(std::get<0>(info.param)) + "p"
+               + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GateLevel, SingleInputAlwaysGranted)
+{
+    const GateLevelPriorityArb arb(1, 2);
+    const std::uint8_t pri = 0;
+    EXPECT_EQ(arb.grant(1, &pri, 0), 1u);
+    EXPECT_EQ(arb.grant(0, &pri, 0), 0u);
+}
+
+TEST(GateLevel, HighPriorityBeatsLowPriority)
+{
+    const GateLevelPriorityArb arb(4, 2);
+    const std::uint8_t pri[4] = { 0, 1, 0, 0 };
+    // No boosts: input 1 (high priority) must win over 0, 2, 3.
+    EXPECT_EQ(arb.grant(0b1111, pri, 0), 0b0010u);
+}
+
+TEST(GateLevel, BoostedLowPriorityTiesWithUnboostedHigh)
+{
+    // Figure 7's merged middle band: (low pri, boosted) and (high pri,
+    // unboosted) share a band; the higher index wins within the band.
+    const GateLevelPriorityArb arb(4, 2);
+    const std::uint8_t pri[4] = { 0, 0, 0, 1 };
+    // Input 0 boosted low-pri, input 3 unboosted high-pri: same band,
+    // index 3 wins.
+    EXPECT_EQ(arb.grant(0b1001, pri, 0b0001), 0b1000u);
+    // But a boosted high-pri input beats both.
+    const std::uint8_t pri2[4] = { 1, 0, 0, 1 };
+    EXPECT_EQ(arb.grant(0b1001, pri2, 0b0001), 0b0001u);
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 accumulators
+// ---------------------------------------------------------------------
+
+TEST(Accumulators, GrantAddsInverseWeight)
+{
+    InvWeightAccumulators acc(2, 5, 1);
+    acc.setWeight(0, 0, 7);
+    acc.setWeight(1, 0, 3);
+    acc.onGrant(0, 0);
+    EXPECT_EQ(acc.accumulator(0), 7u);
+    EXPECT_EQ(acc.accumulator(1), 0u);
+    acc.onGrant(0, 0);
+    EXPECT_EQ(acc.accumulator(0), 14u);
+}
+
+TEST(Accumulators, PriorityBitIsAccumulatorMsb)
+{
+    InvWeightAccumulators acc(1, 3, 1); // M=3: window halves at 8
+    acc.setWeight(0, 0, 7);
+    EXPECT_TRUE(acc.highPriority(0));
+    acc.onGrant(0, 0); // 7
+    EXPECT_TRUE(acc.highPriority(0));
+    acc.onGrant(0, 0); // 7 (msb cleared... 7 < 8 so stays) + 7 = 14
+    EXPECT_FALSE(acc.highPriority(0));
+}
+
+TEST(Accumulators, WindowShiftOnLowPriorityGrant)
+{
+    InvWeightAccumulators acc(2, 3, 1);
+    acc.setWeight(0, 0, 7);
+    acc.setWeight(1, 0, 2);
+    // Drive input 0 into the upper half of the window.
+    acc.onGrant(0, 0); // 7
+    acc.onGrant(0, 0); // 14 -> low priority
+    EXPECT_FALSE(acc.highPriority(0));
+    // Build some history on input 1.
+    acc.onGrant(1, 0); // 2
+    EXPECT_EQ(acc.accumulator(1), 2u);
+    // Granting low-priority input 0 shifts the window by 2^M = 8:
+    // input 0: (14 - 8) + 7 = 13; input 1: high priority -> clamps to 0.
+    acc.onGrant(0, 0);
+    EXPECT_EQ(acc.accumulator(0), 13u);
+    EXPECT_EQ(acc.accumulator(1), 0u);
+}
+
+TEST(Accumulators, UnderflowClampsToZero)
+{
+    InvWeightAccumulators acc(2, 3, 1);
+    acc.setWeight(0, 0, 7);
+    acc.setWeight(1, 0, 1);
+    acc.onGrant(1, 0); // input 1 at 1 (high priority)
+    acc.onGrant(0, 0); // 7
+    acc.onGrant(0, 0); // 14: low pri
+    acc.onGrant(0, 0); // low grant: window shifts; input 1: 1 - 8 -> 0
+    EXPECT_EQ(acc.accumulator(1), 0u);
+}
+
+TEST(Accumulators, BoundedByTwiceWindow)
+{
+    InvWeightAccumulators acc(3, 5, 2);
+    acc.setWeight(0, 0, 31);
+    acc.setWeight(0, 1, 1);
+    acc.setWeight(1, 0, 16);
+    acc.setWeight(1, 1, 16);
+    acc.setWeight(2, 0, 1);
+    acc.setWeight(2, 1, 31);
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        acc.onGrant(static_cast<int>(rng.below(3)),
+                    static_cast<int>(rng.below(2)));
+        for (int j = 0; j < 3; ++j)
+            EXPECT_LT(acc.accumulator(j), 64u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Equality of service (Section 3.1-3.2)
+// ---------------------------------------------------------------------
+
+/**
+ * Saturated-arbiter service shares: with all inputs continuously
+ * requesting, grants must divide in proportion to the programmed loads.
+ */
+class EosSweep
+    : public ::testing::TestWithParam<std::vector<double>>
+{
+};
+
+TEST_P(EosSweep, ServiceProportionalToLoad)
+{
+    const auto loads = GetParam();
+    const int k = static_cast<int>(loads.size());
+    InverseWeightedArbiter arb(k);
+    // Build single-pattern weights directly from the parameter loads.
+    std::vector<std::vector<double>> mat(loads.size());
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        mat[i] = { loads[i] };
+    const auto w = inverseWeightsFromLoads(mat, 5);
+    for (int i = 0; i < k; ++i)
+        arb.accumulators().setWeight(i, 0, w[static_cast<std::size_t>(i)][0]);
+
+    std::vector<ReqInfo> info(static_cast<std::size_t>(k));
+    std::vector<int> grants(static_cast<std::size_t>(k), 0);
+    const std::uint32_t all = (1u << k) - 1;
+    const int rounds = 200000;
+    for (int t = 0; t < rounds; ++t) {
+        const int g = arb.pick(all, info.data());
+        ASSERT_GE(g, 0);
+        ++grants[static_cast<std::size_t>(g)];
+    }
+
+    double total_load = 0;
+    for (double g : loads)
+        total_load += g;
+    for (int i = 0; i < k; ++i) {
+        const double expected = loads[static_cast<std::size_t>(i)]
+                                / total_load;
+        const double measured =
+            static_cast<double>(grants[static_cast<std::size_t>(i)]) / rounds;
+        // Within 6% relative (the integer weights are 5-bit approximations).
+        EXPECT_NEAR(measured, expected, expected * 0.06 + 0.002)
+            << "input " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadShapes, EosSweep,
+    ::testing::Values(std::vector<double>{ 1.0, 1.0 },
+                      std::vector<double>{ 1.0, 0.5 },
+                      std::vector<double>{ 1.0, 2.0, 3.0 },
+                      std::vector<double>{ 0.5, 1.0, 1.5, 2.0 },
+                      std::vector<double>{ 4.0, 1.0, 1.0, 1.0, 1.0 },
+                      std::vector<double>{ 1.0, 1.0, 1.0, 1.0, 1.0, 6.0 }));
+
+TEST(Eos, Figure5Example)
+{
+    // Figure 5: at arbiter A, input 0 carries load 1 and input 1 load 0.5,
+    // so input 0 must be granted twice as often.
+    InverseWeightedArbiter arb(2);
+    const auto w = inverseWeightsFromLoads({ { 1.0 }, { 0.5 } }, 5);
+    arb.accumulators().setWeight(0, 0, w[0][0]);
+    arb.accumulators().setWeight(1, 0, w[1][0]);
+    ReqInfo info[2];
+    int grants[2] = { 0, 0 };
+    for (int t = 0; t < 30000; ++t)
+        ++grants[arb.pick(0b11, info)];
+    EXPECT_NEAR(static_cast<double>(grants[0]) / grants[1], 2.0, 0.1);
+}
+
+TEST(Eos, BlendedPatternsPreserveProportionality)
+{
+    // Two diametrically opposed patterns: input 0 heavy in pattern 0,
+    // input 1 heavy in pattern 1. Blend the offered pattern ids and check
+    // service stays proportional to the blended load (Section 3.2): the
+    // accumulator tracks sum s_{i,n}/gamma_{i,n} without knowing the blend.
+    for (double alpha : { 0.0, 0.25, 0.5, 0.75, 1.0 }) {
+        InverseWeightedArbiter arb(2);
+        const std::vector<std::vector<double>> loads = { { 3.0, 1.0 },
+                                                         { 1.0, 3.0 } };
+        const auto w = inverseWeightsFromLoads(loads, 5);
+        for (int i = 0; i < 2; ++i) {
+            for (int n = 0; n < 2; ++n) {
+                arb.accumulators().setWeight(
+                    i, n, w[static_cast<std::size_t>(i)]
+                           [static_cast<std::size_t>(n)]);
+            }
+        }
+
+        // Each input's request stream carries pattern ids in proportion to
+        // the pattern's contribution to that input's blended load (eq. 5).
+        const double g0 = alpha * loads[0][0] + (1 - alpha) * loads[0][1];
+        const double g1 = alpha * loads[1][0] + (1 - alpha) * loads[1][1];
+        Rng rng(17);
+        ReqInfo info[2];
+        int grants[2] = { 0, 0 };
+        const int rounds = 200000;
+        for (int t = 0; t < rounds; ++t) {
+            info[0].pattern =
+                rng.chance(alpha * loads[0][0] / g0) ? 0 : 1;
+            info[1].pattern =
+                rng.chance(alpha * loads[1][0] / g1) ? 0 : 1;
+            ++grants[arb.pick(0b11, info)];
+        }
+        const double expected = g0 / (g0 + g1);
+        const double measured = static_cast<double>(grants[0]) / rounds;
+        EXPECT_NEAR(measured, expected, 0.03) << "alpha=" << alpha;
+    }
+}
+
+TEST(InverseWeights, ComputedFromLoads)
+{
+    const auto w = inverseWeightsFromLoads({ { 1.0 }, { 0.5 }, { 0.25 } }, 5);
+    // Lightest load maps to the max weight 31; ratios preserved.
+    EXPECT_EQ(w[2][0], 31u);
+    EXPECT_NEAR(static_cast<double>(w[1][0]), 15.5, 1.0);
+    EXPECT_NEAR(static_cast<double>(w[0][0]), 7.75, 1.0);
+}
+
+TEST(InverseWeights, ZeroLoadGetsMaxWeight)
+{
+    const auto w = inverseWeightsFromLoads({ { 1.0 }, { 0.0 } }, 5);
+    EXPECT_EQ(w[1][0], 31u);
+}
+
+TEST(InverseWeights, AlwaysInValidRange)
+{
+    const auto w = inverseWeightsFromLoads(
+        { { 1000.0 }, { 0.001 }, { 1.0 } }, 5);
+    for (const auto &row : w) {
+        EXPECT_GE(row[0], 1u);
+        EXPECT_LE(row[0], 31u);
+    }
+}
+
+} // namespace
+} // namespace anton2

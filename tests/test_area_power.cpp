@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the area model (Tables 1-2, the VC ablation of Section 2.5)
+ * and the energy accounting/fit machinery (Section 4.5).
+ */
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+#include "power/energy.hpp"
+#include "power/fit.hpp"
+#include "sim/rng.hpp"
+
+namespace anton2 {
+namespace {
+
+TEST(AreaModel, ReferenceReproducesTable1)
+{
+    const AreaModel model;
+    const auto &ref = model.reference();
+    EXPECT_NEAR(ref.componentTotal(NetComponent::Router), 3.4, 0.15);
+    EXPECT_NEAR(ref.componentTotal(NetComponent::Endpoint), 1.1, 0.15);
+    EXPECT_NEAR(ref.componentTotal(NetComponent::Channel), 4.7, 0.15);
+    EXPECT_LT(ref.networkTotal(), 10.0); // "less than 10% of the die"
+}
+
+TEST(AreaModel, ReferenceReproducesTable2Categories)
+{
+    const AreaModel model;
+    const auto &ref = model.reference();
+    const double net = ref.networkTotal();
+    // Table 2 is in % of network area.
+    EXPECT_NEAR(ref.categoryTotal(AreaCategory::Queues) / net * 100, 46.6,
+                0.5);
+    EXPECT_NEAR(ref.categoryTotal(AreaCategory::Reduction) / net * 100,
+                9.6, 0.3);
+    EXPECT_NEAR(ref.categoryTotal(AreaCategory::Link) / net * 100, 8.9,
+                0.3);
+    EXPECT_NEAR(ref.categoryTotal(AreaCategory::Arbiters) / net * 100, 5.4,
+                0.3);
+    EXPECT_NEAR(ref.categoryTotal(AreaCategory::Multicast) / net * 100,
+                5.7, 0.3);
+}
+
+TEST(AreaModel, EvaluateAtReferenceMatchesReference)
+{
+    const AreaModel model;
+    const auto eval = model.evaluate(AreaModel::referenceSpec());
+    for (int c = 0; c < kNumNetComponents; ++c) {
+        for (int cat = 0; cat < kNumAreaCategories; ++cat) {
+            EXPECT_NEAR(eval.pct[static_cast<std::size_t>(c)]
+                                [static_cast<std::size_t>(cat)],
+                        model.reference()
+                            .pct[static_cast<std::size_t>(c)]
+                                [static_cast<std::size_t>(cat)],
+                        1e-9);
+        }
+    }
+}
+
+TEST(AreaModel, Baseline2nVcsGrowQueueAreaByHalf)
+{
+    const AreaModel model;
+    const auto anton2 = model.evaluate(NetworkSpec::forPolicy(
+        VcPolicy::Anton2));
+    const auto baseline = model.evaluate(NetworkSpec::forPolicy(
+        VcPolicy::Baseline2n));
+
+    // 12 VCs vs 8 VCs: router and channel queue area scales by 1.5; the
+    // abstract's "reduces the number of VCs by one-third" in reverse.
+    const auto r = static_cast<std::size_t>(NetComponent::Router);
+    const auto q = static_cast<std::size_t>(AreaCategory::Queues);
+    EXPECT_NEAR(baseline.pct[r][q] / anton2.pct[r][q], 1.5, 1e-9);
+
+    // Queues are ~47% of network area, so total network area grows
+    // substantially.
+    EXPECT_GT(baseline.networkTotal(), anton2.networkTotal() * 1.15);
+}
+
+TEST(AreaModel, DeeperBuffersGrowOnlyQueues)
+{
+    const AreaModel model;
+    NetworkSpec deep = AreaModel::referenceSpec();
+    deep.buf_flits *= 2;
+    const auto eval = model.evaluate(deep);
+    const auto &ref = model.reference();
+    EXPECT_NEAR(eval.categoryTotal(AreaCategory::Queues),
+                ref.categoryTotal(AreaCategory::Queues) * 2.0, 1e-9);
+    EXPECT_NEAR(eval.categoryTotal(AreaCategory::Link),
+                ref.categoryTotal(AreaCategory::Link), 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Energy accounting (Section 4.5)
+// ---------------------------------------------------------------------
+
+TEST(EnergyMeter, ChargesFixedEnergyPerFlit)
+{
+    RouterEnergyMeter meter(2);
+    const FlitPayload zero{};
+    meter.onFlit(0, zero, 10);
+    // First flit on a port: activation + flit energy, no flips.
+    EXPECT_DOUBLE_EQ(meter.totalPj(), 42.7 + 34.4);
+    meter.onFlit(0, zero, 11); // back-to-back: no activation
+    EXPECT_DOUBLE_EQ(meter.totalPj(), 42.7 * 2 + 34.4);
+}
+
+TEST(EnergyMeter, ChargesPerBitFlip)
+{
+    RouterEnergyMeter meter(1);
+    meter.onFlit(0, FlitPayload{ 0, 0, 0 }, 1);
+    meter.onFlit(0, FlitPayload{ 0xff, 0, 0 }, 2); // 8 flips
+    EXPECT_NEAR(meter.totalPj(), 34.4 + 42.7 * 2 + 0.837 * 8, 1e-9);
+}
+
+TEST(EnergyMeter, ActivationChargesSetBits)
+{
+    RouterEnergyMeter meter(1);
+    meter.onFlit(0, FlitPayload{ 0, 0, 0 }, 1);
+    // Gap -> activation on the next flit, with per-set-bit energy.
+    meter.onFlit(0, FlitPayload{ 0xf, 0, 0 }, 5);
+    EXPECT_NEAR(meter.totalPj(),
+                (34.4) + 42.7               // first flit
+                    + (34.4 + 0.25 * 4)     // activation after the gap
+                    + 42.7 + 0.837 * 4,     // second flit, 4 flips
+                1e-9);
+    EXPECT_EQ(meter.activations(), 2u);
+}
+
+TEST(EnergyMeter, PortsTrackIndependentHistories)
+{
+    RouterEnergyMeter meter(2);
+    meter.onFlit(0, FlitPayload{ ~0ull, ~0ull, ~0ull }, 1);
+    meter.onFlit(1, FlitPayload{ 0, 0, 0 }, 2);
+    // Port 1's first flit sees no flips even though port 0 saw all-ones.
+    EXPECT_NEAR(meter.totalPj(),
+                (34.4 + 0.25 * 192 + 42.7) + (34.4 + 42.7), 1e-9);
+}
+
+TEST(EnergyFit, RecoversPaperCoefficientsFromSyntheticData)
+{
+    // Generate samples directly from the paper's model and re-fit.
+    std::vector<EnergySample> samples;
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        EnergySample s;
+        s.hamming = rng.uniform() * 192;
+        s.set_bits = rng.uniform() * 192;
+        s.act_per_flit = rng.uniform();
+        s.energy_pj = 42.7 + 0.837 * s.hamming
+                      + (34.4 + 0.250 * s.set_bits) * s.act_per_flit;
+        samples.push_back(s);
+    }
+    const auto fit = fitEnergyModel(samples);
+    EXPECT_NEAR(fit.c0, 42.7, 1e-6);
+    EXPECT_NEAR(fit.c1, 0.837, 1e-8);
+    EXPECT_NEAR(fit.c2, 34.4, 1e-6);
+    EXPECT_NEAR(fit.c3, 0.250, 1e-8);
+    EXPECT_LT(fit.rms_error_pj, 1e-6);
+}
+
+TEST(EnergyFit, ToleratesNoise)
+{
+    std::vector<EnergySample> samples;
+    Rng rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        EnergySample s;
+        s.hamming = rng.uniform() * 100;
+        s.set_bits = rng.uniform() * 192;
+        s.act_per_flit = rng.uniform();
+        s.energy_pj = 42.7 + 0.837 * s.hamming
+                      + (34.4 + 0.250 * s.set_bits) * s.act_per_flit
+                      + (rng.uniform() - 0.5) * 2.0;
+        samples.push_back(s);
+    }
+    const auto fit = fitEnergyModel(samples);
+    EXPECT_NEAR(fit.c0, 42.7, 0.5);
+    EXPECT_NEAR(fit.c1, 0.837, 0.02);
+    EXPECT_NEAR(fit.c2, 34.4, 0.8);
+    EXPECT_NEAR(fit.c3, 0.250, 0.02);
+}
+
+TEST(SolveLinear, SingularMatrixRejected)
+{
+    std::array<std::array<double, 2>, 2> a{ { { 1, 2 }, { 2, 4 } } };
+    std::array<double, 2> b{ 1, 2 };
+    std::array<double, 2> x{};
+    EXPECT_FALSE(solveLinear(a, b, x));
+}
+
+} // namespace
+} // namespace anton2

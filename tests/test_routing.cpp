@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for inter-node routing, mesh direction-order routing, and the
+ * VC-promotion state machines of Section 2.5.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "routing/mesh_route.hpp"
+#include "routing/route.hpp"
+#include "routing/vc_promotion.hpp"
+#include "sim/rng.hpp"
+#include "topo/torus.hpp"
+
+namespace anton2 {
+namespace {
+
+TEST(Route, HopsReachDestinationMinimally)
+{
+    const TorusGeom g(8, 8, 8);
+    Rng rng(1);
+    for (int trial = 0; trial < 500; ++trial) {
+        const auto src = static_cast<NodeId>(rng.below(g.numNodes()));
+        const auto dst = static_cast<NodeId>(rng.below(g.numNodes()));
+        const auto spec = randomRoute(g, src, dst, rng);
+        const auto hops = torusHops(g, src, dst, spec);
+        EXPECT_EQ(static_cast<int>(hops.size()), g.hopDistance(src, dst));
+
+        Coords c = g.coords(src);
+        for (const auto &h : hops)
+            c[h.dim] = g.neighborCoord(c[h.dim], h.dim, h.dir);
+        EXPECT_EQ(g.id(c), dst);
+    }
+}
+
+TEST(Route, HopsAreDimensionOrdered)
+{
+    const TorusGeom g(6, 6, 6);
+    Rng rng(2);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto src = static_cast<NodeId>(rng.below(g.numNodes()));
+        const auto dst = static_cast<NodeId>(rng.below(g.numNodes()));
+        const auto spec = randomRoute(g, src, dst, rng);
+        const auto hops = torusHops(g, src, dst, spec);
+        // Dimensions must appear as contiguous runs following spec.order.
+        std::size_t order_pos = 0;
+        for (std::size_t i = 0; i < hops.size(); ++i) {
+            while (order_pos < spec.order.size()
+                   && hops[i].dim != spec.order[order_pos]) {
+                ++order_pos;
+            }
+            ASSERT_LT(order_pos, spec.order.size());
+        }
+    }
+}
+
+TEST(Route, RandomRouteUsesAllOrdersAndSlices)
+{
+    const TorusGeom g(4, 4, 4);
+    Rng rng(3);
+    std::set<DimOrder> orders;
+    std::set<int> slices;
+    const NodeId src = 0;
+    const NodeId dst = g.id({ 2, 2, 2 });
+    for (int i = 0; i < 400; ++i) {
+        const auto spec = randomRoute(g, src, dst, rng);
+        orders.insert(spec.order);
+        slices.insert(spec.slice);
+    }
+    EXPECT_EQ(orders.size(), 6u);
+    EXPECT_EQ(slices.size(), 2u);
+}
+
+TEST(Route, TieBreakUsesBothDirections)
+{
+    // Distance exactly k/2 on an even ring: both directions are minimal.
+    const TorusGeom g(8, 8, 8);
+    Rng rng(4);
+    const NodeId src = 0;
+    const NodeId dst = g.id({ 4, 0, 0 });
+    std::set<Dir> seen;
+    for (int i = 0; i < 100; ++i) {
+        const auto spec = randomRoute(g, src, dst, rng);
+        seen.insert(spec.dirs[0]);
+    }
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Route, NextRouteDimFollowsOrder)
+{
+    const TorusGeom g(4, 4, 4);
+    Rng rng(5);
+    const NodeId src = g.id({ 1, 1, 1 });
+    const NodeId dst = g.id({ 3, 1, 2 });
+    auto spec = makeRoute(g, src, dst, DimOrder{ 2, 0, 1 }, 0, rng);
+    EXPECT_EQ(nextRouteDim(g, src, dst, spec), 2);          // Z first
+    EXPECT_EQ(nextRouteDim(g, g.id({ 1, 1, 2 }), dst, spec), 0); // then X
+    EXPECT_EQ(nextRouteDim(g, dst, dst, spec), -1);
+}
+
+TEST(MeshRoute, Anton2OrderProducesExpectedHops)
+{
+    const MeshGeom m(4, 4);
+    const auto order = anton2DirOrder();
+    // From (3,2) to (0,0): V- twice, then U- three times.
+    const auto hops = meshRoute(m, m.id(3, 2), m.id(0, 0), order);
+    ASSERT_EQ(hops.size(), 5u);
+    EXPECT_EQ(hops[0], MeshDir::VNeg);
+    EXPECT_EQ(hops[1], MeshDir::VNeg);
+    EXPECT_EQ(hops[2], MeshDir::UNeg);
+    EXPECT_EQ(hops[3], MeshDir::UNeg);
+    EXPECT_EQ(hops[4], MeshDir::UNeg);
+}
+
+TEST(MeshRoute, VposComesLast)
+{
+    const MeshGeom m(4, 4);
+    const auto order = anton2DirOrder();
+    // From (0,0) to (2,3): U+ first (no V- needed), then V+.
+    const auto hops = meshRoute(m, m.id(0, 0), m.id(2, 3), order);
+    ASSERT_EQ(hops.size(), 5u);
+    EXPECT_EQ(hops[0], MeshDir::UPos);
+    EXPECT_EQ(hops[1], MeshDir::UPos);
+    EXPECT_EQ(hops[2], MeshDir::VPos);
+}
+
+TEST(MeshRoute, AllPairsReachableUnderAllOrders)
+{
+    const MeshGeom m(4, 4);
+    for (const auto &order : allMeshDirOrders()) {
+        for (RouterId s = 0; s < m.numRouters(); ++s) {
+            for (RouterId d = 0; d < m.numRouters(); ++d) {
+                const auto path = meshPath(m, s, d, order);
+                EXPECT_EQ(path.front(), s);
+                EXPECT_EQ(path.back(), d);
+                const std::size_t min_hops = static_cast<std::size_t>(
+                    std::abs(m.u(s) - m.u(d)) + std::abs(m.v(s) - m.v(d)));
+                EXPECT_EQ(path.size(), min_hops + 1) << "non-minimal route";
+            }
+        }
+    }
+}
+
+TEST(MeshRoute, DirectionRunsFollowOrder)
+{
+    const MeshGeom m(4, 4);
+    Rng rng(6);
+    for (const auto &order : allMeshDirOrders()) {
+        for (int trial = 0; trial < 20; ++trial) {
+            const auto s = static_cast<RouterId>(rng.below(16));
+            const auto d = static_cast<RouterId>(rng.below(16));
+            const auto hops = meshRoute(m, s, d, order);
+            // Map each hop to its position in the order; positions must be
+            // non-decreasing (direction-order property).
+            int last_pos = -1;
+            for (MeshDir h : hops) {
+                int pos = -1;
+                for (std::size_t i = 0; i < order.size(); ++i) {
+                    if (order[i] == h)
+                        pos = static_cast<int>(i);
+                }
+                ASSERT_GE(pos, last_pos);
+                last_pos = pos;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// VC promotion (Section 2.5)
+// ---------------------------------------------------------------------
+
+TEST(VcCounts, MatchPaperClaims)
+{
+    // Anton 2: n+1 VCs per traffic class; baseline: 2n T-group VCs.
+    EXPECT_EQ(numTorusVcs(VcPolicy::Anton2, 3), 4);
+    EXPECT_EQ(numMeshVcs(VcPolicy::Anton2, 3), 4);
+    EXPECT_EQ(numTorusVcs(VcPolicy::Baseline2n, 3), 6);
+    EXPECT_EQ(numMeshVcs(VcPolicy::Baseline2n, 3), 4);
+    EXPECT_EQ(numUnifiedVcs(VcPolicy::Anton2, 3), 4);
+    EXPECT_EQ(numUnifiedVcs(VcPolicy::Baseline2n, 3), 6);
+    // The reduction claimed in the abstract: one-third fewer VCs.
+    EXPECT_EQ(numUnifiedVcs(VcPolicy::Anton2, 3) * 3,
+              numUnifiedVcs(VcPolicy::Baseline2n, 3) * 2);
+}
+
+TEST(VcPromotion, IncrementOnDatelineCrossing)
+{
+    VcState s(VcPolicy::Anton2);
+    EXPECT_EQ(s.torusVc(), 0);
+    EXPECT_EQ(s.onTorusHop(false), 0);
+    EXPECT_EQ(s.onTorusHop(true), 1); // crossing uses the new VC
+    EXPECT_EQ(s.onTorusHop(false), 1);
+    s.onDimComplete();
+    // Crossed in that dimension, so completion does not increment again.
+    EXPECT_EQ(s.meshVc(), 1);
+    EXPECT_EQ(s.torusVc(), 1);
+}
+
+TEST(VcPromotion, IncrementOnDimCompletionWithoutCrossing)
+{
+    VcState s(VcPolicy::Anton2);
+    EXPECT_EQ(s.onTorusHop(false), 0);
+    EXPECT_EQ(s.onTorusHop(false), 0);
+    s.onDimComplete();
+    EXPECT_EQ(s.meshVc(), 1);
+    EXPECT_EQ(s.torusVc(), 1);
+}
+
+TEST(VcPromotion, AtMostOneIncrementPerDimension)
+{
+    // Three dimensions, crossing in some and not others: VC never exceeds
+    // n = 3 for a 3-D torus.
+    for (int cross_mask = 0; cross_mask < 8; ++cross_mask) {
+        VcState s(VcPolicy::Anton2);
+        for (int dim = 0; dim < 3; ++dim) {
+            const bool cross = (cross_mask >> dim) & 1;
+            s.onTorusHop(false);
+            s.onTorusHop(cross);
+            s.onTorusHop(false);
+            s.onDimComplete();
+            EXPECT_EQ(s.meshVc(), dim + 1);
+        }
+        EXPECT_LE(s.torusVc(), 3);
+    }
+}
+
+TEST(VcPromotion, Baseline2nUsesTwoVcsPerDimension)
+{
+    VcState s(VcPolicy::Baseline2n);
+    EXPECT_EQ(s.onTorusHop(false), 0);
+    EXPECT_EQ(s.onTorusHop(true), 1);
+    s.onDimComplete();
+    EXPECT_EQ(s.meshVc(), 1);
+    EXPECT_EQ(s.onTorusHop(false), 2);
+    s.onDimComplete();
+    EXPECT_EQ(s.onTorusHop(true), 5);
+    s.onDimComplete();
+    EXPECT_EQ(s.meshVc(), 3);
+}
+
+TEST(VcPromotion, NoDatelineControlNeverPromotes)
+{
+    VcState s(VcPolicy::NoDateline);
+    EXPECT_EQ(s.onTorusHop(true), 0);
+    s.onDimComplete();
+    EXPECT_EQ(s.onTorusHop(true), 0);
+    EXPECT_EQ(s.meshVc(), 0);
+}
+
+/** Property sweep: promotion VCs stay within bounds on random routes. */
+class VcPromotionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(VcPromotionSweep, VcStaysWithinPolicyBound)
+{
+    const auto [ndims, k] = GetParam();
+    std::vector<int> radix(static_cast<std::size_t>(ndims), k);
+    const TorusGeom g(radix);
+    Rng rng(42 + static_cast<std::uint64_t>(ndims * 100 + k));
+
+    for (VcPolicy policy : { VcPolicy::Anton2, VcPolicy::Baseline2n }) {
+        const int t_bound = numTorusVcs(policy, ndims);
+        const int m_bound = numMeshVcs(policy, ndims);
+        for (int trial = 0; trial < 300; ++trial) {
+            const auto src = static_cast<NodeId>(rng.below(g.numNodes()));
+            const auto dst = static_cast<NodeId>(rng.below(g.numNodes()));
+            const auto spec = randomRoute(g, src, dst, rng);
+            const auto hops = torusHops(g, src, dst, spec);
+
+            VcState s(policy);
+            Coords c = g.coords(src);
+            for (std::size_t i = 0; i < hops.size(); ++i) {
+                const auto &h = hops[i];
+                const int from = c[h.dim];
+                const int to = g.neighborCoord(from, h.dim, h.dir);
+                const int vc = s.onTorusHop(
+                    g.crossesDateline(from, to, h.dim));
+                EXPECT_LT(vc, t_bound);
+                c[h.dim] = to;
+                const bool dim_done =
+                    (i + 1 == hops.size()) || (hops[i + 1].dim != h.dim);
+                if (dim_done) {
+                    s.onDimComplete();
+                    EXPECT_LT(static_cast<int>(s.meshVc()), m_bound);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TorusShapes, VcPromotionSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(2, 3, 4, 5, 8)),
+    [](const auto &info) {
+        return "n" + std::to_string(std::get<0>(info.param)) + "k"
+               + std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace anton2
