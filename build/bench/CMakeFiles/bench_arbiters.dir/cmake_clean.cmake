@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arbiters.dir/bench_arbiters.cpp.o"
+  "CMakeFiles/bench_arbiters.dir/bench_arbiters.cpp.o.d"
+  "bench_arbiters"
+  "bench_arbiters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arbiters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_blend.dir/bench_fig10_blend.cpp.o"
+  "CMakeFiles/bench_fig10_blend.dir/bench_fig10_blend.cpp.o.d"
+  "bench_fig10_blend"
+  "bench_fig10_blend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_blend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

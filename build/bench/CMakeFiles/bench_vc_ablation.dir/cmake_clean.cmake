@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vc_ablation.dir/bench_vc_ablation.cpp.o"
+  "CMakeFiles/bench_vc_ablation.dir/bench_vc_ablation.cpp.o.d"
+  "bench_vc_ablation"
+  "bench_vc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

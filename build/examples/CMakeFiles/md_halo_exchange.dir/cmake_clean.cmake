@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_halo_exchange.dir/md_halo_exchange.cpp.o"
+  "CMakeFiles/md_halo_exchange.dir/md_halo_exchange.cpp.o.d"
+  "md_halo_exchange"
+  "md_halo_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_halo_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

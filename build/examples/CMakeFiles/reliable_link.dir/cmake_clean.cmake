@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_link.dir/reliable_link.cpp.o"
+  "CMakeFiles/reliable_link.dir/reliable_link.cpp.o.d"
+  "reliable_link"
+  "reliable_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/deadlock.cpp" "src/CMakeFiles/anton2.dir/analysis/deadlock.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/analysis/deadlock.cpp.o.d"
+  "/root/repo/src/analysis/loads.cpp" "src/CMakeFiles/anton2.dir/analysis/loads.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/analysis/loads.cpp.o.d"
+  "/root/repo/src/analysis/worst_case.cpp" "src/CMakeFiles/anton2.dir/analysis/worst_case.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/analysis/worst_case.cpp.o.d"
+  "/root/repo/src/arb/inverse_weighted.cpp" "src/CMakeFiles/anton2.dir/arb/inverse_weighted.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/arb/inverse_weighted.cpp.o.d"
+  "/root/repo/src/arb/priority_arb.cpp" "src/CMakeFiles/anton2.dir/arb/priority_arb.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/arb/priority_arb.cpp.o.d"
+  "/root/repo/src/area/area_model.cpp" "src/CMakeFiles/anton2.dir/area/area_model.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/area/area_model.cpp.o.d"
+  "/root/repo/src/core/chip.cpp" "src/CMakeFiles/anton2.dir/core/chip.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/core/chip.cpp.o.d"
+  "/root/repo/src/core/chip_layout.cpp" "src/CMakeFiles/anton2.dir/core/chip_layout.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/core/chip_layout.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/CMakeFiles/anton2.dir/core/machine.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/core/machine.cpp.o.d"
+  "/root/repo/src/link/link_layer.cpp" "src/CMakeFiles/anton2.dir/link/link_layer.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/link/link_layer.cpp.o.d"
+  "/root/repo/src/noc/channel_adapter.cpp" "src/CMakeFiles/anton2.dir/noc/channel_adapter.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/noc/channel_adapter.cpp.o.d"
+  "/root/repo/src/noc/endpoint.cpp" "src/CMakeFiles/anton2.dir/noc/endpoint.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/noc/endpoint.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/CMakeFiles/anton2.dir/noc/router.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/noc/router.cpp.o.d"
+  "/root/repo/src/routing/mesh_route.cpp" "src/CMakeFiles/anton2.dir/routing/mesh_route.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/routing/mesh_route.cpp.o.d"
+  "/root/repo/src/routing/multicast.cpp" "src/CMakeFiles/anton2.dir/routing/multicast.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/routing/multicast.cpp.o.d"
+  "/root/repo/src/routing/route.cpp" "src/CMakeFiles/anton2.dir/routing/route.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/routing/route.cpp.o.d"
+  "/root/repo/src/topo/mesh.cpp" "src/CMakeFiles/anton2.dir/topo/mesh.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/topo/mesh.cpp.o.d"
+  "/root/repo/src/topo/torus.cpp" "src/CMakeFiles/anton2.dir/topo/torus.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/topo/torus.cpp.o.d"
+  "/root/repo/src/traffic/driver.cpp" "src/CMakeFiles/anton2.dir/traffic/driver.cpp.o" "gcc" "src/CMakeFiles/anton2.dir/traffic/driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

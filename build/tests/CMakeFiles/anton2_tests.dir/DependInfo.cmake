@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adapters.cpp" "tests/CMakeFiles/anton2_tests.dir/test_adapters.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_adapters.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/anton2_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_arbiters.cpp" "tests/CMakeFiles/anton2_tests.dir/test_arbiters.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_arbiters.cpp.o.d"
+  "/root/repo/tests/test_area_power.cpp" "tests/CMakeFiles/anton2_tests.dir/test_area_power.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_area_power.cpp.o.d"
+  "/root/repo/tests/test_chip_layout.cpp" "tests/CMakeFiles/anton2_tests.dir/test_chip_layout.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_chip_layout.cpp.o.d"
+  "/root/repo/tests/test_link_layer.cpp" "tests/CMakeFiles/anton2_tests.dir/test_link_layer.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_link_layer.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/anton2_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_noc_components.cpp" "tests/CMakeFiles/anton2_tests.dir/test_noc_components.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_noc_components.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/anton2_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/anton2_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_sim_kernel.cpp" "tests/CMakeFiles/anton2_tests.dir/test_sim_kernel.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_sim_kernel.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/anton2_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/anton2_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/anton2_tests.dir/test_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anton2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton2_tests.dir/test_adapters.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_adapters.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_analysis.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_arbiters.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_arbiters.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_area_power.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_area_power.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_chip_layout.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_chip_layout.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_link_layer.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_link_layer.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_machine.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_machine.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_noc_components.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_noc_components.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_routing.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_routing.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_sim_kernel.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_sim_kernel.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_topo.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_topo.cpp.o.d"
+  "CMakeFiles/anton2_tests.dir/test_traffic.cpp.o"
+  "CMakeFiles/anton2_tests.dir/test_traffic.cpp.o.d"
+  "anton2_tests"
+  "anton2_tests.pdb"
+  "anton2_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton2_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
