@@ -90,6 +90,9 @@ main(int argc, char **argv)
     const int k = static_cast<int>(args.flag("--k", 8));
     const int pairs = static_cast<int>(args.flag("--pairs", 6));
     const int rounds = static_cast<int>(args.flag("--rounds", 4));
+    const char *json_path = args.strFlag("--json", nullptr);
+    if (json_path != nullptr && !bench::checkWritable(json_path))
+        return 1;
 
     MachineConfig cfg;
     cfg.radix = { k, k, k };
@@ -97,6 +100,7 @@ main(int argc, char **argv)
     cfg.chip.arb = ArbPolicy::RoundRobin;
     cfg.use_packaging = true; // Figure 2 trace/cable latencies
     cfg.seed = 31;
+    cfg.enable_metrics = json_path != nullptr;
     Machine m(cfg);
 
     bench::printHeader(
@@ -108,6 +112,7 @@ main(int argc, char **argv)
 
     const int max_hops = 3 * (k / 2);
     std::vector<double> xs, ys;
+    std::vector<std::string> rows;
     Rng rng(5);
     for (int h = 1; h <= max_hops; ++h) {
         ScalarStat lat;
@@ -128,6 +133,15 @@ main(int argc, char **argv)
             continue;
         std::printf("%6d %14.1f %14llu\n", h, lat.mean(),
                     static_cast<unsigned long long>(lat.count()));
+        rows.push_back(
+            bench::JsonObj()
+                .add("hops", bench::num(h))
+                .add("latency_ns", bench::num(lat.mean()))
+                .add("min_ns", bench::num(lat.min()))
+                .add("max_ns", bench::num(lat.max()))
+                .add("samples",
+                     bench::num(static_cast<double>(lat.count())))
+                .dump(0));
         xs.push_back(h);
         ys.push_back(lat.mean());
     }
@@ -139,5 +153,30 @@ main(int argc, char **argv)
     std::printf("Paper:      80.7 ns fixed + 39.1 ns/hop; minimum ~99 ns\n");
     if (!ys.empty())
         std::printf("Minimum measured latency: %.1f ns\n", ys.front());
+
+    if (json_path != nullptr) {
+        const auto config = bench::JsonObj()
+                                .add("k", bench::num(k))
+                                .add("pairs", bench::num(pairs))
+                                .add("rounds", bench::num(rounds))
+                                .dump(0);
+        const auto fit_obj = bench::JsonObj()
+                                 .add("intercept_ns",
+                                      bench::num(fit.intercept))
+                                 .add("slope_ns_per_hop",
+                                      bench::num(fit.slope))
+                                 .add("r2", bench::num(fit.r2))
+                                 .dump(0);
+        bench::writeFile(json_path,
+                         bench::JsonObj()
+                             .add("bench", bench::str("fig11_latency"))
+                             .add("config", config)
+                             .add("rows", bench::arr(rows))
+                             .add("fit", fit_obj)
+                             .add("metrics", m.metricsJson())
+                             .dump()
+                             + "\n");
+        std::printf("JSON report written to %s\n", json_path);
+    }
     return 0;
 }

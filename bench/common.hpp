@@ -1,18 +1,23 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses: minimal flag parsing and
- * aligned table printing. Every bench prints the paper's rows/series with
- * defaults that reproduce the paper's setup at simulation-tractable scale;
- * flags let you push to the paper's full 8x8x8 (or larger) machine.
+ * Shared helpers for the experiment harnesses: minimal flag parsing,
+ * aligned table printing, and the machine-readable `--json <path>` report
+ * writer. Every bench prints the paper's rows/series with defaults that
+ * reproduce the paper's setup at simulation-tractable scale; flags let
+ * you push to the paper's full 8x8x8 (or larger) machine.
  */
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "sim/metrics.hpp"
 
 namespace anton2::bench {
 
@@ -32,6 +37,17 @@ class Args
         return def;
     }
 
+    /** String-valued flag: strFlag("--json", nullptr). */
+    const char *
+    strFlag(const char *name, const char *def) const
+    {
+        for (int i = 1; i + 1 < argc_; ++i) {
+            if (std::strcmp(argv_[i], name) == 0)
+                return argv_[i + 1];
+        }
+        return def;
+    }
+
     bool
     has(const char *name) const
     {
@@ -46,6 +62,105 @@ class Args
     int argc_;
     char **argv_;
 };
+
+/**
+ * Order-preserving JSON report builder for bench output. Values are
+ * pre-serialized fragments; use num()/str()/raw() to produce them. The
+ * registry's own toJson() output slots in via raw(), so one report can
+ * carry both the bench's result rows and the full telemetry snapshot.
+ */
+class JsonObj
+{
+  public:
+    JsonObj &
+    add(const std::string &key, std::string raw_value)
+    {
+        entries_.emplace_back(key, std::move(raw_value));
+        return *this;
+    }
+
+    std::string
+    dump(int indent = 2, int depth = 0) const
+    {
+        std::string out = "{\n";
+        const std::string pad(
+            static_cast<std::size_t>(indent * (depth + 1)), ' ');
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            out += pad + "\"" + jsonEscape(entries_[i].first)
+                   + "\": " + entries_[i].second;
+            if (i + 1 < entries_.size())
+                out += ",";
+            out += "\n";
+        }
+        out += std::string(static_cast<std::size_t>(indent * depth), ' ')
+               + "}";
+        return out;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+inline std::string
+num(double x)
+{
+    return anton2::jsonNumber(x);
+}
+
+inline std::string
+str(const std::string &s)
+{
+    return "\"" + anton2::jsonEscape(s) + "\"";
+}
+
+/** Join pre-serialized fragments into a JSON array. */
+inline std::string
+arr(const std::vector<std::string> &items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0)
+            out += ", ";
+        out += items[i];
+    }
+    return out + "]";
+}
+
+/** Verify a report path is writable before spending simulation time;
+ * prints an error and returns false when it is not. Opens in append
+ * mode so an existing report is not clobbered by the probe. */
+inline bool
+checkWritable(const char *path)
+{
+    std::FILE *f = std::fopen(path, "a");
+    if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n", path);
+        return false;
+    }
+    std::fclose(f);
+    return true;
+}
+
+inline void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+}
+
+/** Render a possibly-NaN value for the text tables ("-" when empty). */
+inline std::string
+fmtOrDash(double x, const char *fmt = "%.1f")
+{
+    if (std::isnan(x))
+        return "-";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), fmt, x);
+    return buf;
+}
 
 inline void
 printHeader(const std::string &title)

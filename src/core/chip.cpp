@@ -1,6 +1,7 @@
 #include "core/chip.hpp"
 
 #include <cassert>
+#include <cctype>
 
 #include "routing/mesh_route.hpp"
 
@@ -129,6 +130,32 @@ Chip::registerWith(Engine &engine)
         engine.add(*ca);
     for (auto &ep : endpoints_)
         engine.add(*ep);
+}
+
+void
+Chip::bindMetrics(MetricsRegistry &reg)
+{
+    const std::string prefix = "chip." + std::to_string(node_);
+    const MeshGeom &mesh = layout_.mesh();
+    for (RouterId r = 0; r < layout_.numRouters(); ++r) {
+        routers_[static_cast<std::size_t>(r)]->bindMetrics(
+            reg, prefix + ".router." + std::to_string(mesh.u(r)) + "."
+                     + std::to_string(mesh.v(r)));
+    }
+    for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
+        int dim, slice;
+        Dir dir;
+        layout_.channelAdapterParams(ca, dim, dir, slice);
+        const std::string chan =
+            std::string(1, static_cast<char>(std::tolower(kDimNames[dim])))
+            + std::to_string(slice) + (dir == Dir::Pos ? "p" : "n");
+        channel_adapters_[static_cast<std::size_t>(ca)]->bindMetrics(
+            reg, prefix + ".ca." + chan);
+    }
+    for (EndpointId e = 0; e < layout_.numEndpoints(); ++e) {
+        endpoints_[static_cast<std::size_t>(e)]->bindMetrics(
+            reg, prefix + ".ep." + std::to_string(e), "machine");
+    }
 }
 
 RouterEnergyMeter *

@@ -62,6 +62,14 @@ class Chip
     /** Register every component of this chip with the engine. */
     void registerWith(Engine &engine);
 
+    /**
+     * Bind every component of this chip to @p reg under
+     * `chip.<node>.router.<u>.<v>`, `chip.<node>.ca.<chan>`, and
+     * `chip.<node>.ep.<e>`; the endpoints' latency breakdown aggregates
+     * machine-wide under `machine.latency.*`.
+     */
+    void bindMetrics(MetricsRegistry &reg);
+
     NodeId node() const { return node_; }
     const ChipLayout &layout() const { return layout_; }
     const ChipConfig &config() const { return cfg_; }

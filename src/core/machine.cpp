@@ -1,6 +1,7 @@
 #include "core/machine.hpp"
 
 #include <cassert>
+#include <cctype>
 #include <stdexcept>
 
 namespace anton2 {
@@ -57,6 +58,10 @@ Machine::Machine(const MachineConfig &cfg)
                 ++delivered_;
                 last_delivery_ = now;
                 latency_.add(static_cast<double>(now - pkt->inject_time));
+                if (m_delivered_ != nullptr) {
+                    m_delivered_->inc();
+                    m_hops_->add(pkt->hops);
+                }
                 if (deliver_hook_)
                     deliver_hook_(pkt, now);
             });
@@ -71,6 +76,57 @@ Machine::Machine(const MachineConfig &cfg)
             });
         }
     }
+
+    if (cfg_.enable_metrics)
+        enableMetrics();
+}
+
+MetricsRegistry &
+Machine::enableMetrics()
+{
+    if (metrics_ != nullptr)
+        return *metrics_;
+    metrics_ = std::make_unique<MetricsRegistry>();
+    for (auto &c : chips_)
+        c->bindMetrics(*metrics_);
+    m_delivered_ = &metrics_->counter("machine.delivered");
+    m_hops_ = &metrics_->scalar("machine.hops");
+    return *metrics_;
+}
+
+std::string
+Machine::metricsJson()
+{
+    assert(metrics_ != nullptr && "call enableMetrics() first");
+    MetricsRegistry &reg = *metrics_;
+    const auto cycles = static_cast<double>(engine_.now());
+    reg.setGauge("machine.cycles", cycles);
+
+    // Per-channel utilization: flits actually serialized over the flits
+    // the SerDes could have carried in the elapsed time (the paper's
+    // normalization: 1.0 = the 89.6 Gb/s effective channel rate).
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
+            ChannelAdapter &a = chip(n).channelAdapter(ca);
+            int dim, slice;
+            Dir dir;
+            layout_.channelAdapterParams(ca, dim, dir, slice);
+            const std::string chan =
+                std::string(1, static_cast<char>(
+                                   std::tolower(kDimNames[dim])))
+                + std::to_string(slice) + (dir == Dir::Pos ? "p" : "n");
+            const double capacity =
+                cycles
+                * static_cast<double>(a.config().ser_tokens_per_cycle)
+                / static_cast<double>(a.config().ser_tokens_per_flit);
+            reg.setGauge("chip." + std::to_string(n) + ".ca." + chan
+                             + ".utilization",
+                         capacity > 0.0
+                             ? static_cast<double>(a.flitsSent()) / capacity
+                             : 0.0);
+        }
+    }
+    return reg.toJson();
 }
 
 void

@@ -17,6 +17,7 @@
 #include "core/chip.hpp"
 #include "core/packaging.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 
 namespace anton2 {
@@ -29,6 +30,8 @@ struct MachineConfig
     Cycle fixed_torus_latency = 33; ///< used when use_packaging is false
     PackagingModel packaging;
     std::uint64_t seed = 1;
+    /** Build with telemetry bound (default off: zero hot-path cost). */
+    bool enable_metrics = false;
 };
 
 class Machine
@@ -108,6 +111,27 @@ class Machine
     /** Latency statistics over delivered packets (inject -> eject). */
     const ScalarStat &latencyStat() const { return latency_; }
 
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /**
+     * Create the metrics registry (if absent) and bind every component:
+     * routers, channel adapters, endpoints, and the machine aggregates.
+     * Idempotent; returns the registry. Recording starts immediately, so
+     * enable before driving traffic for complete counts.
+     */
+    MetricsRegistry &enableMetrics();
+
+    /** The bound registry, or null when telemetry is disabled. */
+    MetricsRegistry *metrics() { return metrics_.get(); }
+
+    /**
+     * Refresh derived gauges (elapsed cycles, per-channel utilization)
+     * and serialize the full registry. Requires enableMetrics().
+     */
+    std::string metricsJson();
+
   private:
     void prepareUnicast(Packet &pkt);
 
@@ -127,6 +151,10 @@ class Machine
     Cycle last_delivery_ = 0;
     ScalarStat latency_;
     std::function<void(const PacketPtr &, Cycle)> deliver_hook_;
+
+    std::unique_ptr<MetricsRegistry> metrics_;
+    Counter *m_delivered_ = nullptr; ///< machine.delivered
+    ScalarStat *m_hops_ = nullptr;   ///< machine.hops per delivery
 };
 
 } // namespace anton2

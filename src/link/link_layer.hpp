@@ -21,6 +21,7 @@
 #include "noc/channel_adapter.hpp"
 #include "noc/packet.hpp"
 #include "sim/component.hpp"
+#include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/wire.hpp"
 
@@ -115,6 +116,14 @@ class LinkSender : public Component
     void tick(Cycle now) override;
     bool busy() const override;
 
+    /**
+     * Register sender metrics under @p prefix: `frames_tx` (including
+     * resends), `retransmissions`, and `acks_rx`. The retransmission
+     * counter uses the same leaf name as ChannelAdapter's, so a lossy
+     * link slots into the machine-wide registry schema.
+     */
+    void bindMetrics(MetricsRegistry &reg, const std::string &prefix);
+
     std::uint64_t framesTransmitted() const { return transmitted_; }
     std::uint64_t retransmissions() const { return retransmissions_; }
     std::size_t backlog() const { return queue_.size(); }
@@ -123,6 +132,10 @@ class LinkSender : public Component
     LinkConfig cfg_;
     LossyFrameChannel &tx_;
     LossyFrameChannel &ack_rx_;
+
+    Counter *m_frames_tx_ = nullptr;
+    Counter *m_retransmissions_ = nullptr;
+    Counter *m_acks_rx_ = nullptr;
 
     std::deque<FlitPayload> queue_; ///< unacknowledged + unsent flits
     std::uint32_t base_ = 0;        ///< seq of oldest unacked frame
@@ -149,11 +162,19 @@ class LinkReceiver : public Component
     void tick(Cycle now) override;
     bool busy() const override { return false; }
 
+    /** Register receiver metrics under @p prefix: `delivered`,
+     * `crc_drops`, `order_drops`, and `acks_tx`. */
+    void bindMetrics(MetricsRegistry &reg, const std::string &prefix);
+
     std::uint64_t delivered() const { return delivered_; }
     std::uint64_t crcDrops() const { return crc_drops_; }
     std::uint64_t orderDrops() const { return order_drops_; }
 
   private:
+    Counter *m_delivered_ = nullptr;
+    Counter *m_crc_drops_ = nullptr;
+    Counter *m_order_drops_ = nullptr;
+    Counter *m_acks_tx_ = nullptr;
     LinkConfig cfg_;
     LossyFrameChannel &rx_;
     LossyFrameChannel &ack_tx_;

@@ -66,6 +66,17 @@ ChannelAdapter::ingressArbiter()
 }
 
 void
+ChannelAdapter::bindMetrics(MetricsRegistry &reg, const std::string &prefix)
+{
+    metrics_ = std::make_unique<ChannelAdapterMetrics>();
+    metrics_->flits_sent = &reg.counter(prefix + ".flits_sent");
+    metrics_->flits_received = &reg.counter(prefix + ".flits_received");
+    metrics_->idle_cycles = &reg.counter(prefix + ".idle_cycles");
+    metrics_->credit_stalls = &reg.counter(prefix + ".credit_stalls");
+    metrics_->retransmissions = &reg.counter(prefix + ".retransmissions");
+}
+
+void
 ChannelAdapter::tickEgress(Cycle now)
 {
     if (router_in_ == nullptr || torus_out_ == nullptr)
@@ -93,6 +104,7 @@ ChannelAdapter::tickEgress(Cycle now)
     // Packet-granular virtual cut-through grant.
     if (!egress_busy_) {
         std::uint32_t req = 0;
+        bool credit_blocked = false;
         ReqInfo info[32];
         for (int v = 0; v < cfg_.num_vcs; ++v) {
             auto &buf = egress_vcs_[static_cast<std::size_t>(v)];
@@ -103,12 +115,16 @@ ChannelAdapter::tickEgress(Cycle now)
                 continue;
             const std::uint8_t link_vc =
                 egress_fn_(*head.pkt, /*commit=*/false);
-            if (torus_credits_.available(link_vc) < head.pkt->size_flits)
+            if (torus_credits_.available(link_vc) < head.pkt->size_flits) {
+                credit_blocked = true;
                 continue;
+            }
             req |= 1u << v;
             info[v].pattern = head.pkt->pattern;
             info[v].age = head.pkt->birth;
         }
+        if (req == 0 && credit_blocked && metrics_ != nullptr)
+            metrics_->credit_stalls->inc();
         if (req != 0) {
             const int v = egress_arb_->pick(req, info);
             auto &head = egress_vcs_[static_cast<std::size_t>(v)].head();
@@ -138,6 +154,8 @@ ChannelAdapter::tickEgress(Cycle now)
                 now, Credit{ static_cast<std::uint8_t>(egress_vc_) });
             buf.sendFlit();
             ++flits_sent_;
+            if (metrics_ != nullptr)
+                metrics_->flits_sent->inc();
             if (phit.tail) {
                 buf.popHead(now);
                 --egress_packets_;
@@ -147,6 +165,8 @@ ChannelAdapter::tickEgress(Cycle now)
         }
     } else if (ser_tokens_ >= cfg_.ser_tokens_per_flit) {
         ++idle_cycles_;
+        if (metrics_ != nullptr)
+            metrics_->idle_cycles->inc();
     }
 }
 
@@ -163,6 +183,8 @@ ChannelAdapter::tickIngress(Cycle now)
             ++ingress_packets_;
         ingress_vcs_[phit->vc].acceptFlit(*phit, now);
         ++flits_received_;
+        if (metrics_ != nullptr)
+            metrics_->flits_received->inc();
     }
 
     if (ingress_packets_ == 0 && pending_credits_.empty())

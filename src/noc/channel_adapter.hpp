@@ -21,10 +21,26 @@
 #include "noc/channel.hpp"
 #include "noc/packet.hpp"
 #include "sim/component.hpp"
+#include "sim/metrics.hpp"
 
 namespace anton2 {
 
 class InverseWeightedArbiter;
+
+/**
+ * Telemetry bound to one torus-channel adapter. `retransmissions` stays
+ * zero in the reliable cycle-level model; the link layer increments the
+ * same counter path when it terminates a lossy channel, so the registry
+ * schema is identical in both setups.
+ */
+struct ChannelAdapterMetrics
+{
+    Counter *flits_sent = nullptr;      ///< egress flits onto the torus
+    Counter *flits_received = nullptr;  ///< ingress flits off the torus
+    Counter *idle_cycles = nullptr;     ///< SerDes ready, nothing to send
+    Counter *credit_stalls = nullptr;   ///< head ready, no torus credits
+    Counter *retransmissions = nullptr; ///< link-layer go-back-N resends
+};
 
 /** Exact SerDes/mesh rate ratio: 89.6 / 288 = 14 / 45 flits per cycle. */
 inline constexpr int kSerdesTokensPerCycle = 14;
@@ -85,6 +101,10 @@ class ChannelAdapter : public Component
     InverseWeightedArbiter *egressArbiter();
     InverseWeightedArbiter *ingressArbiter();
 
+    /** Register this adapter's metrics under @p prefix and record. */
+    void bindMetrics(MetricsRegistry &reg, const std::string &prefix);
+
+    const ChannelAdapterConfig &config() const { return cfg_; }
     std::uint64_t flitsSent() const { return flits_sent_; }
     std::uint64_t flitsReceived() const { return flits_received_; }
     /** Cycles in which the serializer had tokens but nothing to send. */
@@ -141,6 +161,7 @@ class ChannelAdapter : public Component
     std::uint64_t idle_cycles_ = 0;
     int egress_packets_ = 0;
     int ingress_packets_ = 0;
+    std::unique_ptr<ChannelAdapterMetrics> metrics_;
 };
 
 } // namespace anton2

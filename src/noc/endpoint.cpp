@@ -48,6 +48,25 @@ EndpointAdapter::armCounter(std::int32_t counter, int count)
 }
 
 void
+EndpointAdapter::bindMetrics(MetricsRegistry &reg,
+                             const std::string &prefix,
+                             const std::string &agg_prefix)
+{
+    metrics_ = std::make_unique<EndpointMetrics>();
+    metrics_->injected = &reg.counter(prefix + ".injected");
+    metrics_->delivered = &reg.counter(prefix + ".delivered");
+    metrics_->lat_source_queue =
+        &reg.scalar(agg_prefix + ".latency.source_queue");
+    metrics_->lat_network = &reg.scalar(agg_prefix + ".latency.network");
+    metrics_->lat_destination =
+        &reg.scalar(agg_prefix + ".latency.destination");
+    // 64 bins of 32 cycles cover ~1.4 us end-to-end; the tail lands in
+    // the overflow bin but still contributes exact moments via stat().
+    metrics_->lat_total =
+        &reg.histogram(agg_prefix + ".latency.total", 64, 32.0);
+}
+
+void
 EndpointAdapter::tickInject(Cycle now)
 {
     if (to_router_ == nullptr)
@@ -95,6 +114,8 @@ EndpointAdapter::tickInject(Cycle now)
             inj_active_.reset();
             inj_sent_ = 0;
             ++injected_;
+            if (metrics_ != nullptr)
+                metrics_->injected->inc();
         }
     }
 }
@@ -116,6 +137,7 @@ EndpointAdapter::tickEject(Cycle now)
         assert(slot.pkt == nullptr && "interleaved packets on one VC");
         slot.pkt = phit->pkt;
         slot.arrived = 0;
+        slot.head_at = now;
     }
     ++slot.arrived;
     if (slot.arrived < slot.pkt->size_flits)
@@ -123,10 +145,21 @@ EndpointAdapter::tickEject(Cycle now)
 
     // Full packet delivered.
     PacketPtr pkt = std::move(slot.pkt);
+    const Cycle head_at = slot.head_at;
     slot = EjectSlot{};
     pkt->eject_time = now;
     ++delivered_;
     last_delivery_ = now;
+
+    if (metrics_ != nullptr) {
+        metrics_->delivered->inc();
+        metrics_->lat_source_queue->add(
+            static_cast<double>(pkt->inject_time - pkt->birth));
+        metrics_->lat_network->add(
+            static_cast<double>(head_at - pkt->inject_time));
+        metrics_->lat_destination->add(static_cast<double>(now - head_at));
+        metrics_->lat_total->add(static_cast<double>(now - pkt->birth));
+    }
 
     if (deliver_fn_)
         deliver_fn_(pkt, now);

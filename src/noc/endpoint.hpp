@@ -16,12 +16,14 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "noc/channel.hpp"
 #include "noc/packet.hpp"
 #include "sim/component.hpp"
+#include "sim/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace anton2 {
@@ -30,6 +32,25 @@ struct EndpointConfig
 {
     int num_vcs = 8;        ///< VC indices used on the router link
     int eject_buf_flits = 16;
+};
+
+/**
+ * Telemetry bound to one endpoint adapter. The latency-breakdown stats
+ * follow the paper's Section 4 decomposition of end-to-end packet
+ * latency and are usually shared machine-wide aggregates (every
+ * endpoint records into the same registry paths):
+ *   source queueing = inject_time - birth,
+ *   network         = head-flit arrival - inject_time,
+ *   destination     = delivery (tail reassembled) - head-flit arrival.
+ */
+struct EndpointMetrics
+{
+    Counter *injected = nullptr;
+    Counter *delivered = nullptr;
+    ScalarStat *lat_source_queue = nullptr;
+    ScalarStat *lat_network = nullptr;
+    ScalarStat *lat_destination = nullptr;
+    Histogram *lat_total = nullptr; ///< birth -> delivery, cycles
 };
 
 class EndpointAdapter : public Component
@@ -67,6 +88,14 @@ class EndpointAdapter : public Component
     /** Arm a counted-write counter: handler fires after @p count writes. */
     void armCounter(std::int32_t counter, int count);
 
+    /**
+     * Register per-endpoint counters under @p prefix and the latency
+     * breakdown under @p agg_prefix (shared across endpoints so the
+     * registry holds one machine-wide aggregate).
+     */
+    void bindMetrics(MetricsRegistry &reg, const std::string &prefix,
+                     const std::string &agg_prefix);
+
     void setDeliverFn(DeliverFn fn) { deliver_fn_ = std::move(fn); }
     void setHandlerFn(HandlerFn fn) { handler_fn_ = std::move(fn); }
     void setReadFn(ReadFn fn) { read_fn_ = std::move(fn); }
@@ -99,6 +128,7 @@ class EndpointAdapter : public Component
     {
         PacketPtr pkt;
         std::uint16_t arrived = 0;
+        Cycle head_at = 0; ///< head-flit arrival (latency breakdown)
     };
     std::vector<EjectSlot> eject_;
 
@@ -111,6 +141,7 @@ class EndpointAdapter : public Component
     std::uint64_t delivered_ = 0;
     std::uint64_t injected_ = 0;
     Cycle last_delivery_ = 0;
+    std::unique_ptr<EndpointMetrics> metrics_;
 };
 
 } // namespace anton2

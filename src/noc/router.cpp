@@ -48,6 +48,26 @@ Router::Router(std::string name, const RouterConfig &cfg, RouteFn route_fn)
 }
 
 void
+Router::bindMetrics(MetricsRegistry &reg, const std::string &prefix)
+{
+    metrics_ = std::make_unique<RouterMetrics>();
+    for (int p = 0; p < cfg_.num_ports; ++p) {
+        metrics_->in_flits.push_back(
+            &reg.counter(prefix + ".flits_in.port" + std::to_string(p)));
+    }
+    metrics_->sa2_grants = &reg.counter(prefix + ".sa2.grants");
+    metrics_->sa2_losses = &reg.counter(prefix + ".sa2.losses");
+    metrics_->va_credit_stalls =
+        &reg.counter(prefix + ".va.credit_stalls");
+    metrics_->vc_occupancy = &reg.scalar(prefix + ".vc_occupancy");
+    for (int v = 0; v < cfg_.num_vcs; ++v) {
+        metrics_->per_vc_occupancy.push_back(
+            &reg.scalar(prefix + ".vc." + std::to_string(v)
+                        + ".occupancy"));
+    }
+}
+
+void
 Router::connectIn(int port, Channel &ch)
 {
     in_[static_cast<std::size_t>(port)].ch = &ch;
@@ -89,6 +109,8 @@ Router::receive(Cycle now)
             ip.vcs[phit->vc].acceptFlit(*phit, now);
             if (energy_ != nullptr)
                 energy_->onFlit(static_cast<int>(p), phit->payload, now);
+            if (metrics_ != nullptr)
+                metrics_->in_flits[p]->inc();
             ++flits_routed_;
         }
     }
@@ -144,6 +166,8 @@ Router::stageVa(Cycle now)
                         >= entry.pkt->size_flits) {
                         entry.va_done = true;
                         entry.va_at = now;
+                    } else if (metrics_ != nullptr && i == 0) {
+                        metrics_->va_credit_stalls->inc();
                     }
                 }
             }
@@ -210,6 +234,11 @@ Router::stageSa2(Cycle now)
 
         const int winner = sa2_[o]->pick(req, info);
         assert(winner >= 0);
+        if (metrics_ != nullptr) {
+            metrics_->sa2_grants->inc();
+            metrics_->sa2_losses->inc(
+                static_cast<std::uint64_t>(std::popcount(req)) - 1);
+        }
         auto &ip = in_[static_cast<std::size_t>(winner)];
         auto &head = ip.vcs[static_cast<std::size_t>(
                                 sa1_winner_[static_cast<std::size_t>(
@@ -270,6 +299,18 @@ Router::tick(Cycle now)
     receive(now);
     if (buffered_packets_ == 0)
         return; // nothing buffered: the pipeline stages have no work
+    if (metrics_ != nullptr) {
+        int total = 0;
+        for (int v = 0; v < cfg_.num_vcs; ++v) {
+            int occ = 0;
+            for (const auto &ip : in_)
+                occ += ip.vcs[static_cast<std::size_t>(v)].occupancy();
+            metrics_->per_vc_occupancy[static_cast<std::size_t>(v)]->add(
+                occ);
+            total += occ;
+        }
+        metrics_->vc_occupancy->add(total);
+    }
     stageRc(now);
     stageVa(now);
     // SA2 consumes the SA1 winners registered in the previous cycle, so

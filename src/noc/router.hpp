@@ -20,10 +20,25 @@
 #include "noc/packet.hpp"
 #include "power/energy.hpp"
 #include "sim/component.hpp"
+#include "sim/metrics.hpp"
 
 namespace anton2 {
 
 class InverseWeightedArbiter;
+
+/**
+ * Telemetry bound to one router (null when telemetry is disabled, so the
+ * unbound hot path costs one pointer test per record site).
+ */
+struct RouterMetrics
+{
+    std::vector<Counter *> in_flits;         ///< per input port
+    Counter *sa2_grants = nullptr;           ///< output arbitration grants
+    Counter *sa2_losses = nullptr;           ///< requests beaten at SA2
+    Counter *va_credit_stalls = nullptr;     ///< head blocked on credits
+    ScalarStat *vc_occupancy = nullptr;      ///< total buffered flits/cycle
+    std::vector<ScalarStat *> per_vc_occupancy; ///< per VC, across ports
+};
 
 /** Static configuration of one router instance. */
 struct RouterConfig
@@ -72,6 +87,13 @@ class Router : public Component
     /** Optional energy meter (not owned); charges per-flit events. */
     void setEnergyMeter(RouterEnergyMeter *meter) { energy_ = meter; }
 
+    /**
+     * Register this router's metrics under @p prefix (for example
+     * `chip.3.router.2.1`) and start recording into them. Occupancy is
+     * sampled on cycles the router holds buffered traffic.
+     */
+    void bindMetrics(MetricsRegistry &reg, const std::string &prefix);
+
     const RouterConfig &config() const { return cfg_; }
     std::uint64_t flitsRouted() const { return flits_routed_; }
 
@@ -109,6 +131,7 @@ class Router : public Component
     std::vector<std::unique_ptr<Arbiter>> sa2_;      ///< per output port
     std::vector<int> sa1_winner_;                    ///< vc per input, -1
     RouterEnergyMeter *energy_ = nullptr;
+    std::unique_ptr<RouterMetrics> metrics_;
     std::uint64_t flits_routed_ = 0;
     int buffered_packets_ = 0;
 };

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Machine-wide telemetry: a hierarchical registry of counters, scalar
+ * statistics, and histograms with hand-rolled JSON serialization.
+ *
+ * The paper's entire evaluation (Section 4, Figures 9-13) is built on
+ * free-running cycle counters and per-channel/per-arbiter measurements.
+ * This module is the shared substrate for those measurements: components
+ * register metrics under dot-separated paths (for example
+ * `chip.3.router.2.1.vc_occupancy`) and record into them on the hot path
+ * only when a registry has been bound, so a machine built without
+ * telemetry pays nothing beyond a null-pointer test.
+ *
+ * Serialization emits deterministic JSON (sorted paths, fixed number
+ * formatting, no wall-clock values), so two runs with the same seed
+ * produce byte-identical reports - the property the determinism
+ * regression suite locks in.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "sim/stats.hpp"
+
+namespace anton2 {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Hierarchical metric registry. Paths are dot-separated; the registry
+ * stores a flat sorted map and reconstructs the hierarchy at
+ * serialization time. Registering the same path twice with the same kind
+ * returns the existing metric (so several components may share one
+ * aggregate); registering it with a different kind throws.
+ *
+ * A `gauge` is a plain double set at snapshot time for derived values
+ * (utilization ratios, elapsed cycles) that are computed from other
+ * metrics rather than accumulated.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &path);
+    ScalarStat &scalar(const std::string &path);
+    Histogram &histogram(const std::string &path, std::size_t bins,
+                         double bin_width);
+    void setGauge(const std::string &path, double value);
+
+    /** Lookup without creating; null if absent or of another kind. */
+    const Counter *findCounter(const std::string &path) const;
+    const ScalarStat *findScalar(const std::string &path) const;
+    const Histogram *findHistogram(const std::string &path) const;
+
+    std::size_t size() const { return metrics_.size(); }
+
+    /** Reset every metric to its empty state (gauges to 0). */
+    void reset();
+
+    /**
+     * Serialize the full hierarchy as pretty-printed JSON. Counters and
+     * gauges become numbers; scalar stats and histograms become objects
+     * of their summary fields. NaN (for example the min of an empty
+     * stat) serializes as null.
+     */
+    std::string toJson(int indent = 2) const;
+
+  private:
+    using Metric = std::variant<Counter, ScalarStat, Histogram, double>;
+
+    /** Sorted by path: serialization order is deterministic. */
+    std::map<std::string, Metric> metrics_;
+};
+
+/** Format a double for JSON: NaN/Inf -> "null", integral values without
+ * a fraction, everything else round-trippable via %.17g. */
+std::string jsonNumber(double x);
+
+/** Escape a string for use inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace anton2

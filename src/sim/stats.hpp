@@ -34,8 +34,23 @@ class ScalarStat
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? mean_ : 0.0; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Minimum/maximum observed sample, or NaN when no samples have been
+     * recorded. (Formerly 0.0, which read as a genuine latency minimum;
+     * formatters should render the empty case as "-" or null.)
+     */
+    double
+    min() const
+    {
+        return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+    }
+
+    double
+    max() const
+    {
+        return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+    }
 
     double
     variance() const
@@ -85,6 +100,13 @@ class Histogram
     const std::vector<std::uint64_t> &counts() const { return counts_; }
     const ScalarStat &stat() const { return stat_; }
     double binWidth() const { return width_; }
+
+    void
+    reset()
+    {
+        stat_.reset();
+        counts_.assign(counts_.size(), 0);
+    }
 
     /** Approximate p-quantile (q in [0,1]) from the binned counts. */
     double

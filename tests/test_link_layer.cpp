@@ -7,6 +7,7 @@
 
 #include "link/link_layer.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 
 namespace anton2 {
 namespace {
@@ -135,6 +136,76 @@ TEST(LinkLayer, ThroughputDegradesGracefullyWithErrors)
     const auto noisy = run(2e-3);
     EXPECT_GT(clean, noisy);
     EXPECT_GT(noisy, 0u);
+}
+
+TEST(LinkLayer, ZeroBerMetricsBalanceExactly)
+{
+    // Regression: on a clean link the telemetry must balance to the flit -
+    // no retransmissions, no drops, every transmitted frame delivered.
+    MetricsRegistry reg;
+    LinkFixture link(0.0);
+    link.sender.bindMetrics(reg, "link.tx");
+    link.receiver.bindMetrics(reg, "link.rx");
+
+    constexpr std::uint64_t kFlits = 96;
+    for (std::uint64_t i = 0; i < kFlits; ++i)
+        link.sender.offer(FlitPayload{ i, i * 5, ~i });
+    link.engine.runUntil(
+        [&] { return link.received.size() >= kFlits && !link.sender.busy(); },
+        20000);
+
+    ASSERT_EQ(link.received.size(), kFlits);
+    EXPECT_EQ(link.sender.retransmissions(), 0u);
+
+    const auto count = [&](const char *path) {
+        const Counter *c = reg.findCounter(path);
+        EXPECT_NE(c, nullptr) << path;
+        return c != nullptr ? c->value() : 0u;
+    };
+    EXPECT_EQ(count("link.tx.frames_tx"), kFlits);
+    EXPECT_EQ(count("link.tx.retransmissions"), 0u);
+    EXPECT_EQ(count("link.rx.delivered"), kFlits);
+    EXPECT_EQ(count("link.rx.crc_drops"), 0u);
+    EXPECT_EQ(count("link.rx.order_drops"), 0u);
+    // Registry counters must mirror the components' own accessors.
+    EXPECT_EQ(count("link.tx.frames_tx"), link.sender.framesTransmitted());
+    EXPECT_EQ(count("link.rx.delivered"), link.receiver.delivered());
+    // Every cumulative ack the receiver sent either arrived or is still
+    // in flight; at quiescence the sender has seen at least one.
+    EXPECT_GE(count("link.rx.acks_tx"), count("link.tx.acks_rx"));
+    EXPECT_GT(count("link.tx.acks_rx"), 0u);
+}
+
+TEST(LinkLayer, NonzeroBerDeliversInOrderAndCountsRetransmissions)
+{
+    // Regression: with bit errors injected, delivery must remain complete
+    // and in-order while the registry records the recovery work.
+    MetricsRegistry reg;
+    LinkFixture link(1e-3, 41);
+    link.sender.bindMetrics(reg, "link.tx");
+    link.receiver.bindMetrics(reg, "link.rx");
+
+    constexpr std::uint64_t kFlits = 120;
+    for (std::uint64_t i = 0; i < kFlits; ++i)
+        link.sender.offer(FlitPayload{ i, i ^ 0x5555u, i << 4 });
+    link.engine.runUntil([&] { return link.received.size() >= kFlits; },
+                         400000);
+
+    ASSERT_EQ(link.received.size(), kFlits);
+    for (std::uint64_t i = 0; i < kFlits; ++i)
+        EXPECT_EQ(link.received[i][0], i) << "out of order at " << i;
+
+    const Counter *retx = reg.findCounter("link.tx.retransmissions");
+    ASSERT_NE(retx, nullptr);
+    EXPECT_GT(retx->value(), 0u);
+    EXPECT_EQ(retx->value(), link.sender.retransmissions());
+    // frames_tx counts resends too, so it exceeds unique deliveries.
+    EXPECT_GT(reg.findCounter("link.tx.frames_tx")->value(), kFlits);
+    EXPECT_EQ(reg.findCounter("link.rx.delivered")->value(), kFlits);
+    // Dropped frames (CRC or out-of-order) are what forced the resends.
+    EXPECT_GT(reg.findCounter("link.rx.crc_drops")->value()
+                  + reg.findCounter("link.rx.order_drops")->value(),
+              0u);
 }
 
 TEST(LinkLayer, RecoversFromBurstLoss)

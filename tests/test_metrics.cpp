@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Unit and property tests for the telemetry layer: Counter, Histogram,
+ * MetricsRegistry path registration/aggregation/reset, and toJson()
+ * round-trips through a tiny in-test JSON parser.
+ */
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/rng.hpp"
+
+namespace anton2 {
+namespace {
+
+// ---------------------------------------------------------------------
+// A minimal recursive-descent JSON parser, just enough to round-trip
+// MetricsRegistry::toJson() output. Numbers parse as double; null maps
+// to NaN (matching the serializer's NaN -> null convention).
+// ---------------------------------------------------------------------
+struct JsonValue
+{
+    enum class Kind { Object, Array, Number, String, Null } kind;
+    std::map<std::string, std::unique_ptr<JsonValue>> object;
+    std::vector<std::unique_ptr<JsonValue>> array;
+    double number = 0.0;
+    std::string string;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        static const JsonValue missing{ Kind::Null, {}, {},
+                                        std::numeric_limits<
+                                            double>::quiet_NaN(),
+                                        {} };
+        const auto it = object.find(key);
+        if (it == object.end()) {
+            ADD_FAILURE() << "missing key: " << key;
+            return missing;
+        }
+        return *it->second;
+    }
+
+    /** Descend a dot-separated path. */
+    const JsonValue &
+    path(const std::string &p) const
+    {
+        const JsonValue *v = this;
+        std::size_t start = 0;
+        while (start <= p.size()) {
+            const auto dot = p.find('.', start);
+            const auto seg =
+                p.substr(start, dot == std::string::npos ? std::string::npos
+                                                         : dot - start);
+            v = &v->at(seg);
+            if (dot == std::string::npos)
+                break;
+            start = dot + 1;
+        }
+        return *v;
+    }
+};
+
+class TinyJsonParser
+{
+  public:
+    explicit TinyJsonParser(const std::string &text) : s_(text) {}
+
+    std::unique_ptr<JsonValue>
+    parse()
+    {
+        auto v = parseValue();
+        skipWs();
+        EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON";
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size()
+               && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        EXPECT_EQ(peek(), c);
+        ++pos_;
+    }
+
+    std::unique_ptr<JsonValue>
+    parseValue()
+    {
+        const char c = peek();
+        auto v = std::make_unique<JsonValue>();
+        if (c == '{') {
+            v->kind = JsonValue::Kind::Object;
+            expect('{');
+            if (peek() != '}') {
+                while (true) {
+                    const std::string key = parseString();
+                    expect(':');
+                    v->object[key] = parseValue();
+                    if (peek() != ',')
+                        break;
+                    expect(',');
+                }
+            }
+            expect('}');
+        } else if (c == '[') {
+            v->kind = JsonValue::Kind::Array;
+            expect('[');
+            if (peek() != ']') {
+                while (true) {
+                    v->array.push_back(parseValue());
+                    if (peek() != ',')
+                        break;
+                    expect(',');
+                }
+            }
+            expect(']');
+        } else if (c == '"') {
+            v->kind = JsonValue::Kind::String;
+            v->string = parseString();
+        } else if (c == 'n') {
+            v->kind = JsonValue::Kind::Null;
+            v->number = std::numeric_limits<double>::quiet_NaN();
+            EXPECT_EQ(s_.substr(pos_, 4), "null");
+            pos_ += 4;
+        } else {
+            v->kind = JsonValue::Kind::Number;
+            const std::size_t start = pos_;
+            while (pos_ < s_.size()
+                   && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                       || s_[pos_] == '-' || s_[pos_] == '+'
+                       || s_[pos_] == '.' || s_[pos_] == 'e'
+                       || s_[pos_] == 'E'))
+                ++pos_;
+            EXPECT_GT(pos_, start) << "expected a number";
+            v->number = std::stod(s_.substr(start, pos_ - start));
+        }
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+                ++pos_;
+                switch (s_[pos_]) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  default: out += s_[pos_];
+                }
+            } else {
+                out += s_[pos_];
+            }
+            ++pos_;
+        }
+        EXPECT_LT(pos_, s_.size()) << "unterminated string";
+        ++pos_;
+        return out;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// ScalarStat empty-state fix
+// ---------------------------------------------------------------------
+
+TEST(ScalarStat, EmptyMinMaxIsNan)
+{
+    ScalarStat s;
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    s.reset();
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(ScalarStat, EmptyMinMaxSerializesAsNull)
+{
+    MetricsRegistry reg;
+    reg.scalar("empty.stat");
+    const auto doc = TinyJsonParser(reg.toJson()).parse();
+    const auto &stat = doc->path("empty.stat");
+    EXPECT_EQ(stat.at("count").number, 0.0);
+    EXPECT_EQ(stat.at("min").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(stat.at("max").kind, JsonValue::Kind::Null);
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+TEST(Histogram, ResetClearsCountsAndMoments)
+{
+    Histogram h(8, 4.0);
+    for (double x : { 1.0, 5.0, 100.0 })
+        h.add(x);
+    EXPECT_EQ(h.stat().count(), 3u);
+    h.reset();
+    EXPECT_EQ(h.stat().count(), 0u);
+    for (const auto c : h.counts())
+        EXPECT_EQ(c, 0u);
+    // Usable after reset.
+    h.add(2.0);
+    EXPECT_EQ(h.counts()[0], 1u);
+}
+
+TEST(Histogram, QuantilesMatchSortedOracleOnRandomData)
+{
+    // Property: the binned quantile must land within one bin width of
+    // the exact order statistic, across several distributions and seeds.
+    for (const std::uint64_t seed : { 3u, 17u, 99u }) {
+        Rng rng(seed);
+        constexpr double kBinWidth = 2.0;
+        Histogram h(256, kBinWidth);
+        std::vector<double> oracle;
+        for (int i = 0; i < 5000; ++i) {
+            // Mixture: uniform bulk plus a sparse heavy tail.
+            const double x = rng.chance(0.05)
+                                 ? 300.0 + rng.uniform() * 200.0
+                                 : rng.uniform() * 100.0;
+            h.add(x);
+            oracle.push_back(x);
+        }
+        std::sort(oracle.begin(), oracle.end());
+        for (const double q : { 0.1, 0.5, 0.9, 0.99 }) {
+            const auto rank = static_cast<std::size_t>(
+                q * static_cast<double>(oracle.size()));
+            const double exact = oracle[rank];
+            EXPECT_NEAR(h.quantile(q), exact, kBinWidth)
+                << "q=" << q << " seed=" << seed;
+        }
+        // q=1.0 degenerates to the exact maximum.
+        EXPECT_DOUBLE_EQ(h.quantile(1.0), oracle.back());
+    }
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, PathRegistrationReturnsSameObject)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("x.y.count");
+    Counter &b = reg.counter("x.y.count");
+    EXPECT_EQ(&a, &b);
+    a.inc(7);
+    EXPECT_EQ(b.value(), 7u);
+    EXPECT_EQ(reg.size(), 1u);
+
+    // Shared aggregation: two "components" recording into one scalar.
+    ScalarStat &s1 = reg.scalar("machine.latency");
+    ScalarStat &s2 = reg.scalar("machine.latency");
+    s1.add(1.0);
+    s2.add(3.0);
+    EXPECT_EQ(reg.findScalar("machine.latency")->count(), 2u);
+}
+
+TEST(MetricsRegistry, KindConflictThrows)
+{
+    MetricsRegistry reg;
+    reg.counter("a.b");
+    EXPECT_THROW(reg.scalar("a.b"), std::invalid_argument);
+    EXPECT_THROW(reg.histogram("a.b", 4, 1.0), std::invalid_argument);
+    EXPECT_EQ(reg.findScalar("a.b"), nullptr);
+    EXPECT_NE(reg.findCounter("a.b"), nullptr);
+}
+
+TEST(MetricsRegistry, NestingConflictThrows)
+{
+    MetricsRegistry reg;
+    reg.counter("a.b");
+    // "a.b" is a leaf: neither a child nor a parent may also register.
+    EXPECT_THROW(reg.counter("a.b.c"), std::invalid_argument);
+    EXPECT_THROW(reg.counter("a"), std::invalid_argument);
+    EXPECT_NO_THROW(reg.counter("a.c"));
+}
+
+TEST(MetricsRegistry, ResetClearsEverything)
+{
+    MetricsRegistry reg;
+    reg.counter("c").inc(5);
+    reg.scalar("s").add(2.0);
+    reg.histogram("h", 4, 1.0).add(0.5);
+    reg.setGauge("g", 9.0);
+    reg.reset();
+    EXPECT_EQ(reg.findCounter("c")->value(), 0u);
+    EXPECT_EQ(reg.findScalar("s")->count(), 0u);
+    EXPECT_EQ(reg.findHistogram("h")->stat().count(), 0u);
+    const auto doc = TinyJsonParser(reg.toJson()).parse();
+    EXPECT_EQ(doc->at("g").number, 0.0);
+}
+
+TEST(MetricsRegistry, ToJsonRoundTrip)
+{
+    MetricsRegistry reg;
+    reg.counter("chip.0.router.1.2.flits").inc(123);
+    reg.counter("chip.0.router.1.2.grants").inc(45);
+    reg.counter("chip.10.ca.x0p.flits_sent").inc(9);
+    reg.scalar("machine.latency.network").add(10.0);
+    reg.scalar("machine.latency.network").add(30.0);
+    auto &h = reg.histogram("machine.latency.total", 4, 10.0);
+    for (double x : { 1.0, 12.0, 35.0, 99.0 })
+        h.add(x);
+    reg.setGauge("machine.cycles", 5000.0);
+
+    const std::string json = reg.toJson();
+    const auto doc = TinyJsonParser(json).parse();
+
+    EXPECT_EQ(doc->path("chip.0.router.1.2.flits").number, 123.0);
+    EXPECT_EQ(doc->path("chip.0.router.1.2.grants").number, 45.0);
+    EXPECT_EQ(doc->path("chip.10.ca.x0p.flits_sent").number, 9.0);
+    EXPECT_EQ(doc->path("machine.cycles").number, 5000.0);
+
+    const auto &net = doc->path("machine.latency.network");
+    EXPECT_EQ(net.at("count").number, 2.0);
+    EXPECT_EQ(net.at("mean").number, 20.0);
+    EXPECT_EQ(net.at("min").number, 10.0);
+    EXPECT_EQ(net.at("max").number, 30.0);
+
+    const auto &tot = doc->path("machine.latency.total");
+    EXPECT_EQ(tot.at("bin_width").number, 10.0);
+    EXPECT_EQ(tot.at("count").number, 4.0);
+    ASSERT_EQ(tot.at("counts").array.size(), 5u); // 4 bins + overflow
+    EXPECT_EQ(tot.at("counts").array[0]->number, 1.0);
+    EXPECT_EQ(tot.at("counts").array[4]->number, 1.0);
+
+    // Serialization is deterministic.
+    EXPECT_EQ(json, reg.toJson());
+}
+
+TEST(MetricsRegistry, JsonNumberFormatting)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(-3.0), "-3");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+    // Fractional values round-trip exactly through the parser.
+    const double x = 0.3463203463203463;
+    EXPECT_EQ(std::stod(jsonNumber(x)), x);
+}
+
+} // namespace
+} // namespace anton2
