@@ -93,6 +93,9 @@ main(int argc, char **argv)
     const char *json_path = args.strFlag("--json", nullptr);
     if (json_path != nullptr && !bench::checkWritable(json_path))
         return 1;
+    const auto trace = bench::TraceOptions::parse(args);
+    if (!trace.validate())
+        return 1;
 
     MachineConfig cfg;
     cfg.radix = { k, k, k };
@@ -102,6 +105,7 @@ main(int argc, char **argv)
     cfg.seed = 31;
     cfg.enable_metrics = json_path != nullptr;
     Machine m(cfg);
+    trace.apply(m);
 
     bench::printHeader(
         "Figure 11: one-way 16 B message latency vs. inter-node hops");
@@ -177,6 +181,13 @@ main(int argc, char **argv)
                              .dump()
                              + "\n");
         std::printf("JSON report written to %s\n", json_path);
+    }
+    if (trace.enabled()) {
+        trace.write(m);
+        if (trace.chrome != nullptr)
+            std::printf("Chrome trace written to %s\n", trace.chrome);
+        if (trace.csv != nullptr)
+            std::printf("Flight record written to %s\n", trace.csv);
     }
     return 0;
 }

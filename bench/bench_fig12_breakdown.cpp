@@ -26,6 +26,9 @@ main(int argc, char **argv)
 {
     const bench::Args args(argc, argv);
     const int k = static_cast<int>(args.flag("--k", 4));
+    const auto trace = bench::TraceOptions::parse(args);
+    if (!trace.validate())
+        return 1;
 
     MachineConfig cfg;
     cfg.radix = { k, k, k };
@@ -33,6 +36,9 @@ main(int argc, char **argv)
     cfg.use_packaging = true;
     cfg.seed = 33;
     Machine m(cfg);
+    // A single-packet traversal makes the smallest useful demo trace:
+    // every lifecycle event of Figure 12's E -> R -> C -> link path.
+    trace.apply(m);
 
     // The minimum-latency configuration: source and destination endpoints
     // co-located with the Y-channel routers (endpoint 16 sits on R(0,2)
@@ -100,5 +106,12 @@ main(int argc, char **argv)
                 "total.\nHere: network = %.0f%% of total.\n",
                 100.0 * static_cast<double>(network)
                     / static_cast<double>(total));
+    if (trace.enabled()) {
+        trace.write(m);
+        if (trace.chrome != nullptr)
+            std::printf("Chrome trace written to %s\n", trace.chrome);
+        if (trace.csv != nullptr)
+            std::printf("Flight record written to %s\n", trace.csv);
+    }
     return 0;
 }

@@ -41,7 +41,8 @@ struct RunResult
 RunResult
 runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
          const char *pattern_name, std::uint64_t batch,
-         std::uint64_t seed, bool with_metrics)
+         std::uint64_t seed, bool with_metrics,
+         const bench::TraceOptions *trace = nullptr)
 {
     MachineConfig cfg;
     cfg.radix = radix;
@@ -52,6 +53,8 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
     cfg.seed = seed;
     cfg.enable_metrics = with_metrics;
     Machine m(cfg);
+    if (trace != nullptr)
+        trace->apply(m);
 
     const auto core_eps = firstEndpoints(cores);
 
@@ -88,6 +91,8 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
     if (!driver.run(max_cycles))
         std::fprintf(stderr, "WARNING: batch timed out\n");
 
+    if (trace != nullptr)
+        trace->write(m);
     return { driver.throughputPerCore() / ideal, driver.completionTime(),
              with_metrics ? m.metricsJson() : std::string() };
 }
@@ -108,6 +113,9 @@ main(int argc, char **argv)
     const char *json_path = args.strFlag("--json", nullptr);
     if (json_path != nullptr && !bench::checkWritable(json_path))
         return 1;
+    const auto trace = bench::TraceOptions::parse(args);
+    if (!trace.validate())
+        return 1;
 
     bench::printHeader(
         "Figure 9: batch throughput vs. batch size "
@@ -122,14 +130,18 @@ main(int argc, char **argv)
     std::string last_metrics;
     for (const char *pattern : { "2-hop", "uniform" }) {
         for (std::uint64_t batch = 16; batch <= max_batch; batch *= 4) {
-            // The telemetry snapshot comes from the largest batch of each
-            // sweep (recording is only enabled when a report is written).
+            // The telemetry snapshot (and the event trace, when enabled)
+            // comes from the largest batch of each sweep; the last
+            // pattern's probe run wins the output files.
             const bool probe =
-                json_path != nullptr && batch * 4 > max_batch;
+                (json_path != nullptr || trace.enabled())
+                && batch * 4 > max_batch;
             const auto rr = runBatch(radix, cores, ArbPolicy::RoundRobin,
                                      pattern, batch, seed, false);
             auto iw = runBatch(radix, cores, ArbPolicy::InverseWeighted,
-                               pattern, batch, seed, probe);
+                               pattern, batch, seed,
+                               probe && json_path != nullptr,
+                               probe ? &trace : nullptr);
             std::printf("%-18s %10llu %14.3f %16.3f\n", pattern,
                         static_cast<unsigned long long>(batch),
                         rr.normalized, iw.normalized);
@@ -174,5 +186,9 @@ main(int argc, char **argv)
                 + "\n");
         std::printf("JSON report written to %s\n", json_path);
     }
+    if (trace.chrome != nullptr)
+        std::printf("Chrome trace written to %s\n", trace.chrome);
+    if (trace.csv != nullptr)
+        std::printf("Flight record written to %s\n", trace.csv);
     return 0;
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/machine.hpp"
 #include "sim/metrics.hpp"
 
 namespace anton2::bench {
@@ -150,6 +151,67 @@ writeFile(const std::string &path, const std::string &content)
     std::fwrite(content.data(), 1, content.size(), f);
     std::fclose(f);
 }
+
+/**
+ * Shared event-tracing flags for the figure benches:
+ *   --trace <path>        write Chrome trace-event JSON (Perfetto/
+ *                         chrome://tracing loadable)
+ *   --trace-csv <path>    write the per-packet flight-record CSV
+ *   --trace-sample <N>    record every Nth packet id (default 1)
+ * Paths are validated before any simulation time is spent.
+ */
+struct TraceOptions
+{
+    const char *chrome = nullptr;
+    const char *csv = nullptr;
+    std::uint64_t sample = 1;
+
+    static TraceOptions
+    parse(const Args &args)
+    {
+        TraceOptions t;
+        t.chrome = args.strFlag("--trace", nullptr);
+        t.csv = args.strFlag("--trace-csv", nullptr);
+        t.sample =
+            static_cast<std::uint64_t>(args.flag("--trace-sample", 1));
+        return t;
+    }
+
+    bool enabled() const { return chrome != nullptr || csv != nullptr; }
+
+    /** Fail fast on unwritable output paths (false = do not simulate). */
+    bool
+    validate() const
+    {
+        bool ok = true;
+        if (chrome != nullptr)
+            ok = checkWritable(chrome) && ok;
+        if (csv != nullptr)
+            ok = checkWritable(csv) && ok;
+        return ok;
+    }
+
+    /** Turn tracing on for @p m (no-op when no output was requested). */
+    void
+    apply(Machine &m) const
+    {
+        if (!enabled())
+            return;
+        TraceConfig cfg;
+        cfg.sample = sample;
+        m.enableTracing(cfg);
+    }
+
+    /** Export whatever @p m recorded to the requested paths. */
+    void
+    write(Machine &m) const
+    {
+        if (chrome != nullptr)
+            writeFile(chrome, m.traceChromeJson());
+        if (csv != nullptr)
+            writeFile(csv, m.traceFlightCsv());
+    }
+};
 
 /** Render a possibly-NaN value for the text tables ("-" when empty). */
 inline std::string

@@ -38,7 +38,6 @@ AreaModel::structuralCount(NetComponent c, AreaCategory cat,
 {
     const bool router = c == NetComponent::Router;
     const bool endpoint = c == NetComponent::Endpoint;
-    const bool channel = c == NetComponent::Channel;
 
     const int count = router ? spec.routers
                              : endpoint ? spec.endpoints

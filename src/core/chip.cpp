@@ -1,7 +1,6 @@
 #include "core/chip.hpp"
 
 #include <cassert>
-#include <cctype>
 
 #include "routing/mesh_route.hpp"
 
@@ -11,7 +10,9 @@ Chip::Chip(NodeId node, const ChipConfig &cfg, const ChipLayout &layout,
            const TorusGeom &geom)
     : node_(node), cfg_(cfg), layout_(layout), geom_(geom)
 {
-    const std::string prefix = "n" + std::to_string(node) + ".";
+    std::string prefix = "n";
+    prefix += std::to_string(node);
+    prefix += '.';
 
     RouterConfig rcfg;
     rcfg.num_ports = kRouterPorts;
@@ -143,19 +144,29 @@ Chip::bindMetrics(MetricsRegistry &reg)
                      + std::to_string(mesh.v(r)));
     }
     for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
-        int dim, slice;
-        Dir dir;
-        layout_.channelAdapterParams(ca, dim, dir, slice);
-        const std::string chan =
-            std::string(1, static_cast<char>(std::tolower(kDimNames[dim])))
-            + std::to_string(slice) + (dir == Dir::Pos ? "p" : "n");
         channel_adapters_[static_cast<std::size_t>(ca)]->bindMetrics(
-            reg, prefix + ".ca." + chan);
+            reg, prefix + ".ca." + layout_.channelShortName(ca));
     }
     for (EndpointId e = 0; e < layout_.numEndpoints(); ++e) {
         endpoints_[static_cast<std::size_t>(e)]->bindMetrics(
             reg, prefix + ".ep." + std::to_string(e), "machine");
     }
+}
+
+void
+Chip::bindTrace(TraceSink &sink)
+{
+    for (RouterId r = 0; r < layout_.numRouters(); ++r) {
+        routers_[static_cast<std::size_t>(r)]->bindTrace(
+            sink, node_, static_cast<std::int16_t>(r));
+        routers_[static_cast<std::size_t>(r)]->enableStallSampling();
+    }
+    for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
+        channel_adapters_[static_cast<std::size_t>(ca)]->bindTrace(
+            sink, node_, static_cast<std::int16_t>(ca));
+    }
+    for (EndpointId e = 0; e < layout_.numEndpoints(); ++e)
+        endpoints_[static_cast<std::size_t>(e)]->bindTrace(sink);
 }
 
 RouterEnergyMeter *

@@ -70,6 +70,13 @@ class Chip
      */
     void bindMetrics(MetricsRegistry &reg);
 
+    /**
+     * Bind every component of this chip to @p sink: routers emit
+     * lifecycle events and start stall sampling, channel adapters emit
+     * link-traverse events, endpoints emit inject/eject events.
+     */
+    void bindTrace(TraceSink &sink);
+
     NodeId node() const { return node_; }
     const ChipLayout &layout() const { return layout_; }
     const ChipConfig &config() const { return cfg_; }

@@ -1,6 +1,7 @@
 #include "core/chip_layout.hpp"
 
 #include <cassert>
+#include <cctype>
 #include <stdexcept>
 
 #include "routing/mesh_route.hpp"
@@ -179,6 +180,19 @@ int
 ChipLayout::endpointPort(RouterId r, EndpointId e) const
 {
     return findPort(r, RouterPort::Kind::Endpoint, e);
+}
+
+std::string
+ChipLayout::channelShortName(ChannelAdapterId ca) const
+{
+    int dim, slice;
+    Dir dir;
+    channelAdapterParams(ca, dim, dir, slice);
+    std::string name(1, static_cast<char>(
+                            std::tolower(kDimNames[dim])));
+    name += std::to_string(slice);
+    name += dir == Dir::Pos ? 'p' : 'n';
+    return name;
 }
 
 std::vector<ChipChannel>

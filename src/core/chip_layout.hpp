@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "topo/mesh.hpp"
@@ -149,6 +150,12 @@ class ChipLayout
         slice = (ca / 2) % kNumSlices;
         dim = ca / (2 * kNumSlices);
     }
+
+    /**
+     * Short lowercase channel label used in metrics paths and trace track
+     * names: dimension letter, slice, direction - e.g. `x0p`, `z1n`.
+     */
+    std::string channelShortName(ChannelAdapterId ca) const;
 
     /** Router a channel adapter attaches to. */
     RouterId

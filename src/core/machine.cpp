@@ -1,8 +1,10 @@
 #include "core/machine.hpp"
 
 #include <cassert>
-#include <cctype>
 #include <stdexcept>
+
+#include "trace/chrome_trace.hpp"
+#include "trace/flight_record.hpp"
 
 namespace anton2 {
 
@@ -108,25 +110,130 @@ Machine::metricsJson()
     for (NodeId n = 0; n < geom_.numNodes(); ++n) {
         for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
             ChannelAdapter &a = chip(n).channelAdapter(ca);
-            int dim, slice;
-            Dir dir;
-            layout_.channelAdapterParams(ca, dim, dir, slice);
-            const std::string chan =
-                std::string(1, static_cast<char>(
-                                   std::tolower(kDimNames[dim])))
-                + std::to_string(slice) + (dir == Dir::Pos ? "p" : "n");
             const double capacity =
                 cycles
                 * static_cast<double>(a.config().ser_tokens_per_cycle)
                 / static_cast<double>(a.config().ser_tokens_per_flit);
-            reg.setGauge("chip." + std::to_string(n) + ".ca." + chan
+            reg.setGauge("chip." + std::to_string(n) + ".ca."
+                             + layout_.channelShortName(ca)
                              + ".utilization",
                          capacity > 0.0
                              ? static_cast<double>(a.flitsSent()) / capacity
                              : 0.0);
         }
     }
+
+    // Stall attribution (present once tracing enabled the samplers):
+    // per-router per-class cycle totals plus the machine-wide aggregate
+    // that traceChromeJson() mirrors in otherData.stall_totals.
+    PortStallTotals machine_stalls;
+    bool any_stalls = false;
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        const MeshGeom &mesh = layout_.mesh();
+        for (RouterId r = 0; r < layout_.numRouters(); ++r) {
+            const RouterStallSampler *s = chip(n).router(r).stallSampler();
+            if (s == nullptr)
+                continue;
+            any_stalls = true;
+            const PortStallTotals agg = s->aggregate();
+            const std::string prefix = "chip." + std::to_string(n)
+                                       + ".router."
+                                       + std::to_string(mesh.u(r)) + "."
+                                       + std::to_string(mesh.v(r))
+                                       + ".stall.";
+            for (int c = 0; c < kNumStallClasses; ++c) {
+                const auto cycles_c =
+                    agg.cycles[static_cast<std::size_t>(c)];
+                reg.setGauge(prefix
+                                 + stallClassName(static_cast<StallClass>(c)),
+                             static_cast<double>(cycles_c));
+                machine_stalls.cycles[static_cast<std::size_t>(c)] +=
+                    cycles_c;
+            }
+        }
+    }
+    if (any_stalls) {
+        for (int c = 0; c < kNumStallClasses; ++c) {
+            reg.setGauge(std::string("machine.stall.")
+                             + stallClassName(static_cast<StallClass>(c)),
+                         static_cast<double>(machine_stalls.cycles[
+                             static_cast<std::size_t>(c)]));
+        }
+    }
     return reg.toJson();
+}
+
+RingTraceSink &
+Machine::enableTracing(const TraceConfig &cfg)
+{
+    if (trace_ != nullptr)
+        return *trace_;
+    trace_ = std::make_unique<RingTraceSink>(cfg.capacity);
+    trace_->setSampleStride(cfg.sample);
+    for (auto &c : chips_)
+        c->bindTrace(*trace_);
+    return *trace_;
+}
+
+std::string
+Machine::traceChromeJson()
+{
+    assert(trace_ != nullptr && "call enableTracing() first");
+
+    ChromeTraceInput in;
+    in.events = trace_->drain();
+    in.recorded = trace_->recorded();
+    in.dropped = trace_->dropped();
+    in.sample_stride = trace_->sampleStride();
+    in.end_cycle = engine_.now();
+
+    // One stall report per router output port that saw any cycles.
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        for (RouterId r = 0; r < layout_.numRouters(); ++r) {
+            const RouterStallSampler *s = chip(n).router(r).stallSampler();
+            if (s == nullptr)
+                continue;
+            for (std::size_t p = 0; p < s->ports.size(); ++p) {
+                if (s->ports[p].total() == 0)
+                    continue;
+                in.stalls.push_back({ static_cast<std::int32_t>(n),
+                                      static_cast<std::int16_t>(r),
+                                      static_cast<std::int16_t>(p),
+                                      s->ports[p] });
+            }
+        }
+    }
+
+    const ChipLayout &layout = layout_;
+    in.track_name = [&layout](TraceUnitKind kind, std::int32_t,
+                              std::int16_t unit, std::int16_t port) {
+        switch (kind) {
+          case TraceUnitKind::Router: {
+              const MeshGeom &mesh = layout.mesh();
+              std::string name = "R(" + std::to_string(mesh.u(unit)) + ","
+                                 + std::to_string(mesh.v(unit)) + ")";
+              if (port >= 0)
+                  name += ":out" + std::to_string(port);
+              return name;
+          }
+          case TraceUnitKind::ChannelAdapter:
+            return "CA " + layout.channelShortName(unit);
+          case TraceUnitKind::Endpoint:
+            return "E" + std::to_string(unit);
+          case TraceUnitKind::Link:
+            return "L" + std::to_string(unit);
+        }
+        return std::string("unit ") + std::to_string(unit);
+    };
+
+    return chromeTraceJson(in);
+}
+
+std::string
+Machine::traceFlightCsv()
+{
+    assert(trace_ != nullptr && "call enableTracing() first");
+    return flightRecordCsv(trace_->drain());
 }
 
 void

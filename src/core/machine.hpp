@@ -19,8 +19,16 @@
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
+#include "trace/trace.hpp"
 
 namespace anton2 {
+
+/** Trace recorder sizing and sampling (Machine::enableTracing). */
+struct TraceConfig
+{
+    std::size_t capacity = std::size_t{ 1 } << 19; ///< ring slots
+    std::uint64_t sample = 1; ///< record every Nth packet id
+};
 
 struct MachineConfig
 {
@@ -132,6 +140,31 @@ class Machine
      */
     std::string metricsJson();
 
+    // ------------------------------------------------------------------
+    // Event tracing
+    // ------------------------------------------------------------------
+
+    /**
+     * Create the trace ring (if absent) and bind every component:
+     * routers (lifecycle events + stall sampling), channel adapters,
+     * and endpoints. Idempotent; returns the sink. Like enableMetrics(),
+     * recording starts immediately.
+     */
+    RingTraceSink &enableTracing(const TraceConfig &cfg = {});
+
+    /** The bound trace sink, or null when tracing is disabled. */
+    RingTraceSink *trace() { return trace_.get(); }
+
+    /**
+     * Export the recorded events plus per-port stall attribution as
+     * Chrome trace-event JSON with layout-aware track names. Requires
+     * enableTracing().
+     */
+    std::string traceChromeJson();
+
+    /** Export the recorded events as a per-packet flight-record CSV. */
+    std::string traceFlightCsv();
+
   private:
     void prepareUnicast(Packet &pkt);
 
@@ -155,6 +188,7 @@ class Machine
     std::unique_ptr<MetricsRegistry> metrics_;
     Counter *m_delivered_ = nullptr; ///< machine.delivered
     ScalarStat *m_hops_ = nullptr;   ///< machine.hops per delivery
+    std::unique_ptr<RingTraceSink> trace_;
 };
 
 } // namespace anton2

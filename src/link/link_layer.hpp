@@ -124,6 +124,13 @@ class LinkSender : public Component
      */
     void bindMetrics(MetricsRegistry &reg, const std::string &prefix);
 
+    /**
+     * Start emitting a retransmit event per go-back-N rewind into
+     * @p sink. Frames carry no packet identity, so the records have
+     * packet id 0 and always pass the sampling filter.
+     */
+    void bindTrace(TraceSink &sink, std::int32_t node, std::int16_t unit);
+
     std::uint64_t framesTransmitted() const { return transmitted_; }
     std::uint64_t retransmissions() const { return retransmissions_; }
     std::size_t backlog() const { return queue_.size(); }
@@ -132,6 +139,7 @@ class LinkSender : public Component
     LinkConfig cfg_;
     LossyFrameChannel &tx_;
     LossyFrameChannel &ack_rx_;
+    TraceBinding trace_;
 
     Counter *m_frames_tx_ = nullptr;
     Counter *m_retransmissions_ = nullptr;

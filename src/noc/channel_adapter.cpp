@@ -77,6 +77,15 @@ ChannelAdapter::bindMetrics(MetricsRegistry &reg, const std::string &prefix)
 }
 
 void
+ChannelAdapter::bindTrace(TraceSink &sink, std::int32_t node,
+                          std::int16_t unit)
+{
+    trace_.sink = &sink;
+    trace_.node = node;
+    trace_.unit = unit;
+}
+
+void
 ChannelAdapter::tickEgress(Cycle now)
 {
     if (router_in_ == nullptr || torus_out_ == nullptr)
@@ -149,6 +158,10 @@ ChannelAdapter::tickEgress(Cycle now)
             phit.tail = (head.sent + 1 == head.pkt->size_flits);
             phit.payload = head.pkt->payload[head.sent];
             torus_out_->data.send(now, phit);
+            if (phit.head)
+                tracePacketEvent(trace_, TraceUnitKind::ChannelAdapter,
+                                 TraceEventType::LinkTraverse, now,
+                                 head.pkt->id, -1, egress_link_vc_);
             ser_tokens_ -= cfg_.ser_tokens_per_flit;
             router_in_->credit.send(
                 now, Credit{ static_cast<std::uint8_t>(egress_vc_) });

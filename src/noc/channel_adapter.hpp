@@ -22,6 +22,7 @@
 #include "noc/packet.hpp"
 #include "sim/component.hpp"
 #include "sim/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace anton2 {
 
@@ -104,6 +105,13 @@ class ChannelAdapter : public Component
     /** Register this adapter's metrics under @p prefix and record. */
     void bindMetrics(MetricsRegistry &reg, const std::string &prefix);
 
+    /**
+     * Start emitting link-traverse events (head flit serialized onto the
+     * torus link) into @p sink, stamped with this adapter's coordinates
+     * (@p node, @p unit = adapter index on the chip).
+     */
+    void bindTrace(TraceSink &sink, std::int32_t node, std::int16_t unit);
+
     const ChannelAdapterConfig &config() const { return cfg_; }
     std::uint64_t flitsSent() const { return flits_sent_; }
     std::uint64_t flitsReceived() const { return flits_received_; }
@@ -162,6 +170,7 @@ class ChannelAdapter : public Component
     int egress_packets_ = 0;
     int ingress_packets_ = 0;
     std::unique_ptr<ChannelAdapterMetrics> metrics_;
+    TraceBinding trace_;
 };
 
 } // namespace anton2

@@ -67,6 +67,14 @@ EndpointAdapter::bindMetrics(MetricsRegistry &reg,
 }
 
 void
+EndpointAdapter::bindTrace(TraceSink &sink)
+{
+    trace_.sink = &sink;
+    trace_.node = addr_.node;
+    trace_.unit = static_cast<std::int16_t>(addr_.ep);
+}
+
+void
 EndpointAdapter::tickInject(Cycle now)
 {
     if (to_router_ == nullptr)
@@ -94,6 +102,9 @@ EndpointAdapter::tickInject(Cycle now)
             inject_q_[c].pop_front();
             next_class_ = (c + 1) % kNumTrafficClasses;
             inj_active_->inject_time = now;
+            tracePacketEvent(trace_, TraceUnitKind::Endpoint,
+                             TraceEventType::Inject, now, inj_active_->id,
+                             -1, vc);
             break;
         }
     }
@@ -150,6 +161,8 @@ EndpointAdapter::tickEject(Cycle now)
     pkt->eject_time = now;
     ++delivered_;
     last_delivery_ = now;
+    tracePacketEvent(trace_, TraceUnitKind::Endpoint, TraceEventType::Eject,
+                     now, pkt->id, -1, phit->vc);
 
     if (metrics_ != nullptr) {
         metrics_->delivered->inc();

@@ -25,6 +25,7 @@
 #include "sim/component.hpp"
 #include "sim/metrics.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace anton2 {
 
@@ -96,6 +97,13 @@ class EndpointAdapter : public Component
     void bindMetrics(MetricsRegistry &reg, const std::string &prefix,
                      const std::string &agg_prefix);
 
+    /**
+     * Start emitting packet lifecycle events (inject at injection grant,
+     * eject at full reassembly) into @p sink, stamped with this
+     * endpoint's address.
+     */
+    void bindTrace(TraceSink &sink);
+
     void setDeliverFn(DeliverFn fn) { deliver_fn_ = std::move(fn); }
     void setHandlerFn(HandlerFn fn) { handler_fn_ = std::move(fn); }
     void setReadFn(ReadFn fn) { read_fn_ = std::move(fn); }
@@ -142,6 +150,7 @@ class EndpointAdapter : public Component
     std::uint64_t injected_ = 0;
     Cycle last_delivery_ = 0;
     std::unique_ptr<EndpointMetrics> metrics_;
+    TraceBinding trace_;
 };
 
 } // namespace anton2

@@ -68,6 +68,21 @@ Router::bindMetrics(MetricsRegistry &reg, const std::string &prefix)
 }
 
 void
+Router::bindTrace(TraceSink &sink, std::int32_t node, std::int16_t unit)
+{
+    trace_.sink = &sink;
+    trace_.node = node;
+    trace_.unit = unit;
+}
+
+void
+Router::enableStallSampling()
+{
+    if (stalls_ == nullptr)
+        stalls_ = std::make_unique<RouterStallSampler>(cfg_.num_ports);
+}
+
+void
 Router::connectIn(int port, Channel &ch)
 {
     in_[static_cast<std::size_t>(port)].ch = &ch;
@@ -140,6 +155,9 @@ Router::stageRc(Cycle now)
                     entry.out_vc = d.out_vc;
                     entry.routed = true;
                     entry.routed_at = now;
+                    tracePacketEvent(trace_, TraceUnitKind::Router,
+                                     TraceEventType::RouteComputed, now,
+                                     entry.pkt->id, d.out_port, d.out_vc);
                 }
             }
         }
@@ -166,6 +184,10 @@ Router::stageVa(Cycle now)
                         >= entry.pkt->size_flits) {
                         entry.va_done = true;
                         entry.va_at = now;
+                        tracePacketEvent(trace_, TraceUnitKind::Router,
+                                         TraceEventType::VcAllocated, now,
+                                         entry.pkt->id, entry.out_port,
+                                         entry.out_vc);
                     } else if (metrics_ != nullptr && i == 0) {
                         metrics_->va_credit_stalls->inc();
                     }
@@ -245,6 +267,9 @@ Router::stageSa2(Cycle now)
                                     winner)])]
                          .head();
         head.granted = true;
+        tracePacketEvent(trace_, TraceUnitKind::Router,
+                         TraceEventType::SwitchGrant, now, head.pkt->id,
+                         static_cast<int>(o), head.out_vc);
         op.busy = true;
         op.src_port = winner;
         op.src_vc = sa1_winner_[static_cast<std::size_t>(winner)];
@@ -259,7 +284,8 @@ Router::stageSa2(Cycle now)
 void
 Router::stageSt(Cycle now)
 {
-    for (auto &op : out_) {
+    for (std::size_t o = 0; o < out_.size(); ++o) {
+        auto &op = out_[o];
         if (!op.busy)
             continue;
         auto &ip = in_[static_cast<std::size_t>(op.src_port)];
@@ -267,6 +293,7 @@ Router::stageSt(Cycle now)
         auto &head = vcbuf.head();
         if (head.sent >= head.arrived)
             continue; // cut-through: tail not yet arrived
+        st_sent_mask_ |= 1u << o;
 
         Phit phit;
         phit.pkt = head.pkt;
@@ -293,12 +320,65 @@ Router::stageSt(Cycle now)
     }
 }
 
+/**
+ * Attribute this cycle for every connected output port. Called once per
+ * tick after the pipeline stages (so the sent mask and grant state are
+ * final); exactly one class is counted per port, which is what makes
+ * the per-port totals sum to the sampled cycle count.
+ */
+void
+Router::sampleStalls()
+{
+    ++stalls_->sampled_cycles;
+    for (std::size_t o = 0; o < out_.size(); ++o) {
+        const auto &op = out_[o];
+        if (op.ch == nullptr)
+            continue;
+        StallClass cls;
+        if ((st_sent_mask_ >> o) & 1u) {
+            cls = StallClass::Busy;
+        } else if (op.busy) {
+            // Granted but no flit this cycle: the cut-through gap.
+            cls = StallClass::LinkBusy;
+        } else {
+            bool any = false;
+            bool ready = false;
+            for (const auto &ip : in_) {
+                for (std::uint32_t mask = ip.nonempty; mask != 0;
+                     mask &= mask - 1) {
+                    const auto &head =
+                        ip.vcs[static_cast<std::size_t>(
+                                   std::countr_zero(mask))]
+                            .head();
+                    if (!head.routed || head.granted
+                        || head.out_port != static_cast<int>(o))
+                        continue;
+                    any = true;
+                    if (op.credits.available(head.out_vc)
+                        >= head.pkt->size_flits)
+                        ready = true;
+                }
+            }
+            cls = !any ? StallClass::NoInput
+                       : (ready ? StallClass::ArbLoss
+                                : StallClass::CreditStall);
+        }
+        ++stalls_->ports[o].cycles[static_cast<std::size_t>(cls)];
+    }
+}
+
 void
 Router::tick(Cycle now)
 {
+    st_sent_mask_ = 0;
     receive(now);
-    if (buffered_packets_ == 0)
-        return; // nothing buffered: the pipeline stages have no work
+    if (buffered_packets_ == 0) {
+        // Nothing buffered: the pipeline stages have no work, but the
+        // stall sampler still owes this cycle (all ports: no input).
+        if (stalls_ != nullptr)
+            sampleStalls();
+        return;
+    }
     if (metrics_ != nullptr) {
         int total = 0;
         for (int v = 0; v < cfg_.num_vcs; ++v) {
@@ -320,6 +400,8 @@ Router::tick(Cycle now)
     stageSa2(now);
     stageSt(now);
     stageSa1(now);
+    if (stalls_ != nullptr)
+        sampleStalls();
 }
 
 bool

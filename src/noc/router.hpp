@@ -21,6 +21,7 @@
 #include "power/energy.hpp"
 #include "sim/component.hpp"
 #include "sim/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace anton2 {
 
@@ -94,6 +95,24 @@ class Router : public Component
      */
     void bindMetrics(MetricsRegistry &reg, const std::string &prefix);
 
+    /**
+     * Start emitting packet lifecycle events (route-computed,
+     * VC-allocated, switch-grant) into @p sink, stamped with this
+     * router's coordinates (@p node, @p unit).
+     */
+    void bindTrace(TraceSink &sink, std::int32_t node, std::int16_t unit);
+
+    /**
+     * Start classifying every connected output port's cycles into stall
+     * classes (see StallClass). Idempotent; totals accumulate from the
+     * first call, and for each connected port the class totals sum
+     * exactly to the cycles sampled.
+     */
+    void enableStallSampling();
+
+    /** Accumulated stall attribution, or null when sampling is off. */
+    const RouterStallSampler *stallSampler() const { return stalls_.get(); }
+
     const RouterConfig &config() const { return cfg_; }
     std::uint64_t flitsRouted() const { return flits_routed_; }
 
@@ -122,6 +141,7 @@ class Router : public Component
     void stageSa1(Cycle now);
     void stageSa2(Cycle now);
     void stageSt(Cycle now);
+    void sampleStalls();
 
     RouterConfig cfg_;
     RouteFn route_fn_;
@@ -132,6 +152,9 @@ class Router : public Component
     std::vector<int> sa1_winner_;                    ///< vc per input, -1
     RouterEnergyMeter *energy_ = nullptr;
     std::unique_ptr<RouterMetrics> metrics_;
+    TraceBinding trace_;
+    std::unique_ptr<RouterStallSampler> stalls_;
+    std::uint32_t st_sent_mask_ = 0; ///< bit o: port o sent a flit this cycle
     std::uint64_t flits_routed_ = 0;
     int buffered_packets_ = 0;
 };

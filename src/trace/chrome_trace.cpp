@@ -1,0 +1,184 @@
+#include "trace/chrome_trace.hpp"
+
+#include <map>
+#include <utility>
+
+#include "sim/metrics.hpp"
+
+namespace anton2 {
+
+namespace {
+
+/**
+ * Deterministic thread id for a (kind, unit, port) tuple within its
+ * process. Ranges are disjoint per kind so tracks never collide:
+ * routers get one track per output port.
+ */
+int
+trackTid(TraceUnitKind kind, std::int16_t unit, std::int16_t port)
+{
+    const int u = unit < 0 ? 0 : unit;
+    const int p = port < 0 ? 0 : port + 1;
+    switch (kind) {
+      case TraceUnitKind::Router: return 1000 + u * 10 + p;
+      case TraceUnitKind::ChannelAdapter: return 4000 + u;
+      case TraceUnitKind::Endpoint: return 5000 + u;
+      case TraceUnitKind::Link: return 6000 + u;
+    }
+    return 0;
+}
+
+const char *
+kindName(TraceUnitKind kind)
+{
+    switch (kind) {
+      case TraceUnitKind::Router: return "router";
+      case TraceUnitKind::ChannelAdapter: return "ca";
+      case TraceUnitKind::Endpoint: return "ep";
+      case TraceUnitKind::Link: return "link";
+    }
+    return "unit";
+}
+
+std::string
+defaultTrackName(TraceUnitKind kind, std::int16_t unit, std::int16_t port)
+{
+    std::string name = std::string(kindName(kind)) + " "
+                       + std::to_string(unit);
+    if (port >= 0)
+        name += ":" + std::to_string(port);
+    return name;
+}
+
+/** Simulated microseconds for a Chrome trace "ts" field. */
+std::string
+traceTs(Cycle c)
+{
+    return jsonNumber(cyclesToNs(c) / 1000.0);
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const ChromeTraceInput &in)
+{
+    // Collect every track that appears (events plus stall reports) so
+    // metadata names exactly the tracks present, in sorted order.
+    std::map<std::pair<std::int32_t, int>, std::string> tracks;
+    auto noteTrack = [&](TraceUnitKind kind, std::int32_t node,
+                         std::int16_t unit, std::int16_t port) {
+        const int tid = trackTid(kind, unit, port);
+        auto &name = tracks[{ node, tid }];
+        if (name.empty()) {
+            name = in.track_name ? in.track_name(kind, node, unit, port)
+                                 : defaultTrackName(kind, unit, port);
+        }
+        return tid;
+    };
+    for (const auto &ev : in.events)
+        noteTrack(ev.unit_kind, ev.node, ev.unit, ev.port);
+    for (const auto &st : in.stalls)
+        noteTrack(TraceUnitKind::Router, st.node, st.unit, st.port);
+
+    std::string out = "{\n  \"displayTimeUnit\": \"ns\",\n";
+
+    // otherData: provenance plus the machine-wide stall aggregate used
+    // by the metrics cross-check.
+    PortStallTotals agg;
+    for (const auto &st : in.stalls) {
+        for (int c = 0; c < kNumStallClasses; ++c)
+            agg.cycles[static_cast<std::size_t>(c)] +=
+                st.totals.cycles[static_cast<std::size_t>(c)];
+    }
+    out += "  \"otherData\": {\n";
+    out += "    \"generator\": \"anton2net\",\n";
+    out += "    \"clock_ns_per_cycle\": " + jsonNumber(kNsPerCycle) + ",\n";
+    out += "    \"end_cycle\": "
+           + jsonNumber(static_cast<double>(in.end_cycle)) + ",\n";
+    out += "    \"events_recorded\": "
+           + jsonNumber(static_cast<double>(in.recorded)) + ",\n";
+    out += "    \"events_dropped\": "
+           + jsonNumber(static_cast<double>(in.dropped)) + ",\n";
+    out += "    \"sample_stride\": "
+           + jsonNumber(static_cast<double>(in.sample_stride)) + ",\n";
+    out += "    \"stall_totals\": {";
+    for (int c = 0; c < kNumStallClasses; ++c) {
+        if (c != 0)
+            out += ", ";
+        out += "\"";
+        out += stallClassName(static_cast<StallClass>(c));
+        out += "\": "
+               + std::to_string(agg.cycles[static_cast<std::size_t>(c)]);
+    }
+    out += "}\n  },\n";
+
+    out += "  \"traceEvents\": [";
+    bool first = true;
+    auto emit = [&](const std::string &ev) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        out += ev;
+    };
+
+    // Track metadata: one process_name per chip, one thread_name per
+    // track, sorted by (pid, tid) for byte-stable output.
+    std::int32_t last_pid = -1;
+    for (const auto &[key, name] : tracks) {
+        const auto [pid, tid] = key;
+        if (pid != last_pid) {
+            emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+                 + std::to_string(pid)
+                 + ", \"args\": {\"name\": \"chip "
+                 + std::to_string(pid) + "\"}}");
+            last_pid = pid;
+        }
+        emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+             + std::to_string(pid) + ", \"tid\": " + std::to_string(tid)
+             + ", \"args\": {\"name\": \"" + jsonEscape(name) + "\"}}");
+    }
+
+    // Lifecycle records as thread-scoped instant events.
+    for (const auto &ev : in.events) {
+        std::string e = "{\"name\": \"";
+        e += traceEventName(ev.type);
+        e += "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": ";
+        e += traceTs(ev.cycle);
+        e += ", \"pid\": " + std::to_string(ev.node);
+        e += ", \"tid\": "
+             + std::to_string(trackTid(ev.unit_kind, ev.unit, ev.port));
+        e += ", \"args\": {\"packet\": " + std::to_string(ev.packet);
+        e += ", \"cycle\": " + std::to_string(ev.cycle);
+        e += ", \"vc\": " + std::to_string(ev.vc);
+        e += ", \"port\": " + std::to_string(ev.port);
+        e += "}}";
+        emit(e);
+    }
+
+    // Stall attribution: one stacked counter sample per router output
+    // port at the final timestamp (totals over the sampled window).
+    for (const auto &st : in.stalls) {
+        const int tid = trackTid(TraceUnitKind::Router, st.unit, st.port);
+        std::string e = "{\"name\": \"stalls "
+                        + jsonEscape(tracks[{ st.node, tid }]);
+        e += "\", \"ph\": \"C\", \"ts\": " + traceTs(in.end_cycle);
+        e += ", \"pid\": " + std::to_string(st.node);
+        e += ", \"tid\": " + std::to_string(tid);
+        e += ", \"args\": {";
+        for (int c = 0; c < kNumStallClasses; ++c) {
+            if (c != 0)
+                e += ", ";
+            e += "\"";
+            e += stallClassName(static_cast<StallClass>(c));
+            e += "\": "
+                 + std::to_string(
+                     st.totals.cycles[static_cast<std::size_t>(c)]);
+        }
+        e += "}}";
+        emit(e);
+    }
+
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace anton2

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter (the "JSON Array with metadata"
+ * flavor accepted by chrome://tracing and by Perfetto's legacy JSON
+ * importer).
+ *
+ * Each traced unit (router output port, channel adapter, endpoint, link
+ * sender) becomes one track: the chip is the process (pid = node) and
+ * the unit is the thread (tid encodes kind/unit/port deterministically).
+ * Packet lifecycle records become thread-scoped instant events carrying
+ * the packet id and VC in `args`; per-port stall-attribution totals are
+ * emitted as counter events at the final timestamp, and the machine-wide
+ * per-class totals land in `otherData.stall_totals` where they can be
+ * cross-checked against the metrics tree.
+ *
+ * Output is deterministic: events serialize in ring order, track
+ * metadata in sorted (pid, tid) order, and all numbers go through the
+ * metrics layer's jsonNumber() formatting. Timestamps are microseconds
+ * of simulated time at the 1.5 GHz core clock.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace anton2 {
+
+/**
+ * Names a track for display. The exporter depends only on this callback
+ * (not on the machine assembly), so core/ can inject layout-aware names
+ * ("R(1,2):out3", "CA y0p") without a dependency cycle. A null callback
+ * falls back to generic "<kind> <unit>:<port>" names.
+ */
+using TraceTrackNameFn = std::function<std::string(
+    TraceUnitKind kind, std::int32_t node, std::int16_t unit,
+    std::int16_t port)>;
+
+/** One router output port's stall totals, tagged with its coordinates. */
+struct StallTrackReport
+{
+    std::int32_t node = -1;
+    std::int16_t unit = -1;
+    std::int16_t port = -1;
+    PortStallTotals totals;
+};
+
+/** Everything the exporter needs, decoupled from the recorder. */
+struct ChromeTraceInput
+{
+    std::vector<TraceEvent> events;       ///< chronological (ring order)
+    std::vector<StallTrackReport> stalls; ///< per router output port
+    TraceTrackNameFn track_name;          ///< optional display names
+    std::uint64_t recorded = 0;           ///< total offered to the sink
+    std::uint64_t dropped = 0;            ///< lost to ring overflow
+    std::uint64_t sample_stride = 1;      ///< packet sampling stride
+    Cycle end_cycle = 0;                  ///< simulation time at export
+};
+
+/** Serialize the trace as Chrome trace-event JSON (with trailing \n). */
+std::string chromeTraceJson(const ChromeTraceInput &in);
+
+} // namespace anton2

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Per-packet CSV "flight record" exporter: one row per traced packet id
+ * summarizing its lifecycle (injection and ejection coordinates,
+ * end-to-end latency, and how many route computations, switch grants,
+ * and inter-node link traversals it took). The compact complement to the
+ * Chrome trace: grep/awk/pandas-friendly, one line per packet.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace anton2 {
+
+/**
+ * Render the drained event stream as CSV, sorted by packet id. Packets
+ * with no Eject record (still in flight, or ejected after the ring
+ * overwrote the record) leave the destination columns empty; `ejects`
+ * exceeds 1 for multicast deliveries that share one id.
+ *
+ * Columns: packet,inject_cycle,src_node,src_ep,eject_cycle,dst_node,
+ * dst_ep,latency_cycles,routers,grants,link_hops,ejects
+ */
+std::string flightRecordCsv(const std::vector<TraceEvent> &events);
+
+} // namespace anton2

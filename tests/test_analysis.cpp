@@ -105,8 +105,9 @@ TEST_P(TorusDeadlockSweep, DependencyGraphIsAcyclic)
         << (report.cycle.empty() ? "" : report.cycle.front());
     // 1-D tori of radix <= 3 have only single-hop minimal routes and thus
     // a legitimately empty dependency graph.
-    if (ndims > 1 || k > 3)
+    if (ndims > 1 || k > 3) {
         EXPECT_GT(report.edges, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

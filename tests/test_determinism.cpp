@@ -55,8 +55,9 @@ runAndSnapshot(std::uint64_t seed)
     const Counter *delivered =
         m.metrics()->findCounter("machine.delivered");
     EXPECT_NE(delivered, nullptr);
-    if (delivered != nullptr)
+    if (delivered != nullptr) {
         EXPECT_EQ(delivered->value(), sent);
+    }
 
     return m.metricsJson();
 }

@@ -2,190 +2,26 @@
  * @file
  * Unit and property tests for the telemetry layer: Counter, Histogram,
  * MetricsRegistry path registration/aggregation/reset, and toJson()
- * round-trips through a tiny in-test JSON parser.
+ * round-trips through the shared in-test JSON parser (tiny_json.hpp).
  */
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
 #include <algorithm>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/machine.hpp"
+#include "routing/route.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
+#include "tiny_json.hpp"
 
 namespace anton2 {
 namespace {
 
-// ---------------------------------------------------------------------
-// A minimal recursive-descent JSON parser, just enough to round-trip
-// MetricsRegistry::toJson() output. Numbers parse as double; null maps
-// to NaN (matching the serializer's NaN -> null convention).
-// ---------------------------------------------------------------------
-struct JsonValue
-{
-    enum class Kind { Object, Array, Number, String, Null } kind;
-    std::map<std::string, std::unique_ptr<JsonValue>> object;
-    std::vector<std::unique_ptr<JsonValue>> array;
-    double number = 0.0;
-    std::string string;
-
-    const JsonValue &
-    at(const std::string &key) const
-    {
-        static const JsonValue missing{ Kind::Null, {}, {},
-                                        std::numeric_limits<
-                                            double>::quiet_NaN(),
-                                        {} };
-        const auto it = object.find(key);
-        if (it == object.end()) {
-            ADD_FAILURE() << "missing key: " << key;
-            return missing;
-        }
-        return *it->second;
-    }
-
-    /** Descend a dot-separated path. */
-    const JsonValue &
-    path(const std::string &p) const
-    {
-        const JsonValue *v = this;
-        std::size_t start = 0;
-        while (start <= p.size()) {
-            const auto dot = p.find('.', start);
-            const auto seg =
-                p.substr(start, dot == std::string::npos ? std::string::npos
-                                                         : dot - start);
-            v = &v->at(seg);
-            if (dot == std::string::npos)
-                break;
-            start = dot + 1;
-        }
-        return *v;
-    }
-};
-
-class TinyJsonParser
-{
-  public:
-    explicit TinyJsonParser(const std::string &text) : s_(text) {}
-
-    std::unique_ptr<JsonValue>
-    parse()
-    {
-        auto v = parseValue();
-        skipWs();
-        EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON";
-        return v;
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size()
-               && std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
-        return pos_ < s_.size() ? s_[pos_] : '\0';
-    }
-
-    void
-    expect(char c)
-    {
-        EXPECT_EQ(peek(), c);
-        ++pos_;
-    }
-
-    std::unique_ptr<JsonValue>
-    parseValue()
-    {
-        const char c = peek();
-        auto v = std::make_unique<JsonValue>();
-        if (c == '{') {
-            v->kind = JsonValue::Kind::Object;
-            expect('{');
-            if (peek() != '}') {
-                while (true) {
-                    const std::string key = parseString();
-                    expect(':');
-                    v->object[key] = parseValue();
-                    if (peek() != ',')
-                        break;
-                    expect(',');
-                }
-            }
-            expect('}');
-        } else if (c == '[') {
-            v->kind = JsonValue::Kind::Array;
-            expect('[');
-            if (peek() != ']') {
-                while (true) {
-                    v->array.push_back(parseValue());
-                    if (peek() != ',')
-                        break;
-                    expect(',');
-                }
-            }
-            expect(']');
-        } else if (c == '"') {
-            v->kind = JsonValue::Kind::String;
-            v->string = parseString();
-        } else if (c == 'n') {
-            v->kind = JsonValue::Kind::Null;
-            v->number = std::numeric_limits<double>::quiet_NaN();
-            EXPECT_EQ(s_.substr(pos_, 4), "null");
-            pos_ += 4;
-        } else {
-            v->kind = JsonValue::Kind::Number;
-            const std::size_t start = pos_;
-            while (pos_ < s_.size()
-                   && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
-                       || s_[pos_] == '-' || s_[pos_] == '+'
-                       || s_[pos_] == '.' || s_[pos_] == 'e'
-                       || s_[pos_] == 'E'))
-                ++pos_;
-            EXPECT_GT(pos_, start) << "expected a number";
-            v->number = std::stod(s_.substr(start, pos_ - start));
-        }
-        return v;
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
-                ++pos_;
-                switch (s_[pos_]) {
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  default: out += s_[pos_];
-                }
-            } else {
-                out += s_[pos_];
-            }
-            ++pos_;
-        }
-        EXPECT_LT(pos_, s_.size()) << "unterminated string";
-        ++pos_;
-        return out;
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
+using testjson::JsonValue;
+using testjson::TinyJsonParser;
 
 // ---------------------------------------------------------------------
 // Counter
@@ -334,6 +170,115 @@ TEST(MetricsRegistry, ResetClearsEverything)
     EXPECT_EQ(reg.findHistogram("h")->stat().count(), 0u);
     const auto doc = TinyJsonParser(reg.toJson()).parse();
     EXPECT_EQ(doc->at("g").number, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Warmup / reset / measure protocol
+// ---------------------------------------------------------------------
+
+namespace warmup_reset {
+
+Machine
+makeMachine()
+{
+    MachineConfig cfg;
+    cfg.radix = { 2, 2, 2 };
+    cfg.chip.endpoints_per_node = 2;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = 8;
+    cfg.seed = 7;
+    cfg.enable_metrics = true;
+    return Machine(cfg);
+}
+
+/**
+ * Drive @p count packets over a fixed src/dst sweep with explicit routes
+ * (a dedicated route rng, so both machines see byte-identical packets
+ * regardless of how much machine rng the warmup consumed). Packets run
+ * one at a time: with the network idle between sends, timing cannot
+ * depend on leftover arbiter state from a warmup phase.
+ */
+void
+drive(Machine &m, int count, std::uint64_t route_seed)
+{
+    Rng tie(route_seed);
+    const auto nodes = m.geom().numNodes();
+    for (int i = 0; i < count; ++i) {
+        const auto a = static_cast<NodeId>(i % nodes);
+        const auto b = static_cast<NodeId>((i + 3) % nodes);
+        if (a == b)
+            continue;
+        auto pkt = m.makeWrite({ a, 0 }, { b, 1 });
+        pkt->route = makeRoute(m.geom(), a, b, DimOrder{ 0, 1, 2 }, 0, tie);
+        pkt->vc = VcState(m.config().chip.vc_policy);
+        m.chip(a).setExit(*pkt, nextRouteDim(m.geom(), a, b, pkt->route));
+        m.send(pkt);
+        ASSERT_TRUE(m.runUntilQuiescent(100000));
+    }
+}
+
+/** The measurement-relevant registry slices (relative quantities only;
+ * gauges like machine.cycles depend on absolute time by design). */
+struct Snapshot
+{
+    std::uint64_t delivered;
+    std::uint64_t hops_count;
+    double hops_mean;
+    std::uint64_t lat_count;
+    double lat_mean, lat_min, lat_max;
+    std::vector<std::uint64_t> lat_histogram;
+
+    static Snapshot
+    take(Machine &m)
+    {
+        Snapshot s;
+        s.delivered = m.metrics()->findCounter("machine.delivered")->value();
+        const ScalarStat *hops = m.metrics()->findScalar("machine.hops");
+        s.hops_count = hops->count();
+        s.hops_mean = hops->mean();
+        const ScalarStat *lat =
+            m.metrics()->findScalar("machine.latency.network");
+        s.lat_count = lat->count();
+        s.lat_mean = lat->mean();
+        s.lat_min = lat->min();
+        s.lat_max = lat->max();
+        s.lat_histogram =
+            m.metrics()->findHistogram("machine.latency.total")->counts();
+        return s;
+    }
+};
+
+} // namespace warmup_reset
+
+TEST(MetricsRegistry, WarmupResetMeasureMatchesFreshMeasure)
+{
+    using namespace warmup_reset;
+
+    // Machine A: warmup traffic, quiesce, reset, then measure.
+    Machine warmed = makeMachine();
+    drive(warmed, 24, /*route_seed=*/11);
+    EXPECT_GT(warmed.metrics()->findCounter("machine.delivered")->value(),
+              0u);
+    warmed.metrics()->reset();
+    EXPECT_EQ(warmed.metrics()->findCounter("machine.delivered")->value(),
+              0u);
+    drive(warmed, 16, /*route_seed=*/42);
+    const auto after_reset = Snapshot::take(warmed);
+
+    // Machine B: the measurement phase alone.
+    Machine fresh = makeMachine();
+    drive(fresh, 16, /*route_seed=*/42);
+    const auto baseline = Snapshot::take(fresh);
+
+    EXPECT_EQ(after_reset.delivered, baseline.delivered);
+    EXPECT_GT(after_reset.delivered, 0u);
+    EXPECT_EQ(after_reset.hops_count, baseline.hops_count);
+    EXPECT_DOUBLE_EQ(after_reset.hops_mean, baseline.hops_mean);
+    EXPECT_EQ(after_reset.lat_count, baseline.lat_count);
+    EXPECT_DOUBLE_EQ(after_reset.lat_mean, baseline.lat_mean);
+    EXPECT_DOUBLE_EQ(after_reset.lat_min, baseline.lat_min);
+    EXPECT_DOUBLE_EQ(after_reset.lat_max, baseline.lat_max);
+    EXPECT_EQ(after_reset.lat_histogram, baseline.lat_histogram);
 }
 
 TEST(MetricsRegistry, ToJsonRoundTrip)

@@ -37,8 +37,9 @@ TEST(Wire, BackToBackValuesDoNotCollide)
     Wire<int> w(2);
     for (Cycle t = 0; t < 100; ++t) {
         w.send(t, static_cast<int>(t));
-        if (t >= 2)
+        if (t >= 2) {
             EXPECT_EQ(w.take(t).value(), static_cast<int>(t - 2));
+        }
     }
 }
 

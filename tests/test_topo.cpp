@@ -77,8 +77,9 @@ TEST(TorusGeom, MinimalDirsOddRadixNeverTies)
     const TorusGeom g(std::vector<int>{ 7 });
     for (int a = 0; a < 7; ++a) {
         for (int b = 0; b < 7; ++b) {
-            if (a != b)
+            if (a != b) {
                 EXPECT_EQ(g.minimalDirs(a, b, 0).size(), 1u);
+            }
         }
     }
 }

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser for tests: just enough to
+ * round-trip MetricsRegistry::toJson() and the Chrome trace exporter's
+ * output. Numbers parse as double; null maps to NaN (matching the
+ * serializer's NaN -> null convention). Parse errors surface as gtest
+ * failures, so this header is test-only by construction.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace anton2::testjson {
+
+struct JsonValue
+{
+    enum class Kind { Object, Array, Number, String, Null } kind;
+    std::map<std::string, std::unique_ptr<JsonValue>> object;
+    std::vector<std::unique_ptr<JsonValue>> array;
+    double number = 0.0;
+    std::string string;
+
+    bool
+    has(const std::string &key) const
+    {
+        return object.find(key) != object.end();
+    }
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        static const JsonValue missing{ Kind::Null, {}, {},
+                                        std::numeric_limits<
+                                            double>::quiet_NaN(),
+                                        {} };
+        const auto it = object.find(key);
+        if (it == object.end()) {
+            ADD_FAILURE() << "missing key: " << key;
+            return missing;
+        }
+        return *it->second;
+    }
+
+    /** Descend a dot-separated path. */
+    const JsonValue &
+    path(const std::string &p) const
+    {
+        const JsonValue *v = this;
+        std::size_t start = 0;
+        while (start <= p.size()) {
+            const auto dot = p.find('.', start);
+            const auto seg =
+                p.substr(start, dot == std::string::npos ? std::string::npos
+                                                         : dot - start);
+            v = &v->at(seg);
+            if (dot == std::string::npos)
+                break;
+            start = dot + 1;
+        }
+        return *v;
+    }
+};
+
+class TinyJsonParser
+{
+  public:
+    explicit TinyJsonParser(const std::string &text) : s_(text) {}
+
+    std::unique_ptr<JsonValue>
+    parse()
+    {
+        auto v = parseValue();
+        skipWs();
+        EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON";
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size()
+               && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        EXPECT_EQ(peek(), c);
+        ++pos_;
+    }
+
+    std::unique_ptr<JsonValue>
+    parseValue()
+    {
+        const char c = peek();
+        auto v = std::make_unique<JsonValue>();
+        if (c == '{') {
+            v->kind = JsonValue::Kind::Object;
+            expect('{');
+            if (peek() != '}') {
+                while (true) {
+                    const std::string key = parseString();
+                    expect(':');
+                    v->object[key] = parseValue();
+                    if (peek() != ',')
+                        break;
+                    expect(',');
+                }
+            }
+            expect('}');
+        } else if (c == '[') {
+            v->kind = JsonValue::Kind::Array;
+            expect('[');
+            if (peek() != ']') {
+                while (true) {
+                    v->array.push_back(parseValue());
+                    if (peek() != ',')
+                        break;
+                    expect(',');
+                }
+            }
+            expect(']');
+        } else if (c == '"') {
+            v->kind = JsonValue::Kind::String;
+            v->string = parseString();
+        } else if (c == 'n') {
+            v->kind = JsonValue::Kind::Null;
+            v->number = std::numeric_limits<double>::quiet_NaN();
+            EXPECT_EQ(s_.substr(pos_, 4), "null");
+            pos_ += 4;
+        } else {
+            v->kind = JsonValue::Kind::Number;
+            const std::size_t start = pos_;
+            while (pos_ < s_.size()
+                   && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                       || s_[pos_] == '-' || s_[pos_] == '+'
+                       || s_[pos_] == '.' || s_[pos_] == 'e'
+                       || s_[pos_] == 'E'))
+                ++pos_;
+            EXPECT_GT(pos_, start) << "expected a number";
+            v->number = std::stod(s_.substr(start, pos_ - start));
+        }
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+                ++pos_;
+                switch (s_[pos_]) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  default: out += s_[pos_];
+                }
+            } else {
+                out += s_[pos_];
+            }
+            ++pos_;
+        }
+        EXPECT_LT(pos_, s_.size()) << "unterminated string";
+        ++pos_;
+        return out;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace anton2::testjson
