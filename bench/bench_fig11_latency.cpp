@@ -91,12 +91,14 @@ main(int argc, char **argv)
     const int pairs = static_cast<int>(args.flag("--pairs", 6));
     const int rounds = static_cast<int>(args.flag("--rounds", 4));
     const char *json_path = args.strFlag("--json", nullptr);
-    if (json_path != nullptr && !bench::checkWritable(json_path))
-        return 1;
     const auto trace = bench::TraceOptions::parse(args);
-    if (!trace.validate())
+    const auto ts = bench::TimeseriesOptions::parse(args);
+    if (!bench::validateOutputPaths({ json_path }) || !trace.validate()
+        || !ts.validate())
         return 1;
 
+    HostProfiler prof;
+    prof.beginPhase("build");
     MachineConfig cfg;
     cfg.radix = { k, k, k };
     cfg.chip.endpoints_per_node = 4;
@@ -106,6 +108,8 @@ main(int argc, char **argv)
     cfg.enable_metrics = json_path != nullptr;
     Machine m(cfg);
     trace.apply(m);
+    ts.apply(m);
+    prof.beginPhase("run");
 
     bench::printHeader(
         "Figure 11: one-way 16 B message latency vs. inter-node hops");
@@ -150,6 +154,8 @@ main(int argc, char **argv)
         ys.push_back(lat.mean());
     }
     bench::printRule(40);
+    prof.endPhase();
+    ts.write(m);
 
     const auto fit = LinearFit::fit(xs, ys);
     std::printf("\nLinear fit: %.1f ns fixed + %.1f ns/hop (r^2 = %.4f)\n",
@@ -178,6 +184,11 @@ main(int argc, char **argv)
                              .add("rows", bench::arr(rows))
                              .add("fit", fit_obj)
                              .add("metrics", m.metricsJson())
+                             .add("timeseries", ts.jsonSection(m))
+                             .add("host",
+                                  bench::hostJson(
+                                      prof, m.now(),
+                                      m.engine().componentCount()))
                              .dump()
                              + "\n");
         std::printf("JSON report written to %s\n", json_path);

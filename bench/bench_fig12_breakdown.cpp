@@ -27,7 +27,8 @@ main(int argc, char **argv)
     const bench::Args args(argc, argv);
     const int k = static_cast<int>(args.flag("--k", 4));
     const auto trace = bench::TraceOptions::parse(args);
-    if (!trace.validate())
+    const auto ts = bench::TimeseriesOptions::parse(args);
+    if (!trace.validate() || !ts.validate())
         return 1;
 
     MachineConfig cfg;
@@ -39,6 +40,7 @@ main(int argc, char **argv)
     // A single-packet traversal makes the smallest useful demo trace:
     // every lifecycle event of Figure 12's E -> R -> C -> link path.
     trace.apply(m);
+    ts.apply(m);
 
     // The minimum-latency configuration: source and destination endpoints
     // co-located with the Y-channel routers (endpoint 16 sits on R(0,2)
@@ -113,5 +115,6 @@ main(int argc, char **argv)
         if (trace.csv != nullptr)
             std::printf("Flight record written to %s\n", trace.csv);
     }
+    ts.write(m);
     return 0;
 }

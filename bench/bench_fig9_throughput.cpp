@@ -36,14 +36,19 @@ struct RunResult
     double normalized;
     Cycle cycles;
     std::string metrics_json; ///< full registry snapshot (telemetry runs)
+    std::string timeseries_json; ///< windowed section (probe runs)
+    std::string host_json;       ///< simulator self-profile (probe runs)
 };
 
 RunResult
 runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
          const char *pattern_name, std::uint64_t batch,
          std::uint64_t seed, bool with_metrics,
-         const bench::TraceOptions *trace = nullptr)
+         const bench::TraceOptions *trace,
+         const bench::TimeseriesOptions &ts, bool sample_ts)
 {
+    HostProfiler prof;
+    prof.beginPhase("build");
     MachineConfig cfg;
     cfg.radix = radix;
     cfg.chip.endpoints_per_node = 8;
@@ -55,6 +60,10 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
     Machine m(cfg);
     if (trace != nullptr)
         trace->apply(m);
+    if (sample_ts)
+        ts.apply(m);
+    else if (ts.progress)
+        m.enableProgress();
 
     const auto core_eps = firstEndpoints(cores);
 
@@ -88,13 +97,24 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
 
     const Cycle max_cycles =
         static_cast<Cycle>(batch) * 2000 + 200000;
+    prof.beginPhase("run");
     if (!driver.run(max_cycles))
         std::fprintf(stderr, "WARNING: batch timed out\n");
+    prof.endPhase();
 
     if (trace != nullptr)
         trace->write(m);
-    return { driver.throughputPerCore() / ideal, driver.completionTime(),
-             with_metrics ? m.metricsJson() : std::string() };
+    ts.write(m);
+    RunResult res;
+    res.normalized = driver.throughputPerCore() / ideal;
+    res.cycles = driver.completionTime();
+    if (with_metrics)
+        res.metrics_json = m.metricsJson();
+    if (sample_ts)
+        res.timeseries_json = ts.jsonSection(m);
+    res.host_json =
+        bench::hostJson(prof, m.now(), m.engine().componentCount());
+    return res;
 }
 
 } // namespace
@@ -111,10 +131,10 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(args.flag("--maxbatch", 512));
     const auto seed = static_cast<std::uint64_t>(args.flag("--seed", 12));
     const char *json_path = args.strFlag("--json", nullptr);
-    if (json_path != nullptr && !bench::checkWritable(json_path))
-        return 1;
     const auto trace = bench::TraceOptions::parse(args);
-    if (!trace.validate())
+    const auto ts = bench::TimeseriesOptions::parse(args);
+    if (!bench::validateOutputPaths({ json_path }) || !trace.validate()
+        || !ts.validate())
         return 1;
 
     bench::printHeader(
@@ -128,20 +148,23 @@ main(int argc, char **argv)
 
     std::vector<std::string> rows;
     std::string last_metrics;
+    std::string last_timeseries;
+    std::string last_host;
     for (const char *pattern : { "2-hop", "uniform" }) {
         for (std::uint64_t batch = 16; batch <= max_batch; batch *= 4) {
-            // The telemetry snapshot (and the event trace, when enabled)
-            // comes from the largest batch of each sweep; the last
-            // pattern's probe run wins the output files.
+            // The telemetry snapshot (and the event trace / time series,
+            // when enabled) comes from the largest batch of each sweep;
+            // the last pattern's probe run wins the output files.
             const bool probe =
-                (json_path != nullptr || trace.enabled())
+                (json_path != nullptr || trace.enabled() || ts.enabled())
                 && batch * 4 > max_batch;
             const auto rr = runBatch(radix, cores, ArbPolicy::RoundRobin,
-                                     pattern, batch, seed, false);
+                                     pattern, batch, seed, false, nullptr,
+                                     ts, false);
             auto iw = runBatch(radix, cores, ArbPolicy::InverseWeighted,
                                pattern, batch, seed,
                                probe && json_path != nullptr,
-                               probe ? &trace : nullptr);
+                               probe ? &trace : nullptr, ts, probe);
             std::printf("%-18s %10llu %14.3f %16.3f\n", pattern,
                         static_cast<unsigned long long>(batch),
                         rr.normalized, iw.normalized);
@@ -153,8 +176,11 @@ main(int argc, char **argv)
                                .add("inverse_weighted",
                                     bench::num(iw.normalized))
                                .dump(0));
-            if (probe)
+            if (probe) {
                 last_metrics = std::move(iw.metrics_json);
+                last_timeseries = std::move(iw.timeseries_json);
+            }
+            last_host = std::move(iw.host_json);
         }
         bench::printRule();
     }
@@ -182,6 +208,11 @@ main(int argc, char **argv)
                 .add("rows", bench::arr(rows))
                 .add("metrics", last_metrics.empty() ? "null"
                                                      : last_metrics)
+                .add("timeseries", last_timeseries.empty()
+                                       ? "null"
+                                       : last_timeseries)
+                .add("host",
+                     last_host.empty() ? "null" : last_host)
                 .dump()
                 + "\n");
         std::printf("JSON report written to %s\n", json_path);

@@ -142,6 +142,23 @@ checkWritable(const char *path)
     return true;
 }
 
+/**
+ * Validate every (possibly null) output path up front, reporting *all*
+ * unwritable ones before giving up. The single fail-fast gate for
+ * --json/--trace/--trace-csv/--heatmap: benches pass their full path
+ * set here instead of sprinkling per-flag checks.
+ */
+inline bool
+validateOutputPaths(std::initializer_list<const char *> paths)
+{
+    bool ok = true;
+    for (const char *p : paths) {
+        if (p != nullptr)
+            ok = checkWritable(p) && ok;
+    }
+    return ok;
+}
+
 inline void
 writeFile(const std::string &path, const std::string &content)
 {
@@ -180,16 +197,7 @@ struct TraceOptions
     bool enabled() const { return chrome != nullptr || csv != nullptr; }
 
     /** Fail fast on unwritable output paths (false = do not simulate). */
-    bool
-    validate() const
-    {
-        bool ok = true;
-        if (chrome != nullptr)
-            ok = checkWritable(chrome) && ok;
-        if (csv != nullptr)
-            ok = checkWritable(csv) && ok;
-        return ok;
-    }
+    bool validate() const { return validateOutputPaths({ chrome, csv }); }
 
     /** Turn tracing on for @p m (no-op when no output was requested). */
     void
@@ -212,6 +220,102 @@ struct TraceOptions
             writeFile(csv, m.traceFlightCsv());
     }
 };
+
+/**
+ * Shared windowed time-series flags for the figure benches:
+ *   --timeseries          enable the interval sampler
+ *   --window <N>          sampling window in cycles (default 1024)
+ *   --heatmap <path>      write the per-link congestion heatmap CSV
+ *                         (implies --timeseries)
+ *   --auto-steady         detect steady state online and reset the
+ *                         metrics registry at convergence (implies
+ *                         --timeseries)
+ *   --warmup <N>          fixed warmup: reset metrics at cycle N
+ *   --progress            live stderr progress line (cycle, Mcyc/s)
+ * Paths are validated before any simulation time is spent.
+ */
+struct TimeseriesOptions
+{
+    bool timeseries = false;
+    long window = 1024;
+    const char *heatmap = nullptr;
+    bool auto_steady = false;
+    bool progress = false;
+    long warmup = 0;
+
+    static TimeseriesOptions
+    parse(const Args &args)
+    {
+        TimeseriesOptions t;
+        t.window = args.flag("--window", 1024);
+        t.heatmap = args.strFlag("--heatmap", nullptr);
+        t.auto_steady = args.has("--auto-steady");
+        t.warmup = args.flag("--warmup", 0);
+        t.progress = args.has("--progress");
+        t.timeseries = args.has("--timeseries") || t.heatmap != nullptr
+                       || t.auto_steady;
+        return t;
+    }
+
+    bool enabled() const { return timeseries; }
+
+    /** Fail fast on unwritable paths / nonsense windows. */
+    bool
+    validate() const
+    {
+        if (window < 1) {
+            std::fprintf(stderr, "error: --window must be >= 1\n");
+            return false;
+        }
+        return validateOutputPaths({ heatmap });
+    }
+
+    /** Bind the sampler (and progress meter) to @p m as requested. */
+    void
+    apply(Machine &m) const
+    {
+        if (timeseries) {
+            TimeseriesConfig cfg;
+            cfg.window = static_cast<Cycle>(window);
+            cfg.auto_steady = auto_steady;
+            cfg.warmup_reset = static_cast<Cycle>(warmup);
+            m.enableTimeseries(cfg);
+        }
+        if (progress)
+            m.enableProgress();
+    }
+
+    /** The `timeseries` report section ("null" when sampling is off). */
+    std::string
+    jsonSection(Machine &m) const
+    {
+        return m.timeseries() != nullptr ? m.timeseriesJson() : "null";
+    }
+
+    /** Write the heatmap CSV and terminate the progress line. */
+    void
+    write(Machine &m) const
+    {
+        if (m.progress() != nullptr)
+            m.progress()->finish();
+        if (heatmap != nullptr && m.timeseries() != nullptr) {
+            writeFile(heatmap, m.heatmapCsv());
+            std::printf("Heatmap CSV written to %s\n", heatmap);
+        }
+    }
+};
+
+/**
+ * The bench-report `host` section: wall time, phases, and simulated
+ * cycles per wall second from a HostProfiler. Host-dependent by nature,
+ * so it lives *outside* the deterministic `metrics`/`timeseries`
+ * sections - byte-compare those, not this.
+ */
+inline std::string
+hostJson(const HostProfiler &prof, Cycle cycles, std::size_t components)
+{
+    return prof.toJson(cycles, components);
+}
 
 /** Render a possibly-NaN value for the text tables ("-" when empty). */
 inline std::string

@@ -17,8 +17,12 @@
 using namespace anton2;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Optional argument: path for the near-saturation congestion
+    // heatmap CSV (written from the highest-load sweep point).
+    const char *heatmap_path = argc > 1 ? argv[1] : nullptr;
+
     const std::vector<int> radix{ 4, 4, 4 };
     const auto cores = firstEndpoints(4);
 
@@ -35,8 +39,8 @@ main()
     const double sat = lm.idealCoreThroughput(0);
     std::printf("predicted saturation: %.4f packets/cycle/core\n\n", sat);
 
-    std::printf("%-12s %14s %14s\n", "offered/sat", "mean lat (ns)",
-                "delivered/core/kcycle");
+    std::printf("%-12s %14s %14s %12s\n", "offered/sat", "mean lat (ns)",
+                "delivered/core/kcycle", "warmup");
     for (double frac : { 0.2, 0.4, 0.6, 0.8, 1.0 }) {
         MachineConfig cfg;
         cfg.radix = radix;
@@ -46,6 +50,13 @@ main()
         cfg.seed = 3;
         Machine m(cfg);
         UniformPattern pat(m.geom());
+
+        // Windowed sampling with online steady-state detection: the
+        // reported warmup column is the detected end of the transient.
+        TimeseriesConfig tcfg;
+        tcfg.window = 250;
+        tcfg.auto_steady = true;
+        IntervalSampler &sampler = m.enableTimeseries(tcfg);
 
         OpenLoopDriver::Config dcfg;
         dcfg.cores = cores;
@@ -59,9 +70,30 @@ main()
             static_cast<double>(m.totalDelivered())
             / (static_cast<double>(m.geom().numNodes()) * cores.size())
             / 8.0;
-        std::printf("%-12.1f %14.1f %14.2f\n", frac,
+        const SteadyStateResult &steady = sampler.steadyState();
+        char warmup[32];
+        if (steady.converged) {
+            std::snprintf(warmup, sizeof(warmup), "%llu cyc",
+                          static_cast<unsigned long long>(
+                              steady.warmup_cycles));
+        } else {
+            std::snprintf(warmup, sizeof(warmup), "n/a");
+        }
+        std::printf("%-12.1f %14.1f %14.2f %12s\n", frac,
                     cyclesToNs(static_cast<Cycle>(m.latencyStat().mean())),
-                    per_core);
+                    per_core, warmup);
+
+        if (frac == 1.0 && heatmap_path != nullptr) {
+            const std::string csv = m.heatmapCsv();
+            std::FILE *f = std::fopen(heatmap_path, "w");
+            if (f != nullptr) {
+                std::fwrite(csv.data(), 1, csv.size(), f);
+                std::fclose(f);
+                std::printf("\nheatmap CSV written to %s\n", heatmap_path);
+            } else {
+                std::fprintf(stderr, "cannot write %s\n", heatmap_path);
+            }
+        }
     }
 
     // Beyond saturation: per-core service spread (EoS, Section 3.1).

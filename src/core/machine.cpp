@@ -163,6 +163,168 @@ Machine::metricsJson()
     return reg.toJson();
 }
 
+IntervalSampler &
+Machine::enableTimeseries(const TimeseriesConfig &cfg)
+{
+    if (sampler_ != nullptr)
+        return *sampler_;
+    sampler_ = std::make_unique<IntervalSampler>(cfg);
+    IntervalSampler &s = *sampler_;
+
+    // Machine-level rates: injected/delivered counts per window plus the
+    // windowed latency mean. The ejection + latency pair also feeds the
+    // steady-state detector.
+    {
+        SeriesInfo info;
+        info.name = "machine.injected";
+        info.scope = SeriesScope::Machine;
+        info.kind = SeriesKind::Cumulative;
+        s.addSeries(info, [this](Cycle) {
+            std::uint64_t total = 0;
+            for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+                for (EndpointId e = 0; e < layout_.numEndpoints(); ++e)
+                    total += chip(n).endpoint(e).injected();
+            }
+            return static_cast<double>(total);
+        });
+    }
+    std::size_t delivered_idx;
+    {
+        SeriesInfo info;
+        info.name = "machine.delivered";
+        info.scope = SeriesScope::Machine;
+        info.kind = SeriesKind::Cumulative;
+        delivered_idx = s.addSeries(info, [this](Cycle) {
+            return static_cast<double>(delivered_);
+        });
+    }
+    SeriesInfo lat_info;
+    lat_info.name = "machine.latency_mean";
+    lat_info.scope = SeriesScope::Machine;
+    const std::size_t latency_idx = s.addStatSeries(lat_info, &latency_);
+
+    const MeshGeom &mesh = layout_.mesh();
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        const std::string chip_prefix = "chip." + std::to_string(n) + ".";
+
+        // Per-chip aggregate occupancy and credit headroom (instantaneous
+        // levels at each window boundary: where is traffic queued *now*).
+        SeriesInfo occ;
+        occ.name = chip_prefix + "occupancy_flits";
+        occ.scope = SeriesScope::Chip;
+        occ.kind = SeriesKind::Instant;
+        occ.chip = static_cast<std::int32_t>(n);
+        s.addSeries(occ, [this, n](Cycle) {
+            std::uint64_t total = 0;
+            Chip &c = chip(n);
+            for (RouterId r = 0; r < layout_.numRouters(); ++r)
+                total += c.router(r).bufferedFlits();
+            for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca)
+                total += c.channelAdapter(ca).bufferedFlits();
+            return static_cast<double>(total);
+        });
+        SeriesInfo cred;
+        cred.name = chip_prefix + "credits";
+        cred.scope = SeriesScope::Chip;
+        cred.kind = SeriesKind::Instant;
+        cred.chip = static_cast<std::int32_t>(n);
+        s.addSeries(cred, [this, n](Cycle) {
+            std::uint64_t total = 0;
+            Chip &c = chip(n);
+            for (RouterId r = 0; r < layout_.numRouters(); ++r)
+                total += c.router(r).creditsAvailable();
+            for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca)
+                total += static_cast<std::uint64_t>(
+                    c.channelAdapter(ca).torusCreditsAvailable());
+            return static_cast<double>(total);
+        });
+
+        // Per-link egress flit counts - the heatmap source. Utilization
+        // normalizes against the SerDes rate (14/45 flits per cycle).
+        for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
+            ChannelAdapter &a = chip(n).channelAdapter(ca);
+            const RouterId r = layout_.channelRouter(ca);
+            SeriesInfo link;
+            link.name = chip_prefix + "ca." + layout_.channelShortName(ca)
+                        + ".flits";
+            link.scope = SeriesScope::Link;
+            link.kind = SeriesKind::Cumulative;
+            link.chip = static_cast<std::int32_t>(n);
+            link.u = static_cast<std::int16_t>(mesh.u(r));
+            link.v = static_cast<std::int16_t>(mesh.v(r));
+            link.port = layout_.channelShortName(ca);
+            link.capacity_per_cycle =
+                static_cast<double>(a.config().ser_tokens_per_cycle)
+                / static_cast<double>(a.config().ser_tokens_per_flit);
+            s.addSeries(link, [&a](Cycle) {
+                return static_cast<double>(a.flitsSent());
+            });
+        }
+
+        if (cfg.per_router) {
+            for (RouterId r = 0; r < layout_.numRouters(); ++r) {
+                Router &rt = chip(n).router(r);
+                const std::string rp = chip_prefix + "router."
+                                       + std::to_string(mesh.u(r)) + "."
+                                       + std::to_string(mesh.v(r)) + ".";
+                SeriesInfo ro;
+                ro.name = rp + "occupancy_flits";
+                ro.scope = SeriesScope::Router;
+                ro.kind = SeriesKind::Instant;
+                ro.chip = static_cast<std::int32_t>(n);
+                ro.u = static_cast<std::int16_t>(mesh.u(r));
+                ro.v = static_cast<std::int16_t>(mesh.v(r));
+                s.addSeries(ro, [&rt](Cycle) {
+                    return static_cast<double>(rt.bufferedFlits());
+                });
+                SeriesInfo rc;
+                rc.name = rp + "credits";
+                rc.scope = SeriesScope::Router;
+                rc.kind = SeriesKind::Instant;
+                rc.chip = static_cast<std::int32_t>(n);
+                rc.u = static_cast<std::int16_t>(mesh.u(r));
+                rc.v = static_cast<std::int16_t>(mesh.v(r));
+                s.addSeries(rc, [&rt](Cycle) {
+                    return static_cast<double>(rt.creditsAvailable());
+                });
+            }
+        }
+    }
+
+    s.watchSteadyState(delivered_idx, latency_idx, metrics_.get());
+    engine_.add(s);
+    return s;
+}
+
+std::string
+Machine::timeseriesJson()
+{
+    assert(sampler_ != nullptr && "call enableTimeseries() first");
+    sampler_->finalize(engine_.now());
+    return sampler_->toJson();
+}
+
+std::string
+Machine::heatmapCsv()
+{
+    assert(sampler_ != nullptr && "call enableTimeseries() first");
+    sampler_->finalize(engine_.now());
+    return sampler_->heatmapCsv();
+}
+
+ProgressMeter &
+Machine::enableProgress(const ProgressMeter::Config &cfg)
+{
+    if (progress_ != nullptr)
+        return *progress_;
+    progress_ = std::make_unique<ProgressMeter>(cfg);
+    progress_->setStatusFn([this] {
+        return "delivered " + std::to_string(delivered_);
+    });
+    engine_.add(*progress_);
+    return *progress_;
+}
+
 RingTraceSink &
 Machine::enableTracing(const TraceConfig &cfg)
 {
@@ -201,6 +363,36 @@ Machine::traceChromeJson()
                                       static_cast<std::int16_t>(p),
                                       s->ports[p] });
             }
+        }
+    }
+
+    // Windowed time-series curves as Perfetto counter tracks: machine
+    // and chip levels as recorded, links as utilization in [0, 1].
+    if (sampler_ != nullptr) {
+        sampler_->finalize(engine_.now());
+        const IntervalSampler &s = *sampler_;
+        for (std::size_t i = 0; i < s.numSeries(); ++i) {
+            const SeriesInfo &info = s.seriesInfo(i);
+            if (info.scope == SeriesScope::Router)
+                continue; // fine grain: API / heatmap only
+            CounterTrack track;
+            track.node = info.scope == SeriesScope::Machine ? -1
+                                                            : info.chip;
+            track.name = info.scope == SeriesScope::Link
+                             ? "ca." + info.port + ".util"
+                             : info.name;
+            track.points.reserve(s.numWindows());
+            for (std::size_t w = 0; w < s.numWindows(); ++w) {
+                double v = s.value(i, w);
+                if (info.scope == SeriesScope::Link) {
+                    const auto len = static_cast<double>(
+                        s.windowEnd(w) - s.windowStart(w));
+                    const double cap = len * info.capacity_per_cycle;
+                    v = cap > 0.0 ? v / cap : 0.0;
+                }
+                track.points.push_back({ s.windowEnd(w), v });
+            }
+            in.counters.push_back(std::move(track));
         }
     }
 

@@ -19,6 +19,7 @@
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
+#include "sim/timeseries.hpp"
 #include "trace/trace.hpp"
 
 namespace anton2 {
@@ -165,6 +166,39 @@ class Machine
     /** Export the recorded events as a per-packet flight-record CSV. */
     std::string traceFlightCsv();
 
+    // ------------------------------------------------------------------
+    // Windowed time series
+    // ------------------------------------------------------------------
+
+    /**
+     * Create the interval sampler (if absent), register the standard
+     * series set - machine injection/ejection/latency, per-chip buffer
+     * occupancy and credit levels, per-link flit counts (plus per-router
+     * series under cfg.per_router) - and add it to the engine. Like the
+     * other telemetry layers, a machine that never calls this pays
+     * nothing: the sampler is simply not constructed. Idempotent.
+     */
+    IntervalSampler &enableTimeseries(const TimeseriesConfig &cfg = {});
+
+    /** The bound sampler, or null when time-series sampling is off. */
+    IntervalSampler *timeseries() { return sampler_.get(); }
+
+    /** Finalize the partial last window and serialize the JSON section. */
+    std::string timeseriesJson();
+
+    /** Finalize and serialize the per-link congestion heatmap CSV. */
+    std::string heatmapCsv();
+
+    /**
+     * Add an opt-in live progress meter (stderr by default) reporting
+     * the current cycle, event-loop rate, and delivered packet count.
+     * Purely observational. Idempotent.
+     */
+    ProgressMeter &enableProgress(const ProgressMeter::Config &cfg = {});
+
+    /** The bound progress meter, or null. */
+    ProgressMeter *progress() { return progress_.get(); }
+
   private:
     void prepareUnicast(Packet &pkt);
 
@@ -189,6 +223,8 @@ class Machine
     Counter *m_delivered_ = nullptr; ///< machine.delivered
     ScalarStat *m_hops_ = nullptr;   ///< machine.hops per delivery
     std::unique_ptr<RingTraceSink> trace_;
+    std::unique_ptr<IntervalSampler> sampler_;
+    std::unique_ptr<ProgressMeter> progress_;
 };
 
 } // namespace anton2

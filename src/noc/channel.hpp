@@ -68,6 +68,16 @@ class CreditCounter
 
     int numVcs() const { return static_cast<int>(credits_.size()); }
 
+    /** Free downstream slots summed over all VCs (telemetry probe). */
+    int
+    totalAvailable() const
+    {
+        int total = 0;
+        for (int c : credits_)
+            total += c;
+        return total;
+    }
+
   private:
     std::vector<int> credits_;
 };

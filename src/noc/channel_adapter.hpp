@@ -118,6 +118,24 @@ class ChannelAdapter : public Component
     /** Cycles in which the serializer had tokens but nothing to send. */
     std::uint64_t idleCycles() const { return idle_cycles_; }
 
+    /** Flits buffered on both sides right now (telemetry probe). */
+    std::uint64_t
+    bufferedFlits() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &vc : egress_vcs_)
+            total += static_cast<std::uint64_t>(vc.occupancy());
+        for (const auto &vc : ingress_vcs_)
+            total += static_cast<std::uint64_t>(vc.occupancy());
+        return total;
+    }
+
+    /** Torus-link credits available across VCs (telemetry probe). */
+    int torusCreditsAvailable() const
+    {
+        return torus_credits_.totalAvailable();
+    }
+
   private:
     struct IngressEntry
     {

@@ -422,4 +422,26 @@ Router::busy() const
     return false;
 }
 
+std::uint64_t
+Router::bufferedFlits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ip : in_) {
+        for (const auto &vc : ip.vcs)
+            total += static_cast<std::uint64_t>(vc.occupancy());
+    }
+    return total;
+}
+
+std::uint64_t
+Router::creditsAvailable() const
+{
+    std::uint64_t total = 0;
+    for (const auto &op : out_) {
+        if (op.ch != nullptr)
+            total += static_cast<std::uint64_t>(op.credits.totalAvailable());
+    }
+    return total;
+}
+
 } // namespace anton2

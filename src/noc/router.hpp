@@ -116,6 +116,12 @@ class Router : public Component
     const RouterConfig &config() const { return cfg_; }
     std::uint64_t flitsRouted() const { return flits_routed_; }
 
+    /** Flits held in input buffers right now (read-only telemetry probe). */
+    std::uint64_t bufferedFlits() const;
+
+    /** Credits available across connected output ports (telemetry probe). */
+    std::uint64_t creditsAvailable() const;
+
   private:
     struct InPort
     {

@@ -36,6 +36,29 @@ class ScalarStat
     double mean() const { return count_ ? mean_ : 0.0; }
 
     /**
+     * Cheap non-destructive snapshot for windowed readers: count and sum
+     * are exact deltas between any two snapshots (mean/min/max/variance
+     * are not windowable and are deliberately excluded). Lets a sampler
+     * compute per-window means without reset()ing shared state mid-run.
+     */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    Snapshot snapshot() const { return { count_, sum_ }; }
+
+    /** Mean of the samples between @p prev and @p cur, NaN if none. */
+    static double
+    windowMean(const Snapshot &cur, const Snapshot &prev)
+    {
+        const std::uint64_t n = cur.count - prev.count;
+        return n ? (cur.sum - prev.sum) / static_cast<double>(n)
+                 : std::numeric_limits<double>::quiet_NaN();
+    }
+
+    /**
      * Minimum/maximum observed sample, or NaN when no samples have been
      * recorded. (Formerly 0.0, which read as a genuine latency minimum;
      * formatters should render the empty case as "-" or null.)

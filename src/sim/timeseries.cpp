@@ -1,0 +1,522 @@
+#include "sim/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace anton2 {
+
+// ---------------------------------------------------------------------
+// SteadyStateDetector
+// ---------------------------------------------------------------------
+
+void
+SteadyStateDetector::observe(double x)
+{
+    if (std::isnan(x)) {
+        // No evidence either way: the suffix extends, the mean holds.
+        ++n_;
+        return;
+    }
+    if (run_count_ > 0) {
+        const double mean = run_sum_ / static_cast<double>(run_count_);
+        const double band = std::max(cfg_.rel_tolerance * std::fabs(mean),
+                                     cfg_.abs_floor);
+        if (std::fabs(x - mean) > band) {
+            start_ = n_;
+            run_sum_ = 0.0;
+            run_count_ = 0;
+        }
+    }
+    run_sum_ += x;
+    ++run_count_;
+    ++n_;
+}
+
+std::size_t
+mserTruncation(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0;
+
+    // Suffix sums let every candidate's variance come out in O(1).
+    std::vector<double> sum(n + 1, 0.0), sq(n + 1, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        sum[i] = sum[i + 1] + xs[i];
+        sq[i] = sq[i + 1] + xs[i] * xs[i];
+    }
+
+    std::size_t best = 0;
+    double best_se = std::numeric_limits<double>::infinity();
+    for (std::size_t d = 0; d <= n / 2; ++d) {
+        const auto m = static_cast<double>(n - d);
+        const double mean = sum[d] / m;
+        const double var = std::max(0.0, sq[d] / m - mean * mean);
+        const double se = var / m; // monotone in stddev/sqrt(m): compare var/m
+        if (se < best_se) {
+            best_se = se;
+            best = d;
+        }
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------
+// IntervalSampler
+// ---------------------------------------------------------------------
+
+IntervalSampler::IntervalSampler(const TimeseriesConfig &cfg)
+    : Component("interval_sampler"),
+      cfg_(cfg),
+      det_throughput_(cfg.steady),
+      det_latency_(cfg.steady)
+{
+    assert(cfg_.window >= 1);
+    window_end_.reserve(cfg_.max_windows);
+}
+
+std::size_t
+IntervalSampler::addSeries(SeriesInfo info, ProbeFn probe)
+{
+    assert(!started_ && "register series before the engine runs");
+    assert(info.kind != SeriesKind::WindowMean && "use addStatSeries");
+    Series s;
+    s.info = std::move(info);
+    s.probe = std::move(probe);
+    // Baseline cumulative counters at registration: components earlier in
+    // the engine's tick order act before the sampler's first tick, so a
+    // first-tick baseline would miss their cycle-0 activity.
+    if (s.info.kind == SeriesKind::Cumulative)
+        s.prev = s.probe(0);
+    series_.push_back(std::move(s));
+    return series_.size() - 1;
+}
+
+std::size_t
+IntervalSampler::addStatSeries(SeriesInfo info, const ScalarStat *stat)
+{
+    assert(!started_ && "register series before the engine runs");
+    Series s;
+    s.info = std::move(info);
+    s.info.kind = SeriesKind::WindowMean;
+    s.stat = stat;
+    s.prev_snap = stat->snapshot();
+    series_.push_back(std::move(s));
+    return series_.size() - 1;
+}
+
+void
+IntervalSampler::watchSteadyState(std::size_t throughput_series,
+                                  std::size_t latency_series,
+                                  MetricsRegistry *reset)
+{
+    ss_throughput_ = throughput_series;
+    ss_latency_ = latency_series;
+    reset_registry_ = reset;
+    steady_result_.auto_steady = cfg_.auto_steady;
+}
+
+void
+IntervalSampler::tick(Cycle now)
+{
+    if (!started_) {
+        started_ = true;
+        start_ = now;
+        last_ = now;
+        next_ = now + cfg_.window;
+        values_.reserve(cfg_.max_windows * series_.size());
+        return;
+    }
+    if (now != next_)
+        return;
+    sampleWindow(now);
+    next_ += cfg_.window;
+}
+
+void
+IntervalSampler::finalize(Cycle now)
+{
+    if (!started_ || now <= last_)
+        return;
+    sampleWindow(now);
+    next_ = now + cfg_.window;
+}
+
+void
+IntervalSampler::sampleWindow(Cycle end)
+{
+    const Cycle len = end - last_;
+    assert(len > 0);
+
+    if (window_end_.size() >= cfg_.max_windows) {
+        ++dropped_;
+        last_ = end;
+        return;
+    }
+
+    double ejected = std::numeric_limits<double>::quiet_NaN();
+    double latency = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        Series &s = series_[i];
+        double v = 0.0;
+        switch (s.info.kind) {
+          case SeriesKind::Instant:
+            v = s.probe(end);
+            break;
+          case SeriesKind::Cumulative: {
+              const double cur = s.probe(end);
+              v = cur - s.prev;
+              s.prev = cur;
+              break;
+          }
+          case SeriesKind::WindowMean: {
+              const auto snap = s.stat->snapshot();
+              v = ScalarStat::windowMean(snap, s.prev_snap);
+              s.prev_snap = snap;
+              break;
+          }
+        }
+        values_.push_back(v);
+        if (i == ss_throughput_)
+            ejected = v / static_cast<double>(len); // rate, length-invariant
+        if (i == ss_latency_)
+            latency = v;
+    }
+    window_end_.push_back(end);
+    last_ = end;
+
+    // Fixed warmup: one registry reset at the first boundary past it.
+    if (!cfg_.auto_steady && cfg_.warmup_reset > 0 && !warmup_done_
+        && end >= start_ + cfg_.warmup_reset) {
+        warmup_done_ = true;
+        if (reset_registry_ != nullptr) {
+            reset_registry_->reset();
+            steady_result_.metrics_reset_cycle = end;
+        }
+    }
+
+    // Auto steady state: both series stable -> declare, reset once.
+    if (cfg_.auto_steady && ss_throughput_ != npos) {
+        det_throughput_.observe(ejected);
+        det_latency_.observe(latency);
+        if (!steady_detected_ && det_throughput_.converged()
+            && det_latency_.converged()) {
+            steady_detected_ = true;
+            steady_result_.converged = true;
+            const std::size_t w =
+                std::max(det_throughput_.steadyStartWindow(),
+                         det_latency_.steadyStartWindow());
+            steady_result_.warmup_cycles =
+                start_ + static_cast<Cycle>(w) * cfg_.window;
+            steady_result_.detected_cycle = end;
+            if (reset_registry_ != nullptr) {
+                reset_registry_->reset();
+                steady_result_.metrics_reset_cycle = end;
+            }
+        }
+    }
+}
+
+double
+IntervalSampler::value(std::size_t s, std::size_t w) const
+{
+    return values_[w * series_.size() + s];
+}
+
+Cycle
+IntervalSampler::windowStart(std::size_t w) const
+{
+    return w == 0 ? start_ : window_end_[w - 1];
+}
+
+double
+IntervalSampler::seriesSum(std::size_t s) const
+{
+    double total = 0.0;
+    for (std::size_t w = 0; w < window_end_.size(); ++w)
+        total += value(s, w);
+    return total;
+}
+
+std::size_t
+IntervalSampler::findSeries(const std::string &name) const
+{
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        if (series_[i].info.name == name)
+            return i;
+    }
+    return npos;
+}
+
+std::string
+IntervalSampler::toJson(int indent) const
+{
+    const std::string p1(static_cast<std::size_t>(indent), ' ');
+    const std::string p2(static_cast<std::size_t>(2 * indent), ' ');
+
+    std::string out = "{\n";
+    out += p1 + "\"window_cycles\": "
+           + jsonNumber(static_cast<double>(cfg_.window)) + ",\n";
+    out += p1 + "\"start_cycle\": "
+           + jsonNumber(static_cast<double>(start_)) + ",\n";
+    out += p1 + "\"windows\": "
+           + jsonNumber(static_cast<double>(window_end_.size())) + ",\n";
+    out += p1 + "\"dropped_windows\": "
+           + jsonNumber(static_cast<double>(dropped_)) + ",\n";
+
+    out += p1 + "\"window_end_cycles\": [";
+    for (std::size_t w = 0; w < window_end_.size(); ++w) {
+        if (w != 0)
+            out += ", ";
+        out += jsonNumber(static_cast<double>(window_end_[w]));
+    }
+    out += "],\n";
+
+    // Steady-state outcome plus the offline MSER cross-check on the
+    // windowed ejection series.
+    out += p1 + "\"steady_state\": ";
+    if (!cfg_.auto_steady && cfg_.warmup_reset == 0
+        && steady_result_.metrics_reset_cycle == kNoCycle) {
+        out += "null,\n";
+    } else {
+        const SteadyStateResult &r = steady_result_;
+        out += "{\n";
+        out += p2 + "\"auto\": " + (r.auto_steady ? "true" : "false")
+               + ",\n";
+        out += p2 + "\"converged\": " + (r.converged ? "true" : "false")
+               + ",\n";
+        out += p2 + "\"warmup_cycles\": "
+               + (r.converged
+                      ? jsonNumber(static_cast<double>(r.warmup_cycles))
+                      : std::string("null"))
+               + ",\n";
+        out += p2 + "\"detected_cycle\": "
+               + (r.converged
+                      ? jsonNumber(static_cast<double>(r.detected_cycle))
+                      : std::string("null"))
+               + ",\n";
+        out += p2 + "\"metrics_reset_cycle\": "
+               + (r.metrics_reset_cycle != kNoCycle
+                      ? jsonNumber(
+                            static_cast<double>(r.metrics_reset_cycle))
+                      : std::string("null"))
+               + ",\n";
+        std::string mser = "null";
+        if (ss_throughput_ != npos && window_end_.size() >= 2) {
+            std::vector<double> rates;
+            rates.reserve(window_end_.size());
+            for (std::size_t w = 0; w < window_end_.size(); ++w) {
+                const auto len = static_cast<double>(window_end_[w]
+                                                     - windowStart(w));
+                rates.push_back(value(ss_throughput_, w) / len);
+            }
+            mser = jsonNumber(
+                static_cast<double>(mserTruncation(rates)));
+        }
+        out += p2 + "\"mser_window\": " + mser + "\n";
+        out += p1 + "},\n";
+    }
+
+    // Machine- and Chip-scope series, sorted by name. Link and Router
+    // series are exported through the heatmap CSV / API instead (a
+    // per-link JSON dump would dwarf the report on large machines).
+    std::map<std::string, std::size_t> emit;
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        const SeriesScope sc = series_[i].info.scope;
+        if (sc == SeriesScope::Machine || sc == SeriesScope::Chip)
+            emit[series_[i].info.name] = i;
+    }
+    out += p1 + "\"series\": {";
+    bool first = true;
+    for (const auto &[name, idx] : emit) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += p2 + "\"" + jsonEscape(name) + "\": [";
+        for (std::size_t w = 0; w < window_end_.size(); ++w) {
+            if (w != 0)
+                out += ", ";
+            out += jsonNumber(value(idx, w));
+        }
+        out += "]";
+    }
+    out += first ? "}\n" : "\n" + p1 + "}\n";
+    out += "}";
+    return out;
+}
+
+std::string
+IntervalSampler::heatmapCsv() const
+{
+    std::string out =
+        "window,start_cycle,end_cycle,chip,u,v,port,flits,utilization\n";
+    for (std::size_t w = 0; w < window_end_.size(); ++w) {
+        const Cycle begin = windowStart(w);
+        const Cycle end = window_end_[w];
+        const auto len = static_cast<double>(end - begin);
+        for (std::size_t i = 0; i < series_.size(); ++i) {
+            const SeriesInfo &info = series_[i].info;
+            if (info.scope != SeriesScope::Link)
+                continue;
+            const double flits = value(i, w);
+            const double cap = len * info.capacity_per_cycle;
+            out += std::to_string(w);
+            out += ',';
+            out += jsonNumber(static_cast<double>(begin));
+            out += ',';
+            out += jsonNumber(static_cast<double>(end));
+            out += ',';
+            out += std::to_string(info.chip);
+            out += ',';
+            out += std::to_string(info.u);
+            out += ',';
+            out += std::to_string(info.v);
+            out += ',';
+            out += info.port;
+            out += ',';
+            out += jsonNumber(flits);
+            out += ',';
+            out += jsonNumber(cap > 0.0 ? flits / cap : 0.0);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// HostProfiler
+// ---------------------------------------------------------------------
+
+void
+HostProfiler::beginPhase(const std::string &name)
+{
+    endPhase();
+    open_ = name;
+    open_start_ = ClockT::now();
+}
+
+void
+HostProfiler::endPhase()
+{
+    if (open_.empty())
+        return;
+    const double secs =
+        std::chrono::duration<double>(ClockT::now() - open_start_).count();
+    for (auto &[name, total] : phases_) {
+        if (name == open_) {
+            total += secs;
+            open_.clear();
+            return;
+        }
+    }
+    phases_.emplace_back(open_, secs);
+    open_.clear();
+}
+
+double
+HostProfiler::wallSeconds() const
+{
+    return std::chrono::duration<double>(ClockT::now() - start_).count();
+}
+
+double
+HostProfiler::phaseSeconds(const std::string &name) const
+{
+    for (const auto &[n, total] : phases_) {
+        if (n == name)
+            return total;
+    }
+    return 0.0;
+}
+
+void
+HostProfiler::publish(MetricsRegistry &reg, Cycle cycles,
+                      std::size_t components) const
+{
+    const double wall = wallSeconds();
+    const double cps = cyclesPerSec(cycles);
+    reg.setGauge("machine.host.wall_seconds", wall);
+    reg.setGauge("machine.host.cycles_per_sec", cps);
+    reg.setGauge("machine.host.ticks_per_sec",
+                 cps * static_cast<double>(components));
+    for (const auto &[name, secs] : phases_)
+        reg.setGauge("machine.host.phase." + name + "_seconds", secs);
+}
+
+std::string
+HostProfiler::toJson(Cycle cycles, std::size_t components, int indent,
+                     int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent * (depth + 1)),
+                          ' ');
+    const double wall = wallSeconds();
+    const double cps = cyclesPerSec(cycles);
+    std::string out = "{\n";
+    out += pad + "\"machine.host.wall_seconds\": " + jsonNumber(wall)
+           + ",\n";
+    out += pad + "\"machine.host.cycles\": "
+           + jsonNumber(static_cast<double>(cycles)) + ",\n";
+    out += pad + "\"machine.host.cycles_per_sec\": " + jsonNumber(cps)
+           + ",\n";
+    out += pad + "\"machine.host.ticks_per_sec\": "
+           + jsonNumber(cps * static_cast<double>(components));
+    for (const auto &[name, secs] : phases_) {
+        out += ",\n" + pad + "\"machine.host.phase."
+               + jsonEscape(name) + "_seconds\": " + jsonNumber(secs);
+    }
+    out += "\n"
+           + std::string(static_cast<std::size_t>(indent * depth), ' ')
+           + "}";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ProgressMeter
+// ---------------------------------------------------------------------
+
+ProgressMeter::ProgressMeter(const Config &cfg)
+    : Component("progress_meter"), cfg_(cfg)
+{
+    if (cfg_.out == nullptr)
+        cfg_.out = stderr;
+    if (cfg_.check_every < 1)
+        cfg_.check_every = 1;
+}
+
+void
+ProgressMeter::tick(Cycle now)
+{
+    if (now % cfg_.check_every != 0)
+        return;
+    const auto wall = ClockT::now();
+    if (!started_) {
+        started_ = true;
+        last_wall_ = wall;
+        last_cycle_ = now;
+        return;
+    }
+    const double secs =
+        std::chrono::duration<double>(wall - last_wall_).count();
+    if (secs < cfg_.min_seconds)
+        return;
+    const double rate =
+        static_cast<double>(now - last_cycle_) / secs / 1e6;
+    std::fprintf(cfg_.out, "\r[progress] cycle %llu  %.2f Mcyc/s",
+                 static_cast<unsigned long long>(now), rate);
+    if (status_)
+        std::fprintf(cfg_.out, "  %s", status_().c_str());
+    std::fflush(cfg_.out);
+    last_wall_ = wall;
+    last_cycle_ = now;
+    ++lines_;
+}
+
+void
+ProgressMeter::finish()
+{
+    if (lines_ > 0)
+        std::fputc('\n', cfg_.out);
+}
+
+} // namespace anton2

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Windowed time-series telemetry: the layer between the end-of-run
+ * aggregates of sim/metrics.hpp and the per-packet events of
+ * trace/trace.hpp, answering *when* things happen.
+ *
+ * An IntervalSampler snapshots a registered set of series every `W`
+ * cycles into preallocated buffers: per-link flit counts (the congestion
+ * heatmap source), per-router / per-chip buffer occupancy and credit
+ * levels, and machine-level windowed injection/ejection counts and
+ * latency means. The same zero-overhead-when-unbound discipline as
+ * MetricsRegistry and TraceSink applies: a machine without a sampler
+ * pays nothing at all (the sampler is simply never constructed or
+ * registered), and a bound sampler touches the simulation only at
+ * window boundaries through read-only probes.
+ *
+ * On top of the sampled series sit:
+ *  - a steady-state detector (sliding-window convergence on windowed
+ *    ejection rate + mean latency, with an offline MSER truncation rule
+ *    for cross-checking) that replaces blind fixed warmup cycle counts;
+ *  - deterministic exporters - a per-link heatmap CSV and a time-series
+ *    JSON section (byte-identical across same-seed runs, like every
+ *    other serializer in the repo);
+ *  - host-side self-profiling (HostProfiler, ProgressMeter): simulated
+ *    cycles per wall second and per-phase wall time, the prerequisite
+ *    measurement for any simulator-performance work. Host wall-clock
+ *    values are intentionally kept out of the deterministic exports.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/metrics.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace anton2 {
+
+/**
+ * Default fixed warmup budget (cycles) that benches fall back to when
+ * steady-state detection is not enabled. The auto-steady integration
+ * test asserts the detector beats this blind bound at low load.
+ */
+inline constexpr Cycle kDefaultWarmupCycles = 20000;
+
+// ---------------------------------------------------------------------
+// Steady-state detection
+// ---------------------------------------------------------------------
+
+/** Tuning for the online sliding-window convergence test. */
+struct SteadyStateConfig
+{
+    /** Consecutive in-band windows required to declare convergence. */
+    std::size_t min_windows = 8;
+    /** Band half-width as a fraction of the running steady-region mean. */
+    double rel_tolerance = 0.10;
+    /** Absolute band floor, for series whose mean is near zero. */
+    double abs_floor = 1e-9;
+};
+
+/**
+ * Online steady-state detector for one windowed series.
+ *
+ * Maintains the current *stable suffix* of the observation stream: each
+ * new observation either extends the suffix (it lies within the
+ * tolerance band around the suffix mean) or restarts it at the current
+ * window. Convergence is declared once the suffix spans `min_windows`
+ * observations, and - unlike a fixed warmup count - is revoked
+ * retroactively by any later excursion (the suffix restarts), so a step
+ * change mid-run moves the reported warmup point past the step.
+ *
+ * NaN observations (e.g. a window with no delivered packets, whose mean
+ * latency is undefined) extend the suffix without contributing to its
+ * mean: an empty window is no evidence against stability.
+ */
+class SteadyStateDetector
+{
+  public:
+    explicit SteadyStateDetector(const SteadyStateConfig &cfg = {})
+        : cfg_(cfg)
+    {
+    }
+
+    void observe(double x);
+
+    bool
+    converged() const
+    {
+        return n_ - start_ >= cfg_.min_windows;
+    }
+
+    /** First window index of the current stable suffix. */
+    std::size_t steadyStartWindow() const { return start_; }
+    std::size_t observed() const { return n_; }
+    const SteadyStateConfig &config() const { return cfg_; }
+
+  private:
+    SteadyStateConfig cfg_;
+    std::size_t n_ = 0;       ///< observations seen
+    std::size_t start_ = 0;   ///< start of the current stable suffix
+    double run_sum_ = 0.0;    ///< sum of non-NaN suffix observations
+    std::size_t run_count_ = 0;
+};
+
+/**
+ * Offline MSER truncation rule: the warmup length `d` (searched over the
+ * first half of the series, per the standard rule) minimizing the
+ * marginal standard error stddev(x[d..]) / sqrt(n - d). Used to
+ * cross-check the online detector in the time-series JSON report.
+ */
+std::size_t mserTruncation(const std::vector<double> &xs);
+
+// ---------------------------------------------------------------------
+// IntervalSampler
+// ---------------------------------------------------------------------
+
+/** What a series describes; exporters filter on this. */
+enum class SeriesScope : std::uint8_t
+{
+    Machine, ///< machine-wide (JSON + Chrome counter track)
+    Chip,    ///< per-chip aggregate (JSON + Chrome counter track)
+    Link,    ///< per torus-channel adapter (heatmap CSV + Chrome track)
+    Router,  ///< per-router fine grain (API access only)
+};
+
+/** How a window's value is derived from the probe. */
+enum class SeriesKind : std::uint8_t
+{
+    Instant,    ///< probe value at the boundary, stored as-is
+    Cumulative, ///< delta of a monotone counter across the window
+    WindowMean, ///< windowed mean of a ScalarStat (snapshot delta)
+};
+
+/** Static description of one registered series. */
+struct SeriesInfo
+{
+    std::string name;        ///< dot path, e.g. `chip.3.ca.x0p.flits`
+    SeriesScope scope = SeriesScope::Machine;
+    SeriesKind kind = SeriesKind::Instant;
+    std::int32_t chip = -1;  ///< node id for Chip/Link/Router scopes
+    std::int16_t u = -1;     ///< attach-router mesh coords (Link scope)
+    std::int16_t v = -1;
+    std::string port;        ///< channel short name (Link scope)
+    /** Flit capacity per cycle; utilization denominator (Link scope). */
+    double capacity_per_cycle = 0.0;
+};
+
+struct TimeseriesConfig
+{
+    Cycle window = 1024;          ///< sampling interval, cycles
+    std::size_t max_windows = 4096; ///< preallocated window capacity
+    /** Record per-router occupancy/credit series (memory-heavy on large
+     * machines; per-chip aggregates are always recorded). */
+    bool per_router = false;
+    /** Run the steady-state detector on ejection rate + latency mean
+     * and reset the bound metrics registry at first convergence. */
+    bool auto_steady = false;
+    /** Fixed warmup: reset the bound registry at the first window
+     * boundary >= this cycle (0 = none; ignored under auto_steady). */
+    Cycle warmup_reset = 0;
+    SteadyStateConfig steady;
+};
+
+/** Outcome of warmup handling, reported in the JSON section. */
+struct SteadyStateResult
+{
+    bool auto_steady = false;
+    bool converged = false;
+    /** Start of the detected steady region (cycle), valid if converged. */
+    Cycle warmup_cycles = 0;
+    /** Cycle at which convergence was first declared. */
+    Cycle detected_cycle = 0;
+    /** Cycle the metrics registry was reset at, or kNoCycle if never. */
+    Cycle metrics_reset_cycle = kNoCycle;
+};
+
+/**
+ * The windowed sampler. Register series (probes are read-only accessors
+ * into simulation components), add the sampler to the engine, run, then
+ * export. Every `window` cycles one value per series is appended to a
+ * preallocated buffer; a final partial window is recorded by
+ * finalize(), so cumulative series sum exactly to their end-of-run
+ * aggregate counters. Past `max_windows`, further windows are counted
+ * as dropped rather than silently growing the hot-path buffers.
+ */
+class IntervalSampler : public Component
+{
+  public:
+    /** Probe returning the sampled value at a window boundary. */
+    using ProbeFn = std::function<double(Cycle now)>;
+
+    explicit IntervalSampler(const TimeseriesConfig &cfg);
+
+    /** Register a series (Instant or Cumulative). Call before running. */
+    std::size_t addSeries(SeriesInfo info, ProbeFn probe);
+
+    /** Register a WindowMean series over @p stat (not owned). */
+    std::size_t addStatSeries(SeriesInfo info, const ScalarStat *stat);
+
+    /**
+     * Watch windowed ejection rate (Cumulative series @p throughput_series,
+     * normalized per cycle) and latency (@p latency_series, a WindowMean)
+     * for steady state; on first convergence, reset @p reset (may be
+     * null). Also arms the fixed warmup_reset path against @p reset.
+     */
+    void watchSteadyState(std::size_t throughput_series,
+                          std::size_t latency_series,
+                          MetricsRegistry *reset);
+
+    void tick(Cycle now) override;
+    bool busy() const override { return false; }
+
+    /**
+     * Record the final partial window up to @p now (idempotent; called
+     * by the exporters). Cumulative series then sum exactly to their
+     * aggregate counters.
+     */
+    void finalize(Cycle now);
+
+    // -- recorded data -------------------------------------------------
+    std::size_t numSeries() const { return series_.size(); }
+    std::size_t numWindows() const { return window_end_.size(); }
+    std::uint64_t droppedWindows() const { return dropped_; }
+    Cycle windowCycles() const { return cfg_.window; }
+    Cycle startCycle() const { return start_; }
+    const SeriesInfo &seriesInfo(std::size_t s) const { return series_[s].info; }
+    /** Value of series @p s in window @p w. */
+    double value(std::size_t s, std::size_t w) const;
+    Cycle windowEnd(std::size_t w) const { return window_end_[w]; }
+    Cycle windowStart(std::size_t w) const;
+    /** Sum of a series over all recorded windows (exact for counters). */
+    double seriesSum(std::size_t s) const;
+    /** Index of the series named @p name, or npos. */
+    std::size_t findSeries(const std::string &name) const;
+    static constexpr std::size_t npos = ~std::size_t{ 0 };
+
+    const SteadyStateResult &steadyState() const { return steady_result_; }
+    const TimeseriesConfig &config() const { return cfg_; }
+
+    // -- exporters (deterministic byte-for-byte) -----------------------
+
+    /**
+     * JSON object: window geometry, steady-state outcome (including the
+     * offline MSER cross-check), and the Machine- and Chip-scope series
+     * keyed by name in sorted order. NaN serializes as null.
+     */
+    std::string toJson(int indent = 2) const;
+
+    /**
+     * Per-link congestion heatmap CSV:
+     * `window,start_cycle,end_cycle,chip,u,v,port,flits,utilization`
+     * (one row per Link-scope series per window; utilization is flits
+     * over the link's flit capacity for the window's length).
+     */
+    std::string heatmapCsv() const;
+
+  private:
+    struct Series
+    {
+        SeriesInfo info;
+        ProbeFn probe;                  ///< null for WindowMean
+        const ScalarStat *stat = nullptr;
+        double prev = 0.0;              ///< last cumulative probe value
+        ScalarStat::Snapshot prev_snap; ///< last stat snapshot
+    };
+
+    void sampleWindow(Cycle end);
+
+    TimeseriesConfig cfg_;
+    std::vector<Series> series_;
+    std::vector<double> values_;     ///< window-major, numSeries() stride
+    std::vector<Cycle> window_end_;  ///< end cycle per recorded window
+    bool started_ = false;
+    Cycle start_ = 0;
+    Cycle last_ = 0;  ///< end of the last recorded window
+    Cycle next_ = 0;  ///< next boundary
+    std::uint64_t dropped_ = 0;
+
+    // steady-state / warmup machinery
+    std::size_t ss_throughput_ = npos;
+    std::size_t ss_latency_ = npos;
+    MetricsRegistry *reset_registry_ = nullptr;
+    SteadyStateDetector det_throughput_;
+    SteadyStateDetector det_latency_;
+    bool steady_detected_ = false;
+    bool warmup_done_ = false;
+    SteadyStateResult steady_result_;
+};
+
+// ---------------------------------------------------------------------
+// Host-side self-profiling
+// ---------------------------------------------------------------------
+
+/**
+ * Wall-clock profiling of the simulator itself: total wall time,
+ * named phases, and derived rates (simulated cycles and component
+ * ticks per wall second). Values are host-dependent by nature, so
+ * benches report them in a JSON section *separate* from the
+ * deterministic `metrics`/`timeseries` payloads; publish() is for
+ * consumers that want them as `machine.host.*` gauges in a registry
+ * (which then stops being byte-reproducible).
+ */
+class HostProfiler
+{
+  public:
+    HostProfiler() : start_(ClockT::now()) {}
+
+    /** Begin a named phase (ends any open phase). */
+    void beginPhase(const std::string &name);
+    /** End the open phase, accumulating its wall time. */
+    void endPhase();
+
+    double wallSeconds() const;
+    /** Accumulated seconds of phase @p name (0 if never opened). */
+    double phaseSeconds(const std::string &name) const;
+
+    /** Simulated cycles per wall second over the full profile. */
+    double
+    cyclesPerSec(Cycle cycles) const
+    {
+        const double w = wallSeconds();
+        return w > 0.0 ? static_cast<double>(cycles) / w : 0.0;
+    }
+
+    /** Gauges into @p reg: machine.host.{wall_seconds, cycles_per_sec,
+     * ticks_per_sec, phase.<name>_seconds}. */
+    void publish(MetricsRegistry &reg, Cycle cycles,
+                 std::size_t components) const;
+
+    /** The same figures as a flat JSON object keyed `machine.host.*`. */
+    std::string toJson(Cycle cycles, std::size_t components,
+                       int indent = 2, int depth = 1) const;
+
+  private:
+    using ClockT = std::chrono::steady_clock;
+
+    ClockT::time_point start_;
+    std::vector<std::pair<std::string, double>> phases_; ///< insertion order
+    std::string open_;
+    ClockT::time_point open_start_;
+};
+
+/**
+ * Opt-in live progress line: a passive engine component that, every
+ * `check_every` cycles, rate-limits on wall time and rewrites one
+ * stderr status line with the current cycle and the event-loop rate.
+ * Purely observational - it reads nothing from the simulation - so
+ * registering it cannot perturb results.
+ */
+class ProgressMeter : public Component
+{
+  public:
+    struct Config
+    {
+        Cycle check_every = 4096;  ///< cycle stride between clock reads
+        double min_seconds = 0.25; ///< min wall time between lines
+        std::FILE *out = nullptr;  ///< destination; null = stderr
+    };
+
+    ProgressMeter() : ProgressMeter(Config()) {}
+    explicit ProgressMeter(const Config &cfg);
+
+    /** Optional extra status appended to each line (e.g. delivered). */
+    void setStatusFn(std::function<std::string()> fn)
+    {
+        status_ = std::move(fn);
+    }
+
+    void tick(Cycle now) override;
+    bool busy() const override { return false; }
+
+    /** Terminate the status line with a newline (if anything printed). */
+    void finish();
+
+    std::uint64_t linesPrinted() const { return lines_; }
+
+  private:
+    using ClockT = std::chrono::steady_clock;
+
+    Config cfg_;
+    std::function<std::string()> status_;
+    ClockT::time_point last_wall_;
+    Cycle last_cycle_ = 0;
+    bool started_ = false;
+    std::uint64_t lines_ = 0;
+};
+
+} // namespace anton2

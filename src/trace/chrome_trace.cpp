@@ -80,6 +80,15 @@ chromeTraceJson(const ChromeTraceInput &in)
     for (const auto &st : in.stalls)
         noteTrack(TraceUnitKind::Router, st.node, st.unit, st.port);
 
+    // Counter tracks may reference processes with no event tracks (most
+    // notably the synthetic machine-wide pid -1); collect every pid that
+    // needs a process_name so metadata stays complete and sorted.
+    std::map<std::int32_t, bool> pids;
+    for (const auto &[key, name] : tracks)
+        pids[key.first] = true;
+    for (const auto &ct : in.counters)
+        pids[ct.node] = true;
+
     std::string out = "{\n  \"displayTimeUnit\": \"ns\",\n";
 
     // otherData: provenance plus the machine-wide stall aggregate used
@@ -120,21 +129,24 @@ chromeTraceJson(const ChromeTraceInput &in)
         out += ev;
     };
 
-    // Track metadata: one process_name per chip, one thread_name per
+    // Track metadata: one process_name per pid (chips, plus the machine
+    // pseudo-process when counter tracks use it), one thread_name per
     // track, sorted by (pid, tid) for byte-stable output.
-    std::int32_t last_pid = -1;
-    for (const auto &[key, name] : tracks) {
-        const auto [pid, tid] = key;
-        if (pid != last_pid) {
-            emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
-                 + std::to_string(pid)
-                 + ", \"args\": {\"name\": \"chip "
-                 + std::to_string(pid) + "\"}}");
-            last_pid = pid;
+    for (const auto &[pid, unused] : pids) {
+        (void)unused;
+        emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+             + std::to_string(pid) + ", \"args\": {\"name\": \""
+             + (pid < 0 ? std::string("machine")
+                        : "chip " + std::to_string(pid))
+             + "\"}}");
+        for (auto it = tracks.lower_bound({ pid, 0 });
+             it != tracks.end() && it->first.first == pid; ++it) {
+            emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+                 + std::to_string(pid) + ", \"tid\": "
+                 + std::to_string(it->first.second)
+                 + ", \"args\": {\"name\": \"" + jsonEscape(it->second)
+                 + "\"}}");
         }
-        emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
-             + std::to_string(pid) + ", \"tid\": " + std::to_string(tid)
-             + ", \"args\": {\"name\": \"" + jsonEscape(name) + "\"}}");
     }
 
     // Lifecycle records as thread-scoped instant events.
@@ -175,6 +187,23 @@ chromeTraceJson(const ChromeTraceInput &in)
         }
         e += "}}";
         emit(e);
+    }
+
+    // Windowed time-series curves as counter events, one sample per
+    // window boundary (tid 0 within the owning process). NaN samples
+    // (e.g. latency mean of an empty window) are skipped: Perfetto's
+    // counter parser takes finite numbers only.
+    for (const auto &ct : in.counters) {
+        for (const auto &pt : ct.points) {
+            if (pt.value != pt.value)
+                continue;
+            std::string e = "{\"name\": \"" + jsonEscape(ct.name);
+            e += "\", \"ph\": \"C\", \"ts\": " + traceTs(pt.cycle);
+            e += ", \"pid\": " + std::to_string(ct.node);
+            e += ", \"tid\": 0, \"args\": {\"value\": "
+                 + jsonNumber(pt.value) + "}}";
+            emit(e);
+        }
     }
 
     out += "\n  ]\n}\n";

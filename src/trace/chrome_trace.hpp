@@ -48,11 +48,31 @@ struct StallTrackReport
     PortStallTotals totals;
 };
 
+/** One windowed counter sample for a counter track. */
+struct CounterSample
+{
+    Cycle cycle = 0;
+    double value = 0.0;
+};
+
+/**
+ * One counter track: a named value-over-time curve rendered by Perfetto
+ * as a stacked area alongside the event tracks. Tracks with node = -1
+ * land in a synthetic machine-wide process.
+ */
+struct CounterTrack
+{
+    std::int32_t node = -1;
+    std::string name;
+    std::vector<CounterSample> points;
+};
+
 /** Everything the exporter needs, decoupled from the recorder. */
 struct ChromeTraceInput
 {
     std::vector<TraceEvent> events;       ///< chronological (ring order)
     std::vector<StallTrackReport> stalls; ///< per router output port
+    std::vector<CounterTrack> counters;   ///< windowed time-series curves
     TraceTrackNameFn track_name;          ///< optional display names
     std::uint64_t recorded = 0;           ///< total offered to the sink
     std::uint64_t dropped = 0;            ///< lost to ring overflow

@@ -83,6 +83,62 @@ TEST(Determinism, DifferentSeedProducesDifferentMetricsJson)
     EXPECT_NE(runAndSnapshot(71), runAndSnapshot(72));
 }
 
+/** Like runAndSnapshot, but with the windowed sampler bound; returns the
+ * time-series JSON and heatmap CSV concatenated for one comparison. */
+std::string
+runAndSnapshotTimeseries(std::uint64_t seed)
+{
+    MachineConfig cfg;
+    cfg.radix = { 2, 2, 2 };
+    cfg.chip.endpoints_per_node = 4;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = 12;
+    cfg.seed = seed;
+    cfg.enable_metrics = true;
+    Machine m(cfg);
+    TimeseriesConfig tcfg;
+    tcfg.window = 64;
+    m.enableTimeseries(tcfg);
+
+    Rng traffic(seed * 1315423911ULL + 1);
+    const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
+    std::uint64_t sent = 0;
+    for (std::uint64_t i = 0; i < kPackets; ++i) {
+        const EndpointAddr src{ static_cast<NodeId>(traffic.below(nodes)),
+                                static_cast<int>(traffic.below(4)) };
+        const EndpointAddr dst{ static_cast<NodeId>(traffic.below(nodes)),
+                                static_cast<int>(traffic.below(4)) };
+        if (src.node == dst.node)
+            continue;
+        const int size = 1 + static_cast<int>(traffic.below(3));
+        m.send(m.makeWrite(src, dst, 0, size));
+        ++sent;
+    }
+    EXPECT_TRUE(m.runUntilDelivered(sent, 500000));
+    return m.timeseriesJson() + "\n---\n" + m.heatmapCsv();
+}
+
+TEST(Determinism, SameSeedProducesByteIdenticalTimeseriesExports)
+{
+    const std::string a = runAndSnapshotTimeseries(71);
+    const std::string b = runAndSnapshotTimeseries(71);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b)
+        << "same-seed time-series exports must serialize identically";
+
+    // The exports must actually carry windows and heatmap rows.
+    EXPECT_NE(a.find("\"window_cycles\": 64"), std::string::npos);
+    EXPECT_NE(a.find("\"machine.delivered\""), std::string::npos);
+    EXPECT_NE(a.find("window,start_cycle,end_cycle,chip,u,v,port,flits,"
+                     "utilization"),
+              std::string::npos);
+}
+
+TEST(Determinism, DifferentSeedProducesDifferentTimeseriesExports)
+{
+    EXPECT_NE(runAndSnapshotTimeseries(71), runAndSnapshotTimeseries(72));
+}
+
 TEST(Determinism, RepeatedSerializationOfOneRunIsStable)
 {
     MachineConfig cfg;
