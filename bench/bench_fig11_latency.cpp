@@ -93,8 +93,9 @@ main(int argc, char **argv)
     const char *json_path = args.strFlag("--json", nullptr);
     const auto trace = bench::TraceOptions::parse(args);
     const auto ts = bench::TimeseriesOptions::parse(args);
+    const auto audit = bench::AuditOptions::parse(args);
     if (!bench::validateOutputPaths({ json_path }) || !trace.validate()
-        || !ts.validate())
+        || !ts.validate() || !audit.validate())
         return 1;
 
     HostProfiler prof;
@@ -108,6 +109,7 @@ main(int argc, char **argv)
     cfg.enable_metrics = json_path != nullptr;
     Machine m(cfg);
     trace.apply(m);
+    audit.apply(m);
     ts.apply(m);
     prof.beginPhase("run");
 
@@ -156,6 +158,7 @@ main(int argc, char **argv)
     bench::printRule(40);
     prof.endPhase();
     ts.write(m);
+    audit.write(m);
 
     const auto fit = LinearFit::fit(xs, ys);
     std::printf("\nLinear fit: %.1f ns fixed + %.1f ns/hop (r^2 = %.4f)\n",
@@ -185,6 +188,7 @@ main(int argc, char **argv)
                              .add("fit", fit_obj)
                              .add("metrics", m.metricsJson())
                              .add("timeseries", ts.jsonSection(m))
+                             .add("audit", audit.jsonSection(m))
                              .add("host",
                                   bench::hostJson(
                                       prof, m.now(),

@@ -28,7 +28,8 @@ main(int argc, char **argv)
     const int k = static_cast<int>(args.flag("--k", 4));
     const auto trace = bench::TraceOptions::parse(args);
     const auto ts = bench::TimeseriesOptions::parse(args);
-    if (!trace.validate() || !ts.validate())
+    const auto audit = bench::AuditOptions::parse(args);
+    if (!trace.validate() || !ts.validate() || !audit.validate())
         return 1;
 
     MachineConfig cfg;
@@ -40,6 +41,7 @@ main(int argc, char **argv)
     // A single-packet traversal makes the smallest useful demo trace:
     // every lifecycle event of Figure 12's E -> R -> C -> link path.
     trace.apply(m);
+    audit.apply(m);
     ts.apply(m);
 
     // The minimum-latency configuration: source and destination endpoints
@@ -67,6 +69,7 @@ main(int argc, char **argv)
     m.send(pkt);
     if (!m.runUntilDelivered(1, 100000)) {
         std::fprintf(stderr, "delivery failed\n");
+        audit.write(m); // forensic snapshot of the wedge, if requested
         return 1;
     }
     const Cycle network = pkt->eject_time - pkt->inject_time;
@@ -116,5 +119,11 @@ main(int argc, char **argv)
             std::printf("Flight record written to %s\n", trace.csv);
     }
     ts.write(m);
+    audit.write(m);
+    if (m.audit() != nullptr && m.audit()->violationCount() > 0) {
+        std::fprintf(stderr, "audit: %llu invariant violations\n",
+                     static_cast<unsigned long long>(
+                         m.audit()->violationCount()));
+    }
     return 0;
 }

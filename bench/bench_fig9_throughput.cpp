@@ -38,6 +38,7 @@ struct RunResult
     std::string metrics_json; ///< full registry snapshot (telemetry runs)
     std::string timeseries_json; ///< windowed section (probe runs)
     std::string host_json;       ///< simulator self-profile (probe runs)
+    std::string audit_json;      ///< auditor summary (probe runs)
 };
 
 RunResult
@@ -45,7 +46,8 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
          const char *pattern_name, std::uint64_t batch,
          std::uint64_t seed, bool with_metrics,
          const bench::TraceOptions *trace,
-         const bench::TimeseriesOptions &ts, bool sample_ts)
+         const bench::TimeseriesOptions &ts, bool sample_ts,
+         const bench::AuditOptions *audit)
 {
     HostProfiler prof;
     prof.beginPhase("build");
@@ -60,6 +62,8 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
     Machine m(cfg);
     if (trace != nullptr)
         trace->apply(m);
+    if (audit != nullptr)
+        audit->apply(m);
     if (sample_ts)
         ts.apply(m);
     else if (ts.progress)
@@ -112,6 +116,10 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
         res.metrics_json = m.metricsJson();
     if (sample_ts)
         res.timeseries_json = ts.jsonSection(m);
+    if (audit != nullptr) {
+        audit->write(m);
+        res.audit_json = audit->jsonSection(m);
+    }
     res.host_json =
         bench::hostJson(prof, m.now(), m.engine().componentCount());
     return res;
@@ -133,8 +141,9 @@ main(int argc, char **argv)
     const char *json_path = args.strFlag("--json", nullptr);
     const auto trace = bench::TraceOptions::parse(args);
     const auto ts = bench::TimeseriesOptions::parse(args);
+    const auto audit = bench::AuditOptions::parse(args);
     if (!bench::validateOutputPaths({ json_path }) || !trace.validate()
-        || !ts.validate())
+        || !ts.validate() || !audit.validate())
         return 1;
 
     bench::printHeader(
@@ -150,21 +159,24 @@ main(int argc, char **argv)
     std::string last_metrics;
     std::string last_timeseries;
     std::string last_host;
+    std::string last_audit;
     for (const char *pattern : { "2-hop", "uniform" }) {
         for (std::uint64_t batch = 16; batch <= max_batch; batch *= 4) {
             // The telemetry snapshot (and the event trace / time series,
             // when enabled) comes from the largest batch of each sweep;
             // the last pattern's probe run wins the output files.
             const bool probe =
-                (json_path != nullptr || trace.enabled() || ts.enabled())
+                (json_path != nullptr || trace.enabled() || ts.enabled()
+                 || audit.enabled())
                 && batch * 4 > max_batch;
             const auto rr = runBatch(radix, cores, ArbPolicy::RoundRobin,
                                      pattern, batch, seed, false, nullptr,
-                                     ts, false);
+                                     ts, false, nullptr);
             auto iw = runBatch(radix, cores, ArbPolicy::InverseWeighted,
                                pattern, batch, seed,
                                probe && json_path != nullptr,
-                               probe ? &trace : nullptr, ts, probe);
+                               probe ? &trace : nullptr, ts, probe,
+                               probe ? &audit : nullptr);
             std::printf("%-18s %10llu %14.3f %16.3f\n", pattern,
                         static_cast<unsigned long long>(batch),
                         rr.normalized, iw.normalized);
@@ -179,6 +191,7 @@ main(int argc, char **argv)
             if (probe) {
                 last_metrics = std::move(iw.metrics_json);
                 last_timeseries = std::move(iw.timeseries_json);
+                last_audit = std::move(iw.audit_json);
             }
             last_host = std::move(iw.host_json);
         }
@@ -211,6 +224,8 @@ main(int argc, char **argv)
                 .add("timeseries", last_timeseries.empty()
                                        ? "null"
                                        : last_timeseries)
+                .add("audit",
+                     last_audit.empty() ? "null" : last_audit)
                 .add("host",
                      last_host.empty() ? "null" : last_host)
                 .dump()

@@ -306,6 +306,139 @@ struct TimeseriesOptions
 };
 
 /**
+ * Shared runtime-auditor flags for the figure benches:
+ *   --audit <N>           run the invariant audit every N cycles
+ *   --watchdog <N>        probe forward progress every N cycles
+ *   --stall-threshold <N> ejection-stall trip point in cycles
+ *                         (default 20000)
+ *   --snapshot <path>     write a forensic snapshot JSON: the watchdog's
+ *                         trip snapshot if it fired, else an end-of-run
+ *                         snapshot (implies --watchdog)
+ *   --snapshot-dot <path> the same snapshot's waits-for graph as
+ *                         Graphviz DOT (implies --watchdog)
+ *   --fault <name>        arm a seeded negative-control fault before
+ *                         simulating: `withhold-credit` (node 0 drops
+ *                         every credit returning on its X+ slice-0 link)
+ *                         or `no-promotion` (the node at the X dateline
+ *                         skips VC promotion on its X+ slice-0 egress)
+ * Paths are validated before any simulation time is spent.
+ */
+struct AuditOptions
+{
+    long audit = 0;
+    long watchdog = 0;
+    long stall_threshold = 20000;
+    const char *snapshot = nullptr;
+    const char *snapshot_dot = nullptr;
+    const char *fault = nullptr;
+
+    static AuditOptions
+    parse(const Args &args)
+    {
+        AuditOptions a;
+        a.audit = args.flag("--audit", 0);
+        a.watchdog = args.flag("--watchdog", 0);
+        a.stall_threshold = args.flag("--stall-threshold", 20000);
+        a.snapshot = args.strFlag("--snapshot", nullptr);
+        a.snapshot_dot = args.strFlag("--snapshot-dot", nullptr);
+        a.fault = args.strFlag("--fault", nullptr);
+        // A requested snapshot or fault without an explicit cadence still
+        // needs the watchdog armed to classify and capture the wedge.
+        if ((a.snapshot != nullptr || a.snapshot_dot != nullptr
+             || a.fault != nullptr)
+            && a.watchdog == 0) {
+            a.watchdog = 1024;
+        }
+        return a;
+    }
+
+    bool enabled() const { return audit > 0 || watchdog > 0; }
+
+    /** Fail fast on unwritable paths / bad cadences / unknown faults. */
+    bool
+    validate() const
+    {
+        if (audit < 0 || watchdog < 0 || stall_threshold < 1) {
+            std::fprintf(stderr,
+                         "error: --audit/--watchdog must be >= 0 and "
+                         "--stall-threshold >= 1\n");
+            return false;
+        }
+        if (fault != nullptr && std::strcmp(fault, "withhold-credit") != 0
+            && std::strcmp(fault, "no-promotion") != 0) {
+            std::fprintf(stderr,
+                         "error: --fault must be withhold-credit or "
+                         "no-promotion\n");
+            return false;
+        }
+        return validateOutputPaths({ snapshot, snapshot_dot });
+    }
+
+    /** Arm the requested fault and bind the auditor to @p m. */
+    void
+    apply(Machine &m) const
+    {
+        if (fault != nullptr) {
+            NetworkFault f;
+            if (std::strcmp(fault, "withhold-credit") == 0) {
+                f.kind = NetworkFault::Kind::WithholdTorusCredits;
+                f.node = 0;
+            } else {
+                f.kind = NetworkFault::Kind::NoDatelinePromotion;
+                // The dateline sits between coordinates k-1 and 0, so the
+                // node at x = k-1 is the one whose X+ egress must promote.
+                Coords c(static_cast<std::size_t>(m.geom().ndims()), 0);
+                c[0] = m.geom().radix(0) - 1;
+                f.node = m.geom().id(c);
+            }
+            m.injectFault(f);
+        }
+        if (!enabled())
+            return;
+        AuditConfig cfg;
+        cfg.audit_interval = static_cast<Cycle>(audit);
+        cfg.watchdog_interval = static_cast<Cycle>(watchdog);
+        cfg.stall_threshold = static_cast<Cycle>(stall_threshold);
+        m.enableAudit(cfg);
+    }
+
+    /** The `audit` report section ("null" when the auditor is off). */
+    std::string
+    jsonSection(Machine &m) const
+    {
+        return m.audit() != nullptr ? m.audit()->reportJson() : "null";
+    }
+
+    /** Write the snapshot JSON / DOT (trip snapshot when tripped). */
+    void
+    write(Machine &m) const
+    {
+        if (snapshot == nullptr && snapshot_dot == nullptr)
+            return;
+        MachineSnapshot snap;
+        if (m.audit() != nullptr && m.audit()->tripped())
+            snap = *m.audit()->tripSnapshot();
+        else
+            snap = m.dumpSnapshot("end_of_run");
+        if (snapshot != nullptr) {
+            writeFile(snapshot, snapshotJson(snap));
+            std::printf("Snapshot JSON written to %s\n", snapshot);
+        }
+        if (snapshot_dot != nullptr) {
+            writeFile(snapshot_dot, waitsForDot(snap));
+            std::printf("Waits-for DOT written to %s\n", snapshot_dot);
+        }
+        if (m.audit() != nullptr && m.audit()->tripped()) {
+            std::fprintf(stderr, "warning: watchdog tripped (%s) at cycle "
+                                 "%llu\n",
+                         m.audit()->tripSnapshot()->verdict.c_str(),
+                         static_cast<unsigned long long>(
+                             m.audit()->tripSnapshot()->now));
+        }
+    }
+};
+
+/**
  * The bench-report `host` section: wall time, phases, and simulated
  * cycles per wall second from a HostProfiler. Host-dependent by nature,
  * so it lives *outside* the deterministic `metrics`/`timeseries`

@@ -7,8 +7,10 @@
  */
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "../bench/common.hpp"
 #include "analysis/loads.hpp"
 #include "core/machine.hpp"
 #include "traffic/driver.hpp"
@@ -19,9 +21,16 @@ using namespace anton2;
 int
 main(int argc, char **argv)
 {
-    // Optional argument: path for the near-saturation congestion
-    // heatmap CSV (written from the highest-load sweep point).
-    const char *heatmap_path = argc > 1 ? argv[1] : nullptr;
+    // Optional positional argument: path for the near-saturation
+    // congestion heatmap CSV (written from the highest-load sweep point).
+    // The runtime-auditor flags (--audit/--watchdog/--snapshot/...) are
+    // shared with the figure benches; see bench/common.hpp.
+    const char *heatmap_path =
+        argc > 1 && std::strncmp(argv[1], "--", 2) != 0 ? argv[1] : nullptr;
+    const bench::Args args(argc, argv);
+    const auto audit = bench::AuditOptions::parse(args);
+    if (!audit.validate())
+        return 1;
 
     const std::vector<int> radix{ 4, 4, 4 };
     const auto cores = firstEndpoints(4);
@@ -49,6 +58,7 @@ main(int argc, char **argv)
         cfg.fixed_torus_latency = 20;
         cfg.seed = 3;
         Machine m(cfg);
+        audit.apply(m);
         UniformPattern pat(m.geom());
 
         // Windowed sampling with online steady-state detection: the
@@ -92,6 +102,16 @@ main(int argc, char **argv)
                 std::printf("\nheatmap CSV written to %s\n", heatmap_path);
             } else {
                 std::fprintf(stderr, "cannot write %s\n", heatmap_path);
+            }
+        }
+        if (frac == 1.0) {
+            audit.write(m);
+            if (m.audit() != nullptr) {
+                std::printf("audit: %llu passes, %llu violations\n",
+                            static_cast<unsigned long long>(
+                                m.audit()->auditsRun()),
+                            static_cast<unsigned long long>(
+                                m.audit()->violationCount()));
             }
         }
     }

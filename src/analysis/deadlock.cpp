@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "debug/snapshot.hpp"
 #include "routing/route.hpp"
 
 namespace anton2 {
@@ -42,6 +43,20 @@ class DepGraph
 
     std::size_t numNodes() const { return adj_.size(); }
     std::size_t numEdges() const { return edge_set_.size(); }
+
+    /** Every edge as a (from-name, to-name) pair, deterministically:
+     * source nodes in first-appearance order, edges in insertion order. */
+    void
+    exportEdges(
+        std::vector<std::pair<std::string, std::string>> &out) const
+    {
+        for (std::size_t u = 0; u < adj_.size(); ++u) {
+            for (int v : adj_[u]) {
+                out.emplace_back(names_[u],
+                                 names_[static_cast<std::size_t>(v)]);
+            }
+        }
+    }
 
     /** DFS cycle detection; fills @p cycle with resource names if found. */
     bool
@@ -128,7 +143,7 @@ dirCombos(const TorusGeom &geom, NodeId src, NodeId dst)
 } // namespace
 
 DeadlockReport
-checkTorusLevel(const TorusGeom &geom, VcPolicy policy)
+checkTorusLevel(const TorusGeom &geom, VcPolicy policy, bool capture_graph)
 {
     DepGraph g;
 
@@ -212,13 +227,16 @@ checkTorusLevel(const TorusGeom &geom, VcPolicy policy)
     report.resources = g.numNodes();
     report.edges = g.numEdges();
     report.acyclic = !g.findCycle(report.cycle);
+    if (capture_graph)
+        g.exportEdges(report.graph_edges);
     return report;
 }
 
 DeadlockReport
 checkChipLevel(const TorusGeom &geom, const ChipLayout &layout,
                VcPolicy policy, const MeshDirOrder &order,
-               const std::vector<int> &sample_endpoints)
+               const std::vector<int> &sample_endpoints,
+               bool capture_graph)
 {
     DepGraph g;
 
@@ -342,7 +360,19 @@ checkChipLevel(const TorusGeom &geom, const ChipLayout &layout,
     report.resources = g.numNodes();
     report.edges = g.numEdges();
     report.acyclic = !g.findCycle(report.cycle);
+    if (capture_graph)
+        g.exportEdges(report.graph_edges);
     return report;
+}
+
+std::string
+deadlockDot(const DeadlockReport &report)
+{
+    DotGraph g;
+    g.title = "dependencies";
+    g.edges = report.graph_edges;
+    g.highlight = report.cycle;
+    return renderDot(g);
 }
 
 } // namespace anton2

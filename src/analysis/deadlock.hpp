@@ -40,14 +40,18 @@ struct DeadlockReport
     std::size_t resources = 0;
     std::size_t edges = 0;
     std::vector<std::string> cycle; ///< resource names when !acyclic
+    /** Full dependency edges (named), filled only when the checker was
+     * asked to capture them - the input to deadlockDot(). */
+    std::vector<std::pair<std::string, std::string>> graph_edges;
 };
 
 /**
  * Torus-level check for an n-dimensional torus under @p policy.
- * @param endpoint_pairs_sampled unused at this level (single abstract
- *        endpoint per node).
+ * @param capture_graph record every named dependency edge in
+ *        DeadlockReport::graph_edges (costs memory; off by default).
  */
-DeadlockReport checkTorusLevel(const TorusGeom &geom, VcPolicy policy);
+DeadlockReport checkTorusLevel(const TorusGeom &geom, VcPolicy policy,
+                               bool capture_graph = false);
 
 /**
  * Chip-level check for a 3-D machine: exact on-chip channels with
@@ -57,6 +61,15 @@ DeadlockReport checkTorusLevel(const TorusGeom &geom, VcPolicy policy);
 DeadlockReport checkChipLevel(const TorusGeom &geom,
                               const ChipLayout &layout, VcPolicy policy,
                               const MeshDirOrder &order,
-                              const std::vector<int> &sample_endpoints);
+                              const std::vector<int> &sample_endpoints,
+                              bool capture_graph = false);
+
+/**
+ * Render a captured dependency graph as deterministic Graphviz DOT with
+ * the detected cycle (if any) highlighted. Node names match the runtime
+ * auditor's waits-for snapshots (debug/snapshot), so the two DOT files
+ * diff cleanly for the same configuration.
+ */
+std::string deadlockDot(const DeadlockReport &report);
 
 } // namespace anton2

@@ -308,7 +308,12 @@ Chip::egressVcAt(int ca, Packet &pkt, bool commit) const
     const Coords c = geom_.coords(node_);
     const int from = c[static_cast<std::size_t>(dim)];
     const int to = geom_.neighborCoord(from, dim, dir);
-    const bool crossing = geom_.crossesDateline(from, to, dim);
+    bool crossing = geom_.crossesDateline(from, to, dim);
+    // Negative-control fault: this adapter "forgets" the dateline, so the
+    // packet keeps its unpromoted VC across the wrap - the runtime twin of
+    // the NoDateline static counterexample.
+    if (!fault_no_promo_.empty() && fault_no_promo_[static_cast<std::size_t>(ca)])
+        crossing = false;
 
     std::uint8_t vc;
     if (commit) {

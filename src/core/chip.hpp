@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/chip_layout.hpp"
+#include "debug/snapshot.hpp"
 #include "noc/channel_adapter.hpp"
 #include "noc/endpoint.hpp"
 #include "noc/router.hpp"
@@ -113,6 +114,60 @@ class Chip
         return fullVcIndex(tc, promotion_vc, cfg_.vcsPerClass());
     }
 
+    // --- runtime-auditor support (chip_audit.cpp) ---------------------
+
+    const Router &router(RouterId r) const { return *routers_[r]; }
+    const ChannelAdapter &
+    channelAdapter(int ca) const
+    {
+        return *channel_adapters_[static_cast<std::size_t>(ca)];
+    }
+    const EndpointAdapter &
+    endpoint(EndpointId e) const
+    {
+        return *endpoints_[static_cast<std::size_t>(e)];
+    }
+
+    /** Injection cycle of the oldest packet resident on this chip
+     * (buffers and eject slots; kNoCycle when empty). */
+    Cycle oldestPacketBirth() const;
+
+    /** Flits resident on this chip, for the machine-wide conservation
+     * sum. `multicast` flags any resident multicast packet: expansion
+     * clones flits, so the global equality is skipped while one is in
+     * flight. */
+    struct FlitCensus
+    {
+        std::uint64_t buffered = 0; ///< router + adapter buffer occupancy
+        std::uint64_t on_wires = 0; ///< data phits in flight on-chip
+        bool multicast = false;
+    };
+    FlitCensus flitCensus() const;
+
+    /** Per-chip invariant checks (buffer sanity, on-chip credit
+     * conservation, VC-class legality); each violation is reported as
+     * (check, detail). */
+    void auditInvariants(
+        const std::function<void(const std::string &, const std::string &)>
+            &report) const;
+
+    /** Append this chip's buffers, credits, resident packets, and
+     * blocked-head waits-for edges to @p snap. */
+    void collectSnapshot(Cycle now, MachineSnapshot &snap) const;
+
+    /** Resource name of the torus link leaving this node at @p ca. */
+    std::string egressLinkName(int ca, int full_vc) const;
+    /** Resource name of the torus link feeding this node's adapter
+     * @p ca (named from the sending node, like the static checker). */
+    std::string ingressLinkName(int ca, int full_vc) const;
+
+    /**
+     * Test-only negative-control fault: adapter @p ca stops applying
+     * dateline VC promotion on egress (the runtime twin of the
+     * NoDateline static counterexample).
+     */
+    void faultNoPromotion(int ca);
+
   private:
     RouteDecision routeAt(RouterId r, Packet &pkt) const;
     std::vector<IngressCopy> ingressAt(int ca, const PacketPtr &pkt);
@@ -129,6 +184,7 @@ class Chip
     std::vector<std::unique_ptr<Channel>> channels_;
     std::vector<std::unique_ptr<RouterEnergyMeter>> energy_;
     std::unordered_map<std::int32_t, McastNodeEntry> mcast_;
+    std::vector<char> fault_no_promo_; ///< sized only when a fault is set
 };
 
 } // namespace anton2

@@ -160,6 +160,27 @@ Machine::metricsJson()
                              static_cast<std::size_t>(c)]));
         }
     }
+
+    // Packet-age watermarks: the oldest in-flight packet per chip and
+    // machine-wide. Usable without the auditor bound; the watchdog reads
+    // the same probes on its own schedule.
+    Cycle oldest = kNoCycle;
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        const Cycle b = chips_[n]->oldestPacketBirth();
+        reg.setGauge("chip." + std::to_string(n) + ".pkt.oldest_age",
+                     b == kNoCycle
+                         ? 0.0
+                         : static_cast<double>(engine_.now() - b));
+        if (b < oldest)
+            oldest = b;
+    }
+    reg.setGauge("machine.pkt.max_age",
+                 oldest == kNoCycle
+                     ? 0.0
+                     : static_cast<double>(engine_.now() - oldest));
+
+    if (audit_ != nullptr)
+        audit_->publishGauges(reg);
     return reg.toJson();
 }
 
@@ -203,6 +224,27 @@ Machine::enableTimeseries(const TimeseriesConfig &cfg)
     lat_info.scope = SeriesScope::Machine;
     const std::size_t latency_idx = s.addStatSeries(lat_info, &latency_);
 
+    // Oldest in-flight packet age at each window boundary: a rising ramp
+    // with a silent ejection side is the livelock/deadlock signature the
+    // watchdog trips on (and a cheap thing to eyeball in a time series).
+    {
+        SeriesInfo info;
+        info.name = "machine.pkt.max_age";
+        info.scope = SeriesScope::Machine;
+        info.kind = SeriesKind::Instant;
+        s.addSeries(info, [this](Cycle now) {
+            Cycle oldest = kNoCycle;
+            for (const auto &cp : chips_) {
+                const Cycle b = cp->oldestPacketBirth();
+                if (b < oldest)
+                    oldest = b;
+            }
+            return oldest == kNoCycle
+                       ? 0.0
+                       : static_cast<double>(now - oldest);
+        });
+    }
+
     const MeshGeom &mesh = layout_.mesh();
     for (NodeId n = 0; n < geom_.numNodes(); ++n) {
         const std::string chip_prefix = "chip." + std::to_string(n) + ".";
@@ -237,6 +279,15 @@ Machine::enableTimeseries(const TimeseriesConfig &cfg)
                 total += static_cast<std::uint64_t>(
                     c.channelAdapter(ca).torusCreditsAvailable());
             return static_cast<double>(total);
+        });
+        SeriesInfo age;
+        age.name = chip_prefix + "pkt.oldest_age";
+        age.scope = SeriesScope::Chip;
+        age.kind = SeriesKind::Instant;
+        age.chip = static_cast<std::int32_t>(n);
+        s.addSeries(age, [this, n](Cycle now) {
+            const Cycle b = chips_[n]->oldestPacketBirth();
+            return b == kNoCycle ? 0.0 : static_cast<double>(now - b);
         });
 
         // Per-link egress flit counts - the heatmap source. Utilization
@@ -489,6 +540,7 @@ Machine::sendMulticast(EndpointAddr src, std::int32_t group,
 {
     const McastNodeEntry *entry = chip(src.node).mcastEntry(group);
     assert(entry != nullptr && "multicast group not installed at source");
+    ++mcast_sends_;
 
     // The source node's table entry is expanded at injection: one packet
     // per source branch (the network replicates at later branch points).
@@ -543,8 +595,15 @@ Machine::setDeliverHook(std::function<void(const PacketPtr &, Cycle)> fn)
 bool
 Machine::runUntilDelivered(std::uint64_t count, Cycle max_cycles)
 {
-    return engine_.runUntil([&] { return delivered_ >= count; },
-                            max_cycles);
+    // Abort on a watchdog trip: the network is wedged and the remaining
+    // deliveries will never arrive.
+    engine_.runUntil(
+        [&] {
+            return delivered_ >= count
+                   || (audit_ != nullptr && audit_->tripped());
+        },
+        max_cycles);
+    return delivered_ >= count;
 }
 
 bool

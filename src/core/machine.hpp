@@ -16,6 +16,7 @@
 
 #include "core/chip.hpp"
 #include "core/packaging.hpp"
+#include "sim/audit.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
@@ -23,6 +24,30 @@
 #include "trace/trace.hpp"
 
 namespace anton2 {
+
+/**
+ * A seeded negative-control fault, used to validate that the runtime
+ * auditor actually trips on real protocol breaks (Machine::injectFault).
+ */
+struct NetworkFault
+{
+    enum class Kind
+    {
+        /** The named adapter's egress never returns torus-link credits:
+         * the downstream buffer drains but the sender never learns. */
+        WithholdTorusCredits,
+        /** The named adapter stops applying dateline VC promotion on
+         * egress: the runtime twin of the NoDateline counterexample. */
+        NoDatelinePromotion,
+    };
+
+    Kind kind = Kind::WithholdTorusCredits;
+    NodeId node = 0;
+    int dim = 0;
+    Dir dir = Dir::Pos;
+    int slice = 0;
+    int vc = -1; ///< WithholdTorusCredits only; -1 = every VC
+};
 
 /** Trace recorder sizing and sampling (Machine::enableTracing). */
 struct TraceConfig
@@ -199,8 +224,38 @@ class Machine
     /** The bound progress meter, or null. */
     ProgressMeter *progress() { return progress_.get(); }
 
+    // ------------------------------------------------------------------
+    // Runtime auditor (invariants, watchdog, forensic snapshots)
+    // ------------------------------------------------------------------
+
+    /**
+     * Create the runtime auditor (if absent), register the machine-wide
+     * invariant checks (flit conservation, credit conservation on every
+     * on-chip and torus channel, VC-class legality), arm the
+     * deadlock/livelock watchdog, and add it to the engine *after* every
+     * network component so each audit sees a settled post-tick state.
+     * A machine that never calls this pays nothing. Idempotent.
+     */
+    Auditor &enableAudit(const AuditConfig &cfg = {});
+
+    /** The bound auditor, or null when auditing is disabled. */
+    Auditor *audit() { return audit_.get(); }
+
+    /**
+     * Capture a forensic snapshot of the network right now: per-buffer
+     * occupancy and resident packets, depressed credit counters, the
+     * waits-for graph of blocked heads, and its deadlock/livelock
+     * analysis. Works with or without enableAudit().
+     */
+    MachineSnapshot dumpSnapshot(const std::string &reason = "on_demand");
+
+    /** Arm a seeded negative-control fault (test/debug only). */
+    void injectFault(const NetworkFault &f);
+
   private:
     void prepareUnicast(Packet &pkt);
+    MachineSnapshot buildSnapshot(Cycle now, const std::string &reason);
+    ProgressProbe progressProbe() const;
 
     MachineConfig cfg_;
     TorusGeom geom_;
@@ -214,6 +269,7 @@ class Machine
     std::uint64_t next_packet_id_ = 1;
     std::int32_t next_group_ = 0;
     std::vector<std::uint8_t> group_slices_;
+    std::uint64_t mcast_sends_ = 0; ///< multicast injections, ever
     std::uint64_t delivered_ = 0;
     Cycle last_delivery_ = 0;
     ScalarStat latency_;
@@ -225,6 +281,7 @@ class Machine
     std::unique_ptr<RingTraceSink> trace_;
     std::unique_ptr<IntervalSampler> sampler_;
     std::unique_ptr<ProgressMeter> progress_;
+    std::unique_ptr<Auditor> audit_;
 };
 
 } // namespace anton2

@@ -31,6 +31,30 @@ struct Channel
     bool busy() const { return data.busy() || credit.busy(); }
 };
 
+/** Phits in flight on @p w for VC @p vc (runtime-audit probe). */
+inline int
+inFlightPhits(const Wire<Phit> &w, int vc)
+{
+    int n = 0;
+    w.forEachInFlight([&](const Phit &p) {
+        if (static_cast<int>(p.vc) == vc)
+            ++n;
+    });
+    return n;
+}
+
+/** Credits in flight on @p w for VC @p vc (runtime-audit probe). */
+inline int
+inFlightCredits(const Wire<Credit> &w, int vc)
+{
+    int n = 0;
+    w.forEachInFlight([&](const Credit &c) {
+        if (static_cast<int>(c.vc) == vc)
+            ++n;
+    });
+    return n;
+}
+
 /**
  * Upstream-side credit counters for one output channel: tracks free flit
  * slots per VC in the downstream input buffer.
@@ -42,7 +66,11 @@ class CreditCounter
     init(int num_vcs, int slots_per_vc)
     {
         credits_.assign(static_cast<std::size_t>(num_vcs), slots_per_vc);
+        initial_ = slots_per_vc;
     }
+
+    /** Per-VC depth this counter was initialized with (audit probe). */
+    int initialPerVc() const { return initial_; }
 
     int
     available(int vc) const
@@ -80,6 +108,7 @@ class CreditCounter
 
   private:
     std::vector<int> credits_;
+    int initial_ = 0;
 };
 
 /**
@@ -165,6 +194,7 @@ class VcBuffer
 
     /** Entry @p i from the head (for pipeline lookahead). */
     Entry &entry(std::size_t i) { return entries_[i]; }
+    const Entry &entry(std::size_t i) const { return entries_[i]; }
 
   private:
     std::vector<Entry> entries_;

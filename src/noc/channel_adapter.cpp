@@ -91,8 +91,15 @@ ChannelAdapter::tickEgress(Cycle now)
     if (router_in_ == nullptr || torus_out_ == nullptr)
         return;
 
-    if (auto cr = torus_out_->credit.take(now))
-        torus_credits_.release(cr->vc);
+    if (auto cr = torus_out_->credit.take(now)) {
+        // Negative-control fault hook: a withheld credit leaves the
+        // flow-control loop forever, exactly like a lost credit update.
+        if (fault_withhold_
+            && (fault_withhold_vc_ < 0 || fault_withhold_vc_ == cr->vc))
+            ++credits_withheld_;
+        else
+            torus_credits_.release(cr->vc);
+    }
     if (auto phit = router_in_->data.take(now)) {
         if (phit->head)
             ++egress_packets_;
@@ -314,6 +321,101 @@ ChannelAdapter::tick(Cycle now)
 {
     tickEgress(now);
     tickIngress(now);
+}
+
+int
+ChannelAdapter::egressReservedFlits(int link_vc) const
+{
+    if (!egress_busy_ || static_cast<int>(egress_link_vc_) != link_vc)
+        return 0;
+    const auto &head =
+        egress_vcs_[static_cast<std::size_t>(egress_vc_)].head();
+    return head.pkt->size_flits - static_cast<int>(head.sent);
+}
+
+int
+ChannelAdapter::ingressReservedFlits(int vc) const
+{
+    if (!ingress_busy_)
+        return 0;
+    const auto &entry = ingress_heads_[static_cast<std::size_t>(ingress_vc_)];
+    const auto &copy = entry.copies[entry.next_copy];
+    if (static_cast<int>(copy.vc) != vc)
+        return 0;
+    return copy.pkt->size_flits - static_cast<int>(entry.copy_sent);
+}
+
+int
+ChannelAdapter::pendingTorusCredits(int vc) const
+{
+    int n = 0;
+    for (std::uint8_t c : pending_credits_) {
+        if (static_cast<int>(c) == vc)
+            ++n;
+    }
+    return n;
+}
+
+Cycle
+ChannelAdapter::oldestBirth() const
+{
+    Cycle oldest = kNoCycle;
+    auto scan = [&oldest](const std::vector<VcBuffer> &side) {
+        for (const auto &vc : side) {
+            for (std::size_t i = 0; i < vc.packetCount(); ++i) {
+                const Cycle b = vc.entry(i).pkt->birth;
+                if (b < oldest)
+                    oldest = b;
+            }
+        }
+    };
+    scan(egress_vcs_);
+    scan(ingress_vcs_);
+    return oldest;
+}
+
+void
+ChannelAdapter::collectBlockedHeads(std::vector<BlockedHead> &out) const
+{
+    // Egress heads waiting on torus-link credits.
+    if (!egress_busy_) {
+        for (int v = 0; v < cfg_.num_vcs; ++v) {
+            const auto &buf = egress_vcs_[static_cast<std::size_t>(v)];
+            if (buf.empty())
+                continue;
+            const auto &head = buf.head();
+            const std::uint8_t link_vc =
+                egress_fn_(*head.pkt, /*commit=*/false);
+            if (torus_credits_.available(link_vc) >= head.pkt->size_flits)
+                continue;
+            BlockedHead b;
+            b.egress = true;
+            b.vc = v;
+            b.want_vc = link_vc;
+            b.pkt = head.pkt;
+            out.push_back(std::move(b));
+        }
+    }
+    // Ingress copies waiting on adapter->router credits.
+    for (int v = 0; v < cfg_.num_vcs; ++v) {
+        if (ingress_busy_ && ingress_vc_ == v)
+            continue;
+        const auto &buf = ingress_vcs_[static_cast<std::size_t>(v)];
+        if (buf.empty() || !ingress_expanded_[static_cast<std::size_t>(v)])
+            continue;
+        const auto &entry = ingress_heads_[static_cast<std::size_t>(v)];
+        if (entry.next_copy >= entry.copies.size())
+            continue;
+        const auto &copy = entry.copies[entry.next_copy];
+        if (router_credits_.available(copy.vc) >= copy.pkt->size_flits)
+            continue;
+        BlockedHead b;
+        b.egress = false;
+        b.vc = v;
+        b.want_vc = copy.vc;
+        b.pkt = copy.pkt;
+        out.push_back(std::move(b));
+    }
 }
 
 bool

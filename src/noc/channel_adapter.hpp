@@ -136,6 +136,61 @@ class ChannelAdapter : public Component
         return torus_credits_.totalAvailable();
     }
 
+    // --- runtime-auditor probes (all read-only) -----------------------
+
+    const VcBuffer &egressBuffer(int vc) const { return egress_vcs_[vc]; }
+    const VcBuffer &ingressBuffer(int vc) const { return ingress_vcs_[vc]; }
+    const CreditCounter &torusCredits() const { return torus_credits_; }
+    const CreditCounter &routerCredits() const { return router_credits_; }
+    const Channel *routerIn() const { return router_in_; }
+    const Channel *routerOut() const { return router_out_; }
+    const Channel *torusOut() const { return torus_out_; }
+    const Channel *torusIn() const { return torus_in_; }
+
+    /** Unsent flits of the packet currently granted the torus link on
+     * link VC @p link_vc (VCT reservation; credits already consumed). */
+    int egressReservedFlits(int link_vc) const;
+
+    /** Unsent flits of the ingress copy currently granted the router
+     * channel on VC @p vc (reservation against router_credits_). */
+    int ingressReservedFlits(int vc) const;
+
+    /** Credits for torus VC @p vc queued but not yet on the wire. */
+    int pendingTorusCredits(int vc) const;
+
+    /** Injection cycle of the oldest buffered packet (kNoCycle if none). */
+    Cycle oldestBirth() const;
+
+    /** A head flit persistently blocked on credits at this adapter. */
+    struct BlockedHead
+    {
+        bool egress = true; ///< else ingress side
+        int vc = -1;        ///< holding VC buffer
+        int want_vc = -1;   ///< VC wanted downstream (link or router)
+        PacketPtr pkt;
+    };
+
+    /** Collect heads blocked on torus-link credits (egress) or on
+     * adapter->router credits (ingress) - the adapter's waits-for edges. */
+    void collectBlockedHeads(std::vector<BlockedHead> &out) const;
+
+    // --- test-only fault hooks ----------------------------------------
+
+    /**
+     * Negative-control fault: silently drop credits returning from the
+     * peer for torus VC @p vc (-1 = every VC) instead of releasing them.
+     * The link's credit pool drains permanently; the credit-conservation
+     * audit and the watchdog must both catch it.
+     */
+    void
+    faultWithholdTorusCredits(int vc)
+    {
+        fault_withhold_ = true;
+        fault_withhold_vc_ = vc;
+    }
+
+    std::uint64_t creditsWithheld() const { return credits_withheld_; }
+
   private:
     struct IngressEntry
     {
@@ -185,6 +240,9 @@ class ChannelAdapter : public Component
     std::uint64_t flits_sent_ = 0;
     std::uint64_t flits_received_ = 0;
     std::uint64_t idle_cycles_ = 0;
+    bool fault_withhold_ = false;
+    int fault_withhold_vc_ = -1;
+    std::uint64_t credits_withheld_ = 0;
     int egress_packets_ = 0;
     int ingress_packets_ = 0;
     std::unique_ptr<ChannelAdapterMetrics> metrics_;

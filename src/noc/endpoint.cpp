@@ -121,6 +121,7 @@ EndpointAdapter::tickInject(Cycle now)
         phit.payload = inj_active_->payload[inj_sent_];
         to_router_->data.send(now, phit);
         ++inj_sent_;
+        ++flits_injected_;
         if (phit.tail) {
             inj_active_.reset();
             inj_sent_ = 0;
@@ -142,6 +143,7 @@ EndpointAdapter::tickEject(Cycle now)
 
     // Sink semantics: accept the flit and return the credit immediately.
     from_router_->credit.send(now, Credit{ phit->vc });
+    ++flits_ejected_;
 
     auto &slot = eject_[phit->vc];
     if (phit->head) {
@@ -196,6 +198,32 @@ EndpointAdapter::tick(Cycle now)
 {
     tickInject(now);
     tickEject(now);
+}
+
+int
+EndpointAdapter::injectReservedFlits(int vc) const
+{
+    if (inj_active_ == nullptr)
+        return 0;
+    const int active_vc =
+        fullVcIndex(inj_active_->tc, inj_active_->vc.meshVc(),
+                    cfg_.num_vcs / kNumTrafficClasses);
+    if (active_vc != vc)
+        return 0;
+    return inj_active_->size_flits - static_cast<int>(inj_sent_);
+}
+
+Cycle
+EndpointAdapter::oldestBirth() const
+{
+    Cycle oldest = kNoCycle;
+    if (inj_active_ != nullptr)
+        oldest = inj_active_->birth;
+    for (const auto &slot : eject_) {
+        if (slot.pkt != nullptr && slot.pkt->birth < oldest)
+            oldest = slot.pkt->birth;
+    }
+    return oldest;
 }
 
 bool

@@ -113,6 +113,32 @@ class EndpointAdapter : public Component
     std::uint64_t injected() const { return injected_; }
     Cycle lastDeliveryTime() const { return last_delivery_; }
 
+    // --- runtime-auditor probes (all read-only) -----------------------
+
+    /** Flits placed onto the endpoint->router channel, ever. */
+    std::uint64_t flitsInjected() const { return flits_injected_; }
+    /** Flits taken off the router->endpoint channel, ever. */
+    std::uint64_t flitsEjected() const { return flits_ejected_; }
+
+    const CreditCounter &routerCredits() const { return router_credits_; }
+    const Channel *toRouter() const { return to_router_; }
+    const Channel *fromRouter() const { return from_router_; }
+
+    /** Unsent flits of the packet being streamed into the router on VC
+     * @p vc (reservation against router_credits_). */
+    int injectReservedFlits(int vc) const;
+
+    /** Packets queued or streaming, not yet fully on the wire. */
+    std::size_t pendingInjections() const
+    {
+        return inject_q_[0].size() + inject_q_[1].size()
+               + (inj_active_ != nullptr ? 1 : 0);
+    }
+
+    /** Injection cycle of the oldest packet being reassembled or
+     * streamed (kNoCycle if none). */
+    Cycle oldestBirth() const;
+
   private:
     void tickInject(Cycle now);
     void tickEject(Cycle now);
@@ -148,6 +174,8 @@ class EndpointAdapter : public Component
 
     std::uint64_t delivered_ = 0;
     std::uint64_t injected_ = 0;
+    std::uint64_t flits_injected_ = 0;
+    std::uint64_t flits_ejected_ = 0;
     Cycle last_delivery_ = 0;
     std::unique_ptr<EndpointMetrics> metrics_;
     TraceBinding trace_;

@@ -444,4 +444,61 @@ Router::creditsAvailable() const
     return total;
 }
 
+int
+Router::outReservedFlits(int port, int vc) const
+{
+    const auto &op = out_[port];
+    if (!op.busy || static_cast<int>(op.out_vc) != vc)
+        return 0;
+    const auto &entry =
+        in_[op.src_port].vcs[static_cast<std::size_t>(op.src_vc)].head();
+    return entry.pkt->size_flits - static_cast<int>(entry.sent);
+}
+
+Cycle
+Router::oldestBirth() const
+{
+    Cycle oldest = kNoCycle;
+    for (const auto &ip : in_) {
+        for (const auto &vc : ip.vcs) {
+            for (std::size_t i = 0; i < vc.packetCount(); ++i) {
+                const Cycle b = vc.entry(i).pkt->birth;
+                if (b < oldest)
+                    oldest = b;
+            }
+        }
+    }
+    return oldest;
+}
+
+void
+Router::collectBlockedHeads(std::vector<BlockedHead> &out) const
+{
+    for (std::size_t p = 0; p < in_.size(); ++p) {
+        const auto &ip = in_[p];
+        for (std::size_t v = 0; v < ip.vcs.size(); ++v) {
+            const auto &buf = ip.vcs[v];
+            if (buf.empty())
+                continue;
+            const auto &e = buf.head();
+            // A routed head that is not yet granted and would fail the
+            // VA/SA2 credit test is waiting on a downstream resource; an
+            // unrouted or granted head is making progress this cycle.
+            if (!e.routed || e.granted)
+                continue;
+            const auto &op = out_[e.out_port];
+            if (op.ch == nullptr
+                || op.credits.available(e.out_vc) >= e.pkt->size_flits)
+                continue;
+            BlockedHead b;
+            b.in_port = static_cast<int>(p);
+            b.in_vc = static_cast<int>(v);
+            b.out_port = e.out_port;
+            b.out_vc = e.out_vc;
+            b.pkt = e.pkt;
+            out.push_back(std::move(b));
+        }
+    }
+}
+
 } // namespace anton2

@@ -122,6 +122,43 @@ class Router : public Component
     /** Credits available across connected output ports (telemetry probe). */
     std::uint64_t creditsAvailable() const;
 
+    // --- runtime-auditor probes (all read-only) -----------------------
+
+    bool inConnected(int port) const { return in_[port].ch != nullptr; }
+    bool outConnected(int port) const { return out_[port].ch != nullptr; }
+    const Channel *inChannel(int port) const { return in_[port].ch; }
+    const Channel *outChannel(int port) const { return out_[port].ch; }
+    const VcBuffer &inputBuffer(int port, int vc) const
+    {
+        return in_[port].vcs[static_cast<std::size_t>(vc)];
+    }
+    const CreditCounter &outCredits(int port) const
+    {
+        return out_[port].credits;
+    }
+
+    /** Flits of the packet granted output @p port that are still in the
+     * input buffer (credits already consumed for them - the VCT
+     * reservation term of the credit-conservation sum). */
+    int outReservedFlits(int port, int vc) const;
+
+    /** Injection cycle of the oldest buffered packet (kNoCycle if none). */
+    Cycle oldestBirth() const;
+
+    /** A head flit persistently blocked on downstream credits. */
+    struct BlockedHead
+    {
+        int in_port = -1;
+        int in_vc = -1;
+        int out_port = -1;
+        int out_vc = -1;
+        PacketPtr pkt;
+    };
+
+    /** Collect every routed head whose VA/SA is blocked purely by missing
+     * downstream credits - the router's waits-for edges. */
+    void collectBlockedHeads(std::vector<BlockedHead> &out) const;
+
   private:
     struct InPort
     {

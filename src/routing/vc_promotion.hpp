@@ -166,4 +166,57 @@ class VcState
     bool crossed_ = false;
 };
 
+/**
+ * Legality window for the runtime VC audit: may a flit of a packet whose
+ * promotion state is (@p dims_completed, @p crossed) legally be resident
+ * in promotion VC @p vc?
+ *
+ * A resident flit's VC was assigned when the flit was sent, and a
+ * cut-through packet spans at most two adjacent buffers, so the VC is at
+ * most one assignment behind the packet's current state - and promotion
+ * never runs ahead of the state. That bounds the legal window:
+ *
+ *  - Anton2: assignments (dims + crossed) are monotone non-decreasing and
+ *    move by at most one per channel-group transition, so
+ *    vc in [dims + crossed - 2, dims + crossed].
+ *  - Baseline2n: the current mesh VC is dims, the current torus VC is
+ *    2*dims + crossed, and stale values reach back to the previous
+ *    dimension's pair, so vc in [min(dims - 1, 2*dims - 2), max(dims,
+ *    2*dims + crossed)] (clamped at zero).
+ *  - NoDateline: vc == 0.
+ *
+ * Anything outside the window means promotion state and buffer contents
+ * have diverged - precisely the class of bug the static proof in
+ * analysis/deadlock cannot see.
+ */
+constexpr bool
+vcLegalForState(VcPolicy p, int dims_completed, bool crossed, int vc,
+                int ndims)
+{
+    if (vc < 0 || vc >= numUnifiedVcs(p, ndims))
+        return false;
+    const int x = crossed ? 1 : 0;
+    switch (p) {
+      case VcPolicy::Anton2: {
+        const int cur = dims_completed + x;
+        const int lo = cur - 2 > 0 ? cur - 2 : 0;
+        return vc >= lo && vc <= cur;
+      }
+      case VcPolicy::Baseline2n: {
+        const int mesh = dims_completed;
+        const int torus = 2 * dims_completed + x;
+        int lo = mesh - 1 < 2 * dims_completed - 2
+                     ? mesh - 1
+                     : 2 * dims_completed - 2;
+        if (lo < 0)
+            lo = 0;
+        const int hi = mesh > torus ? mesh : torus;
+        return vc >= lo && vc <= hi;
+      }
+      case VcPolicy::NoDateline:
+        return vc == 0;
+    }
+    return false;
+}
+
 } // namespace anton2

@@ -45,6 +45,12 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+std::string
+jsonString(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
 namespace {
 
 /**

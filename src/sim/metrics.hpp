@@ -91,4 +91,7 @@ std::string jsonNumber(double x);
 /** Escape a string for use inside a JSON string literal. */
 std::string jsonEscape(const std::string &s);
 
+/** A complete JSON string literal: escaped and double-quoted. */
+std::string jsonString(const std::string &s);
+
 } // namespace anton2

@@ -89,6 +89,21 @@ class Wire
         return false;
     }
 
+    /**
+     * Visit every value still in flight, in unspecified order. Read-only:
+     * the runtime auditor uses this to count in-transit flits and credits
+     * for its conservation checks; O(latency).
+     */
+    template <typename Fn>
+    void
+    forEachInFlight(Fn &&fn) const
+    {
+        for (const auto &slot : slots_) {
+            if (slot.has_value())
+                fn(*slot);
+        }
+    }
+
   private:
     static std::size_t
     ringSize(Cycle latency)

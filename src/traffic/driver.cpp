@@ -75,8 +75,16 @@ BatchDriver::tick(Cycle now)
 bool
 BatchDriver::run(Cycle max_cycles)
 {
-    return machine_.engine().runUntil(
-        [&] { return done(machine_); }, max_cycles);
+    // A tripped watchdog means the machine is wedged: stop burning host
+    // time simulating an idle network; the trip snapshot has the story.
+    machine_.engine().runUntil(
+        [&] {
+            return done(machine_)
+                   || (machine_.audit() != nullptr
+                       && machine_.audit()->tripped());
+        },
+        max_cycles);
+    return done(machine_);
 }
 
 Cycle

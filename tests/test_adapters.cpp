@@ -109,13 +109,18 @@ TEST(ChannelAdapterUnit, EgressBlocksWithoutPeerCredits)
 {
     EgressBench b;
     // Peer buffer = 8 flits on VC 2: at most 8 single-flit packets cross
-    // if credits are never returned.
-    int got = 0;
+    // if credits are never returned. Offers are credit-gated the way the
+    // upstream router's output stage would be, so the adapter's ingress
+    // buffer is never overrun.
+    int got = 0, offered = 0, credits = 8;
     for (int t = 0; t < 600; ++t) {
-        if (t < 20)
+        if (offered < 20 && credits > 0) {
             b.offer(makePkt(), 0);
+            ++offered;
+            --credits;
+        }
         b.engine.step();
-        (void)b.from_router.credit.take(b.engine.now());
+        credits += b.from_router.credit.take(b.engine.now()).has_value();
         got += b.torus.data.take(b.engine.now()).has_value();
     }
     EXPECT_EQ(got, 8);

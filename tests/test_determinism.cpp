@@ -11,6 +11,8 @@
 #include <string>
 
 #include "core/machine.hpp"
+#include "debug/snapshot.hpp"
+#include "routing/route.hpp"
 #include "sim/rng.hpp"
 
 namespace anton2 {
@@ -44,7 +46,7 @@ runAndSnapshot(std::uint64_t seed)
                                 static_cast<int>(traffic.below(4)) };
         if (src.node == dst.node)
             continue;
-        const int size = 1 + static_cast<int>(traffic.below(3));
+        const int size = 1 + static_cast<int>(traffic.below(2));
         m.send(m.makeWrite(src, dst, 0, size));
         ++sent;
     }
@@ -110,7 +112,7 @@ runAndSnapshotTimeseries(std::uint64_t seed)
                                 static_cast<int>(traffic.below(4)) };
         if (src.node == dst.node)
             continue;
-        const int size = 1 + static_cast<int>(traffic.below(3));
+        const int size = 1 + static_cast<int>(traffic.below(2));
         m.send(m.makeWrite(src, dst, 0, size));
         ++sent;
     }
@@ -137,6 +139,87 @@ TEST(Determinism, SameSeedProducesByteIdenticalTimeseriesExports)
 TEST(Determinism, DifferentSeedProducesDifferentTimeseriesExports)
 {
     EXPECT_NE(runAndSnapshotTimeseries(71), runAndSnapshotTimeseries(72));
+}
+
+/**
+ * Wedge a seeded machine with the withhold-credit fault and return the
+ * forensic trip snapshot's JSON and DOT exports concatenated. The faulted
+ * link chokes randomized traffic, so the trip state - buffers, packets,
+ * waits-for edges - is a function of the seed alone.
+ */
+std::string
+runFaultedSnapshot(std::uint64_t seed)
+{
+    MachineConfig cfg;
+    cfg.radix = { 4, 2, 2 };
+    cfg.chip.endpoints_per_node = 4;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = 12;
+    cfg.seed = seed;
+    Machine m(cfg);
+    NetworkFault fault;
+    fault.kind = NetworkFault::Kind::WithholdTorusCredits;
+    m.injectFault(fault);
+    AuditConfig acfg;
+    acfg.audit_interval = 64;
+    acfg.watchdog_interval = 16;
+    acfg.stall_threshold = 300;
+    Auditor &a = m.enableAudit(acfg);
+
+    Rng traffic(seed * 1315423911ULL + 1);
+    const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
+    std::uint64_t sent = 0;
+    for (std::uint64_t i = 0; i < 400; ++i) {
+        const EndpointAddr src{ static_cast<NodeId>(traffic.below(nodes)),
+                                static_cast<int>(traffic.below(4)) };
+        const EndpointAddr dst{ static_cast<NodeId>(traffic.below(nodes)),
+                                static_cast<int>(traffic.below(4)) };
+        if (src.node == dst.node)
+            continue;
+        m.send(m.makeWrite(src, dst, 0, 2));
+        ++sent;
+    }
+    // A forced stream over the starved link guarantees the wedge for any
+    // seed; the random load above shapes the rest of the trip state.
+    Rng tie(9);
+    const NodeId choke_dst = m.geom().id({ 2, 0, 0 });
+    for (int i = 0; i < 30; ++i) {
+        auto pkt = m.makeWrite({ 0, i % 4 }, { choke_dst, 1 }, 0, 2);
+        pkt->route = makeRoute(m.geom(), 0, choke_dst, DimOrder{ 0, 1, 2 },
+                               0, tie);
+        pkt->route.dirs[0] = Dir::Pos;
+        pkt->vc = VcState(m.config().chip.vc_policy);
+        m.chip(0).setExit(*pkt, nextRouteDim(m.geom(), 0, choke_dst,
+                                             pkt->route));
+        m.send(pkt);
+        ++sent;
+    }
+    EXPECT_FALSE(m.runUntilDelivered(sent, 200000))
+        << "faulted run should wedge";
+    EXPECT_TRUE(a.tripped());
+    if (!a.tripped())
+        return {};
+    const MachineSnapshot &snap = *a.tripSnapshot();
+    return snapshotJson(snap) + "\n---\n" + waitsForDot(snap) + "\n---\n"
+           + a.reportJson();
+}
+
+TEST(Determinism, SameSeedProducesByteIdenticalForensicSnapshot)
+{
+    const std::string a = runFaultedSnapshot(71);
+    const std::string b = runFaultedSnapshot(71);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b)
+        << "same-seed trip snapshots must serialize identically";
+    EXPECT_NE(a.find("\"reason\": \"watchdog\""), std::string::npos);
+    EXPECT_NE(a.find("\"waits_for\": ["), std::string::npos);
+    EXPECT_NE(a.find("digraph waits_for {"), std::string::npos);
+    EXPECT_NE(a.find("\"tripped\": true"), std::string::npos);
+}
+
+TEST(Determinism, DifferentSeedProducesDifferentForensicSnapshot)
+{
+    EXPECT_NE(runFaultedSnapshot(71), runFaultedSnapshot(72));
 }
 
 TEST(Determinism, RepeatedSerializationOfOneRunIsStable)

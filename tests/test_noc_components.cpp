@@ -204,6 +204,9 @@ TEST(RouterUnit, VcsArbitrateFairlyAtSa1)
         phit.head = phit.tail = true;
         b.in.data.send(b.engine.now(), phit);
         b.engine.step();
+        // Drain the upstream credit wire like a real neighbor would;
+        // leaving it full would block the router's credit returns.
+        (void)b.in.credit.take(b.engine.now());
         if (auto out = b.out.data.take(b.engine.now())) {
             ++got[out->vc % 2];
             b.out.credit.send(b.engine.now(), Credit{ out->vc });

@@ -163,7 +163,7 @@ runSampledMachine(Machine &m, std::uint64_t packets, std::uint64_t seed)
         if (src.node == dst.node)
             continue;
         m.send(m.makeWrite(src, dst, 0,
-                           1 + static_cast<int>(traffic.below(3))));
+                           1 + static_cast<int>(traffic.below(2))));
         ++sent;
     }
     EXPECT_TRUE(m.runUntilDelivered(sent, 500000));

@@ -140,7 +140,7 @@ runTraced(std::uint64_t seed, std::uint64_t sample = 1)
                                 static_cast<int>(traffic.below(4)) };
         if (src.node == dst.node)
             continue;
-        const int size = 1 + static_cast<int>(traffic.below(3));
+        const int size = 1 + static_cast<int>(traffic.below(2));
         m.send(m.makeWrite(src, dst, 0, size));
         ++run.sent;
     }
