@@ -35,7 +35,8 @@ enum class WeightMode { None, Forward, Reverse, Both };
 
 double
 runBlend(const std::vector<int> &radix, int cores, std::uint64_t batch,
-         WeightMode mode, double reverse_fraction, std::uint64_t seed)
+         WeightMode mode, double reverse_fraction, std::uint64_t seed,
+         int threads)
 {
     MachineConfig cfg;
     cfg.radix = radix;
@@ -45,6 +46,7 @@ runBlend(const std::vector<int> &radix, int cores, std::uint64_t batch,
     cfg.use_packaging = false;
     cfg.fixed_torus_latency = 20;
     cfg.seed = seed;
+    cfg.threads = threads;
     Machine m(cfg);
 
     const auto eps = firstEndpoints(cores);
@@ -123,19 +125,42 @@ runBlend(const std::vector<int> &radix, int cores, std::uint64_t batch,
 int
 main(int argc, char **argv)
 {
-    const bench::Args args(argc, argv);
-    const std::vector<int> radix{ static_cast<int>(args.flag("--kx", 8)),
-                                  static_cast<int>(args.flag("--ky", 4)),
-                                  static_cast<int>(args.flag("--kz", 4)) };
-    const int cores = static_cast<int>(args.flag("--cores", 8));
-    const auto batch = static_cast<std::uint64_t>(args.flag("--batch", 256));
-    const auto seed = static_cast<std::uint64_t>(args.flag("--seed", 21));
-    const int steps = static_cast<int>(args.flag("--steps", 4));
+    long kx = 8, ky = 4, kz = 4;
+    long cores = 8, batch_flag = 256, seed_flag = 21, steps_flag = 4;
+    long threads = 1;
+    bench::OptionRegistry reg(
+        "Figure 10: tornado / reverse-tornado blending under the four "
+        "arbiter weight modes");
+    reg.add("--kx", "N", "torus X radix (default 8)", &kx);
+    reg.add("--ky", "N", "torus Y radix (default 4)", &ky);
+    reg.add("--kz", "N", "torus Z radix (default 4)", &kz);
+    reg.add("--cores", "N", "participating cores per node (default 8)",
+            &cores);
+    reg.add("--batch", "N", "packets per core (default 256)", &batch_flag);
+    reg.add("--seed", "N", "simulation seed (default 21)", &seed_flag);
+    reg.add("--steps", "N", "blend-fraction sweep steps (default 4)",
+            &steps_flag);
+    reg.add("--threads", "N",
+            "engine worker threads (results are bit-identical at any "
+            "count)",
+            &threads);
+    if (!reg.parse(argc, argv))
+        return 1;
+    if (threads < 1) {
+        std::fprintf(stderr, "error: --threads must be >= 1\n");
+        return 1;
+    }
+    const std::vector<int> radix{ static_cast<int>(kx),
+                                  static_cast<int>(ky),
+                                  static_cast<int>(kz) };
+    const auto batch = static_cast<std::uint64_t>(batch_flag);
+    const auto seed = static_cast<std::uint64_t>(seed_flag);
+    const int steps = static_cast<int>(steps_flag);
 
     bench::printHeader(
         "Figure 10: tornado / reverse-tornado blending (normalized "
         "throughput)");
-    std::printf("torus %dx%dx%d, %d cores/node, %llu packets/core\n",
+    std::printf("torus %dx%dx%d, %ld cores/node, %llu packets/core\n",
                 radix[0], radix[1], radix[2], cores,
                 static_cast<unsigned long long>(batch));
     std::printf("%-22s %8s %8s %8s %8s\n", "fraction reverse", "None",
@@ -145,13 +170,21 @@ main(int argc, char **argv)
     for (int i = 0; i <= steps; ++i) {
         const double f = static_cast<double>(i) / steps;
         const double none =
-            runBlend(radix, cores, batch, WeightMode::None, f, seed);
+            runBlend(radix, static_cast<int>(cores), batch,
+                     WeightMode::None, f, seed,
+                     static_cast<int>(threads));
         const double fwd =
-            runBlend(radix, cores, batch, WeightMode::Forward, f, seed);
+            runBlend(radix, static_cast<int>(cores), batch,
+                     WeightMode::Forward, f, seed,
+                     static_cast<int>(threads));
         const double rev =
-            runBlend(radix, cores, batch, WeightMode::Reverse, f, seed);
+            runBlend(radix, static_cast<int>(cores), batch,
+                     WeightMode::Reverse, f, seed,
+                     static_cast<int>(threads));
         const double both =
-            runBlend(radix, cores, batch, WeightMode::Both, f, seed);
+            runBlend(radix, static_cast<int>(cores), batch,
+                     WeightMode::Both, f, seed,
+                     static_cast<int>(threads));
         std::printf("%-22.2f %8.3f %8.3f %8.3f %8.3f\n", f, none, fwd, rev,
                     both);
     }

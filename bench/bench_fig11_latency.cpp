@@ -86,17 +86,31 @@ pingPong(Machine &m, EndpointAddr a, EndpointAddr b, int rounds)
 int
 main(int argc, char **argv)
 {
-    const bench::Args args(argc, argv);
-    const int k = static_cast<int>(args.flag("--k", 8));
-    const int pairs = static_cast<int>(args.flag("--pairs", 6));
-    const int rounds = static_cast<int>(args.flag("--rounds", 4));
-    const char *json_path = args.strFlag("--json", nullptr);
-    const auto trace = bench::TraceOptions::parse(args);
-    const auto ts = bench::TimeseriesOptions::parse(args);
-    const auto audit = bench::AuditOptions::parse(args);
-    if (!bench::validateOutputPaths({ json_path }) || !trace.validate()
-        || !ts.validate() || !audit.validate())
+    long k_flag = 8, pairs_flag = 6, rounds_flag = 4;
+    const char *json_path = nullptr;
+    bench::RunOptions run;
+    bench::OptionRegistry reg(
+        "Figure 11: one-way software-to-software message latency vs. "
+        "inter-node hop count");
+    reg.add("--k", "N", "torus radix per dimension (default 8)", &k_flag);
+    reg.add("--pairs", "N", "endpoint pairs sampled per hop count "
+                            "(default 6)",
+            &pairs_flag);
+    reg.add("--rounds", "N", "ping-pong rounds per pair (default 4)",
+            &rounds_flag);
+    reg.add("--json", "PATH", "write the machine-readable report JSON",
+            &json_path);
+    run.registerInto(reg);
+    if (!reg.parse(argc, argv))
         return 1;
+    if (!run.validate() || !bench::validateOutputPaths({ json_path }))
+        return 1;
+    const int k = static_cast<int>(k_flag);
+    const int pairs = static_cast<int>(pairs_flag);
+    const int rounds = static_cast<int>(rounds_flag);
+    const auto &trace = run.trace;
+    const auto &ts = run.ts;
+    const auto &audit = run.audit;
 
     HostProfiler prof;
     prof.beginPhase("build");
@@ -106,11 +120,8 @@ main(int argc, char **argv)
     cfg.chip.arb = ArbPolicy::RoundRobin;
     cfg.use_packaging = true; // Figure 2 trace/cable latencies
     cfg.seed = 31;
-    cfg.enable_metrics = json_path != nullptr;
     Machine m(cfg);
-    trace.apply(m);
-    audit.apply(m);
-    ts.apply(m);
+    run.apply(m, /*metrics=*/json_path != nullptr);
     prof.beginPhase("run");
 
     bench::printHeader(

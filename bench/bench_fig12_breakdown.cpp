@@ -24,13 +24,21 @@ using namespace anton2;
 int
 main(int argc, char **argv)
 {
-    const bench::Args args(argc, argv);
-    const int k = static_cast<int>(args.flag("--k", 4));
-    const auto trace = bench::TraceOptions::parse(args);
-    const auto ts = bench::TimeseriesOptions::parse(args);
-    const auto audit = bench::AuditOptions::parse(args);
-    if (!trace.validate() || !ts.validate() || !audit.validate())
+    long k_flag = 4;
+    bench::RunOptions run;
+    bench::OptionRegistry reg(
+        "Figure 12: minimum inter-node latency decomposition "
+        "(single-packet traversal)");
+    reg.add("--k", "N", "torus radix per dimension (default 4)", &k_flag);
+    run.registerInto(reg);
+    if (!reg.parse(argc, argv))
         return 1;
+    if (!run.validate())
+        return 1;
+    const int k = static_cast<int>(k_flag);
+    const auto &trace = run.trace;
+    const auto &ts = run.ts;
+    const auto &audit = run.audit;
 
     MachineConfig cfg;
     cfg.radix = { k, k, k };
@@ -40,9 +48,7 @@ main(int argc, char **argv)
     Machine m(cfg);
     // A single-packet traversal makes the smallest useful demo trace:
     // every lifecycle event of Figure 12's E -> R -> C -> link path.
-    trace.apply(m);
-    audit.apply(m);
-    ts.apply(m);
+    run.apply(m);
 
     // The minimum-latency configuration: source and destination endpoints
     // co-located with the Y-channel routers (endpoint 16 sits on R(0,2)

@@ -239,8 +239,16 @@ measure(int rate_num, int rate_den, Payload payload, Cycle cycles)
 int
 main(int argc, char **argv)
 {
-    const bench::Args args(argc, argv);
-    const auto cycles = static_cast<Cycle>(args.flag("--cycles", 20000));
+    long cycles_flag = 20000;
+    bench::OptionRegistry reg(
+        "Figure 13: router energy per flit vs. injection rate and payload "
+        "content");
+    reg.add("--cycles", "N", "simulated cycles per measurement point "
+                             "(default 20000)",
+            &cycles_flag);
+    if (!reg.parse(argc, argv))
+        return 1;
+    const auto cycles = static_cast<Cycle>(cycles_flag);
 
     bench::printHeader(
         "Figure 13: router energy per flit vs. injection rate "

@@ -68,8 +68,22 @@ maxChannelUse(const std::vector<const McastTree *> &trees)
 int
 main(int argc, char **argv)
 {
-    const bench::Args args(argc, argv);
-    const int k = static_cast<int>(args.flag("--k", 8));
+    long k_flag = 8, threads = 1;
+    bench::OptionRegistry reg(
+        "Figure 3: multicast tree vs. unicast torus hops, plus measured "
+        "flit savings in the simulator");
+    reg.add("--k", "N", "torus radix per dimension (default 8)", &k_flag);
+    reg.add("--threads", "N",
+            "engine worker threads for the measured section (results are "
+            "bit-identical at any count)",
+            &threads);
+    if (!reg.parse(argc, argv))
+        return 1;
+    if (threads < 1) {
+        std::fprintf(stderr, "error: --threads must be >= 1\n");
+        return 1;
+    }
+    const int k = static_cast<int>(k_flag);
     const TorusGeom geom(k, k, k);
     const NodeId src = geom.id({ k / 2, k / 2, k / 2 });
 
@@ -110,6 +124,7 @@ main(int argc, char **argv)
     cfg.chip.endpoints_per_node = 4;
     cfg.use_packaging = false;
     cfg.seed = 9;
+    cfg.threads = static_cast<int>(threads);
     Machine m(cfg);
     const NodeId msrc = m.geom().id({ 2, 2, 2 });
     const auto mdests = planeDests(m.geom(), msrc, 1);

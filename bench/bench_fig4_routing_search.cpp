@@ -21,8 +21,11 @@ using namespace anton2;
 int
 main(int argc, char **argv)
 {
-    (void)argc;
-    (void)argv;
+    bench::OptionRegistry reg(
+        "Figure 4 / Eq. (1): exhaustive direction-order routing search "
+        "(no tunables)");
+    if (!reg.parse(argc, argv))
+        return 1;
     const ChipLayout layout(23, 3);
 
     bench::printHeader("Figure 4 / Eq. (1): direction-order routing search");

@@ -44,10 +44,8 @@ struct RunResult
 RunResult
 runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
          const char *pattern_name, std::uint64_t batch,
-         std::uint64_t seed, bool with_metrics,
-         const bench::TraceOptions *trace,
-         const bench::TimeseriesOptions &ts, bool sample_ts,
-         const bench::AuditOptions *audit)
+         std::uint64_t seed, const bench::RunOptions &run,
+         bool with_metrics, bool probe)
 {
     HostProfiler prof;
     prof.beginPhase("build");
@@ -58,16 +56,20 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
     cfg.use_packaging = false;
     cfg.fixed_torus_latency = 20;
     cfg.seed = seed;
-    cfg.enable_metrics = with_metrics;
     Machine m(cfg);
-    if (trace != nullptr)
-        trace->apply(m);
-    if (audit != nullptr)
-        audit->apply(m);
-    if (sample_ts)
-        ts.apply(m);
-    else if (ts.progress)
-        m.enableProgress();
+    m.setThreads(static_cast<int>(run.threads));
+    // Probe runs carry the full requested instrumentation; the other
+    // sweep points keep only metrics/progress so the sweep stays fast.
+    Instrumentation inst;
+    inst.metrics = with_metrics;
+    if (probe) {
+        run.trace.addTo(inst);
+        run.ts.addTo(inst);
+        run.audit.addTo(inst, m.geom());
+    } else if (run.ts.progress) {
+        inst.progress = ProgressMeter::Config{};
+    }
+    m.attachInstrumentation(inst);
 
     const auto core_eps = firstEndpoints(cores);
 
@@ -106,19 +108,18 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
         std::fprintf(stderr, "WARNING: batch timed out\n");
     prof.endPhase();
 
-    if (trace != nullptr)
-        trace->write(m);
-    ts.write(m);
+    if (probe)
+        run.trace.write(m);
+    run.ts.write(m);
     RunResult res;
     res.normalized = driver.throughputPerCore() / ideal;
     res.cycles = driver.completionTime();
     if (with_metrics)
         res.metrics_json = m.metricsJson();
-    if (sample_ts)
-        res.timeseries_json = ts.jsonSection(m);
-    if (audit != nullptr) {
-        audit->write(m);
-        res.audit_json = audit->jsonSection(m);
+    if (probe) {
+        res.timeseries_json = run.ts.jsonSection(m);
+        run.audit.write(m);
+        res.audit_json = run.audit.jsonSection(m);
     }
     res.host_json =
         bench::hostJson(prof, m.now(), m.engine().componentCount());
@@ -130,26 +131,37 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
 int
 main(int argc, char **argv)
 {
-    const bench::Args args(argc, argv);
-    const std::vector<int> radix{ static_cast<int>(args.flag("--kx", 8)),
-                                  static_cast<int>(args.flag("--ky", 4)),
-                                  static_cast<int>(args.flag("--kz", 4)) };
-    const int cores = static_cast<int>(args.flag("--cores", 8));
-    const auto max_batch =
-        static_cast<std::uint64_t>(args.flag("--maxbatch", 512));
-    const auto seed = static_cast<std::uint64_t>(args.flag("--seed", 12));
-    const char *json_path = args.strFlag("--json", nullptr);
-    const auto trace = bench::TraceOptions::parse(args);
-    const auto ts = bench::TimeseriesOptions::parse(args);
-    const auto audit = bench::AuditOptions::parse(args);
-    if (!bench::validateOutputPaths({ json_path }) || !trace.validate()
-        || !ts.validate() || !audit.validate())
+    long kx = 8, ky = 4, kz = 4;
+    long cores = 8, maxbatch = 512, seed = 12;
+    const char *json_path = nullptr;
+    bench::RunOptions run;
+    bench::OptionRegistry reg(
+        "Figure 9: batch throughput vs. batch size, round-robin vs. "
+        "inverse-weighted arbitration");
+    reg.add("--kx", "N", "torus X radix (default 8)", &kx);
+    reg.add("--ky", "N", "torus Y radix (default 4)", &ky);
+    reg.add("--kz", "N", "torus Z radix (default 4)", &kz);
+    reg.add("--cores", "N", "participating cores per node (default 8)",
+            &cores);
+    reg.add("--maxbatch", "N", "largest batch size swept (default 512)",
+            &maxbatch);
+    reg.add("--seed", "N", "simulation seed (default 12)", &seed);
+    reg.add("--json", "PATH", "write the machine-readable report JSON",
+            &json_path);
+    run.registerInto(reg);
+    if (!reg.parse(argc, argv))
         return 1;
+    if (!run.validate() || !bench::validateOutputPaths({ json_path }))
+        return 1;
+    const std::vector<int> radix{ static_cast<int>(kx),
+                                  static_cast<int>(ky),
+                                  static_cast<int>(kz) };
+    const auto max_batch = static_cast<std::uint64_t>(maxbatch);
 
     bench::printHeader(
         "Figure 9: batch throughput vs. batch size "
         "(normalized; 1.0 = torus channels fully utilized)");
-    std::printf("torus %dx%dx%d, %d cores/node\n", radix[0], radix[1],
+    std::printf("torus %dx%dx%d, %ld cores/node\n", radix[0], radix[1],
                 radix[2], cores);
     std::printf("%-18s %10s %14s %16s\n", "pattern", "batch",
                 "round-robin", "inverse-weighted");
@@ -166,17 +178,17 @@ main(int argc, char **argv)
             // when enabled) comes from the largest batch of each sweep;
             // the last pattern's probe run wins the output files.
             const bool probe =
-                (json_path != nullptr || trace.enabled() || ts.enabled()
-                 || audit.enabled())
+                (json_path != nullptr || run.trace.enabled()
+                 || run.ts.enabled() || run.audit.enabled())
                 && batch * 4 > max_batch;
-            const auto rr = runBatch(radix, cores, ArbPolicy::RoundRobin,
-                                     pattern, batch, seed, false, nullptr,
-                                     ts, false, nullptr);
-            auto iw = runBatch(radix, cores, ArbPolicy::InverseWeighted,
-                               pattern, batch, seed,
-                               probe && json_path != nullptr,
-                               probe ? &trace : nullptr, ts, probe,
-                               probe ? &audit : nullptr);
+            const auto rr = runBatch(radix, static_cast<int>(cores),
+                                     ArbPolicy::RoundRobin, pattern, batch,
+                                     static_cast<std::uint64_t>(seed), run,
+                                     false, false);
+            auto iw = runBatch(radix, static_cast<int>(cores),
+                               ArbPolicy::InverseWeighted, pattern, batch,
+                               static_cast<std::uint64_t>(seed), run,
+                               probe && json_path != nullptr, probe);
             std::printf("%-18s %10llu %14.3f %16.3f\n", pattern,
                         static_cast<unsigned long long>(batch),
                         rr.normalized, iw.normalized);
@@ -212,6 +224,8 @@ main(int argc, char **argv)
                 .add("cores", bench::num(cores))
                 .add("maxbatch", bench::num(static_cast<double>(max_batch)))
                 .add("seed", bench::num(static_cast<double>(seed)))
+                .add("threads",
+                     bench::num(static_cast<double>(run.threads)))
                 .dump(0);
         bench::writeFile(
             json_path,
@@ -232,9 +246,9 @@ main(int argc, char **argv)
                 + "\n");
         std::printf("JSON report written to %s\n", json_path);
     }
-    if (trace.chrome != nullptr)
-        std::printf("Chrome trace written to %s\n", trace.chrome);
-    if (trace.csv != nullptr)
-        std::printf("Flight record written to %s\n", trace.csv);
+    if (run.trace.chrome != nullptr)
+        std::printf("Chrome trace written to %s\n", run.trace.chrome);
+    if (run.trace.csv != nullptr)
+        std::printf("Flight record written to %s\n", run.trace.csv);
     return 0;
 }

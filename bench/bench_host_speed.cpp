@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Host-performance benchmark for the sharded engine: simulate a fixed
+ * open-loop workload serially and on 2/4 worker threads, and report
+ * simulated cycles per wall second and flit-hops per wall second for
+ * each. Because every inter-component hop crosses a Wire with latency
+ * >= 1, the threaded runs are bit-identical to the serial one - the
+ * bench asserts this by comparing delivered packets and flit-hop totals
+ * across thread counts, so a scaling number from this harness is always
+ * a number for the *same* simulation.
+ *
+ * `--json` (default BENCH_speed.json) writes the machine-readable
+ * report consumed by the CI perf-smoke job. Wall-clock speedup depends
+ * on the host's core count; the deterministic columns do not.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/loads.hpp"
+#include "common.hpp"
+#include "core/machine.hpp"
+#include "traffic/driver.hpp"
+#include "traffic/patterns.hpp"
+
+using namespace anton2;
+
+namespace {
+
+struct SpeedResult
+{
+    int threads;
+    double wall_seconds;
+    Cycle cycles;
+    double cycles_per_sec;
+    std::uint64_t flit_hops;
+    double flit_hops_per_sec;
+    std::uint64_t delivered;
+};
+
+std::uint64_t
+totalFlitHops(Machine &m)
+{
+    std::uint64_t hops = 0;
+    for (NodeId n = 0; n < m.geom().numNodes(); ++n) {
+        const Chip &chip = m.chip(n);
+        for (RouterId r = 0;
+             r < static_cast<RouterId>(m.layout().numRouters()); ++r)
+            hops += chip.router(r).flitsRouted();
+    }
+    return hops;
+}
+
+SpeedResult
+runLoad(const std::vector<int> &radix, int cores, double rate,
+        Cycle cycles, int threads)
+{
+    MachineConfig cfg;
+    cfg.radix = radix;
+    cfg.chip.endpoints_per_node = 8;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = 20;
+    cfg.seed = 17;
+    cfg.threads = threads;
+    Machine m(cfg);
+
+    UniformPattern pat(m.geom());
+    OpenLoopDriver::Config dcfg;
+    dcfg.cores = firstEndpoints(cores);
+    dcfg.rate = rate;
+    dcfg.pattern = &pat;
+    OpenLoopDriver driver(m, dcfg);
+    m.engine().add(driver);
+
+    HostProfiler prof;
+    prof.beginPhase("run");
+    m.run(cycles);
+    prof.endPhase();
+
+    SpeedResult r;
+    r.threads = threads;
+    r.wall_seconds = prof.wallSeconds();
+    r.cycles = cycles;
+    r.cycles_per_sec = prof.cyclesPerSec(cycles);
+    r.flit_hops = totalFlitHops(m);
+    r.flit_hops_per_sec =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(r.flit_hops) / r.wall_seconds
+            : 0.0;
+    r.delivered = m.totalDelivered();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    long kx = 4, ky = 4, kz = 4;
+    long cores = 4, cycles_flag = 20000, max_threads = 4;
+    double rate = 0.0; // 0 = 60% of the analytic saturation point
+    const char *json_path = "BENCH_speed.json";
+    bench::OptionRegistry reg(
+        "Host speed: simulated cycles/sec and flit-hops/sec, serial vs. "
+        "2/4 engine worker threads (bit-identical results)");
+    reg.add("--kx", "N", "torus X radix (default 4)", &kx);
+    reg.add("--ky", "N", "torus Y radix (default 4)", &ky);
+    reg.add("--kz", "N", "torus Z radix (default 4)", &kz);
+    reg.add("--cores", "N", "injecting cores per node (default 4)",
+            &cores);
+    reg.add("--cycles", "N", "simulated cycles per run (default 20000)",
+            &cycles_flag);
+    reg.add("--rate", "R",
+            "offered packets/core/cycle (default: 60% of saturation)",
+            &rate);
+    reg.add("--max-threads", "N",
+            "largest worker count measured; doubles up from 1 "
+            "(default 4)",
+            &max_threads);
+    reg.add("--json", "PATH",
+            "machine-readable report path (default BENCH_speed.json)",
+            &json_path);
+    if (!reg.parse(argc, argv))
+        return 1;
+    if (cycles_flag < 1 || max_threads < 1 || cores < 1) {
+        std::fprintf(stderr, "error: --cycles/--max-threads/--cores must "
+                             "be >= 1\n");
+        return 1;
+    }
+    if (!bench::validateOutputPaths({ json_path }))
+        return 1;
+    const std::vector<int> radix{ static_cast<int>(kx),
+                                  static_cast<int>(ky),
+                                  static_cast<int>(kz) };
+    const auto cycles = static_cast<Cycle>(cycles_flag);
+
+    if (rate <= 0.0) {
+        // 60% of the analytic uniform-traffic saturation point: high
+        // enough to keep every router busy, low enough to stay out of
+        // the congested regime where queue scans dominate.
+        ChipConfig chip;
+        chip.endpoints_per_node = 8;
+        const TorusGeom geom(radix);
+        const ChipLayout layout(8, 3);
+        LoadModel lm(geom, layout, chip, 1);
+        Rng lrng(2);
+        UniformPattern uniform(geom);
+        lm.addPattern(0, uniform, firstEndpoints(static_cast<int>(cores)),
+                      300, lrng);
+        rate = 0.6 * lm.idealCoreThroughput(0);
+    }
+
+    bench::printHeader(
+        "Host speed: sharded engine, serial vs. threaded (same "
+        "simulation, bit-identical results)");
+    std::printf("torus %dx%dx%d, %ld cores/node, rate %.4f pkt/core/cyc, "
+                "%llu cycles\n",
+                radix[0], radix[1], radix[2], cores, rate,
+                static_cast<unsigned long long>(cycles));
+    std::printf("%8s %12s %14s %16s %10s\n", "threads", "wall (s)",
+                "kcycles/s", "Mflit-hops/s", "speedup");
+    bench::printRule(66);
+
+    std::vector<SpeedResult> results;
+    for (int t = 1; t <= static_cast<int>(max_threads); t *= 2)
+        results.push_back(runLoad(radix, static_cast<int>(cores), rate,
+                                  cycles, t));
+
+    bool identical = true;
+    for (const SpeedResult &r : results) {
+        identical = identical && r.delivered == results.front().delivered
+                    && r.flit_hops == results.front().flit_hops;
+        const double speedup =
+            r.wall_seconds > 0.0
+                ? results.front().wall_seconds / r.wall_seconds
+                : 0.0;
+        std::printf("%8d %12.3f %14.2f %16.2f %9.2fx\n", r.threads,
+                    r.wall_seconds, r.cycles_per_sec / 1e3,
+                    r.flit_hops_per_sec / 1e6, speedup);
+    }
+    bench::printRule(66);
+    std::printf("deterministic across thread counts: %s  (%llu packets "
+                "delivered, %llu flit-hops)\n",
+                identical ? "yes" : "NO - BUG",
+                static_cast<unsigned long long>(results.front().delivered),
+                static_cast<unsigned long long>(results.front().flit_hops));
+
+    std::vector<std::string> rows;
+    for (const SpeedResult &r : results) {
+        rows.push_back(
+            bench::JsonObj()
+                .add("threads", bench::num(r.threads))
+                .add("wall_seconds", bench::num(r.wall_seconds))
+                .add("cycles_per_sec", bench::num(r.cycles_per_sec))
+                .add("flit_hops_per_sec", bench::num(r.flit_hops_per_sec))
+                .add("speedup",
+                     bench::num(r.wall_seconds > 0.0
+                                    ? results.front().wall_seconds
+                                          / r.wall_seconds
+                                    : 0.0))
+                .add("delivered",
+                     bench::num(static_cast<double>(r.delivered)))
+                .dump(0));
+    }
+    const auto config =
+        bench::JsonObj()
+            .add("kx", bench::num(radix[0]))
+            .add("ky", bench::num(radix[1]))
+            .add("kz", bench::num(radix[2]))
+            .add("cores", bench::num(static_cast<double>(cores)))
+            .add("rate", bench::num(rate))
+            .add("cycles", bench::num(static_cast<double>(cycles)))
+            .dump(0);
+    bench::writeFile(json_path,
+                     bench::JsonObj()
+                         .add("bench", bench::str("host_speed"))
+                         .add("config", config)
+                         .add("rows", bench::arr(rows))
+                         .add("deterministic",
+                              identical ? "true" : "false")
+                         .dump()
+                         + "\n");
+    std::printf("JSON report written to %s\n", json_path);
+    return identical ? 0 : 1;
+}

@@ -22,8 +22,14 @@ using namespace anton2;
 int
 main(int argc, char **argv)
 {
-    const bench::Args args(argc, argv);
-    const int k = static_cast<int>(args.flag("--k", 4));
+    long k_flag = 4;
+    bench::OptionRegistry reg(
+        "Section 2.5 ablation: VC promotion (n+1 VCs) vs. baseline-2n, "
+        "correctness and area cost");
+    reg.add("--k", "N", "torus radix per dimension (default 4)", &k_flag);
+    if (!reg.parse(argc, argv))
+        return 1;
+    const int k = static_cast<int>(k_flag);
 
     bench::printHeader("Section 2.5: VC-promotion ablation");
 

@@ -1,10 +1,12 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses: minimal flag parsing,
- * aligned table printing, and the machine-readable `--json <path>` report
- * writer. Every bench prints the paper's rows/series with defaults that
- * reproduce the paper's setup at simulation-tractable scale; flags let
- * you push to the paper's full 8x8x8 (or larger) machine.
+ * Shared helpers for the experiment harnesses: the declarative option
+ * registry (options.hpp), aligned table printing, and the
+ * machine-readable `--json <path>` report writer. Every bench prints the
+ * paper's rows/series with defaults that reproduce the paper's setup at
+ * simulation-tractable scale; flags let you push to the paper's full
+ * 8x8x8 (or larger) machine, and `--threads N` runs the sharded engine
+ * on N workers with bit-identical results.
  */
 #pragma once
 
@@ -18,51 +20,10 @@
 #include <vector>
 
 #include "core/machine.hpp"
+#include "options.hpp"
 #include "sim/metrics.hpp"
 
 namespace anton2::bench {
-
-/** Tiny --flag value parser: flag("--kx", 4) etc. */
-class Args
-{
-  public:
-    Args(int argc, char **argv) : argc_(argc), argv_(argv) {}
-
-    long
-    flag(const char *name, long def) const
-    {
-        for (int i = 1; i + 1 < argc_; ++i) {
-            if (std::strcmp(argv_[i], name) == 0)
-                return std::atol(argv_[i + 1]);
-        }
-        return def;
-    }
-
-    /** String-valued flag: strFlag("--json", nullptr). */
-    const char *
-    strFlag(const char *name, const char *def) const
-    {
-        for (int i = 1; i + 1 < argc_; ++i) {
-            if (std::strcmp(argv_[i], name) == 0)
-                return argv_[i + 1];
-        }
-        return def;
-    }
-
-    bool
-    has(const char *name) const
-    {
-        for (int i = 1; i < argc_; ++i) {
-            if (std::strcmp(argv_[i], name) == 0)
-                return true;
-        }
-        return false;
-    }
-
-  private:
-    int argc_;
-    char **argv_;
-};
 
 /**
  * Order-preserving JSON report builder for bench output. Values are
@@ -181,33 +142,43 @@ struct TraceOptions
 {
     const char *chrome = nullptr;
     const char *csv = nullptr;
-    std::uint64_t sample = 1;
+    long sample = 1;
 
-    static TraceOptions
-    parse(const Args &args)
+    /** Declare the shared tracing flags on @p reg. */
+    void
+    registerInto(OptionRegistry &reg)
     {
-        TraceOptions t;
-        t.chrome = args.strFlag("--trace", nullptr);
-        t.csv = args.strFlag("--trace-csv", nullptr);
-        t.sample =
-            static_cast<std::uint64_t>(args.flag("--trace-sample", 1));
-        return t;
+        reg.add("--trace", "PATH",
+                "write Chrome trace-event JSON (Perfetto loadable)",
+                &chrome);
+        reg.add("--trace-csv", "PATH",
+                "write the per-packet flight-record CSV", &csv);
+        reg.add("--trace-sample", "N",
+                "record every Nth packet id (default 1)", &sample);
     }
 
     bool enabled() const { return chrome != nullptr || csv != nullptr; }
 
     /** Fail fast on unwritable output paths (false = do not simulate). */
-    bool validate() const { return validateOutputPaths({ chrome, csv }); }
+    bool
+    validate() const
+    {
+        if (sample < 1) {
+            std::fprintf(stderr, "error: --trace-sample must be >= 1\n");
+            return false;
+        }
+        return validateOutputPaths({ chrome, csv });
+    }
 
-    /** Turn tracing on for @p m (no-op when no output was requested). */
+    /** Add the requested tracing to an instrumentation bundle. */
     void
-    apply(Machine &m) const
+    addTo(Instrumentation &inst) const
     {
         if (!enabled())
             return;
         TraceConfig cfg;
-        cfg.sample = sample;
-        m.enableTracing(cfg);
+        cfg.sample = static_cast<std::uint64_t>(sample);
+        inst.trace = cfg;
     }
 
     /** Export whatever @p m recorded to the requested paths. */
@@ -243,26 +214,36 @@ struct TimeseriesOptions
     bool progress = false;
     long warmup = 0;
 
-    static TimeseriesOptions
-    parse(const Args &args)
+    /** Declare the shared time-series flags on @p reg. */
+    void
+    registerInto(OptionRegistry &reg)
     {
-        TimeseriesOptions t;
-        t.window = args.flag("--window", 1024);
-        t.heatmap = args.strFlag("--heatmap", nullptr);
-        t.auto_steady = args.has("--auto-steady");
-        t.warmup = args.flag("--warmup", 0);
-        t.progress = args.has("--progress");
-        t.timeseries = args.has("--timeseries") || t.heatmap != nullptr
-                       || t.auto_steady;
-        return t;
+        reg.add("--timeseries", "enable the interval sampler",
+                &timeseries);
+        reg.add("--window", "N", "sampling window in cycles (default 1024)",
+                &window);
+        reg.add("--heatmap", "PATH",
+                "write the per-link congestion heatmap CSV "
+                "(implies --timeseries)",
+                &heatmap);
+        reg.add("--auto-steady",
+                "detect steady state online and reset metrics at "
+                "convergence (implies --timeseries)",
+                &auto_steady);
+        reg.add("--warmup", "N", "fixed warmup: reset metrics at cycle N",
+                &warmup);
+        reg.add("--progress", "live stderr progress line (cycle, Mcyc/s)",
+                &progress);
     }
 
     bool enabled() const { return timeseries; }
 
-    /** Fail fast on unwritable paths / nonsense windows. */
+    /** Resolve flag implications; fail fast on unwritable paths /
+     * nonsense windows. Call once, after parse(). */
     bool
-    validate() const
+    validate()
     {
+        timeseries = timeseries || heatmap != nullptr || auto_steady;
         if (window < 1) {
             std::fprintf(stderr, "error: --window must be >= 1\n");
             return false;
@@ -270,19 +251,20 @@ struct TimeseriesOptions
         return validateOutputPaths({ heatmap });
     }
 
-    /** Bind the sampler (and progress meter) to @p m as requested. */
+    /** Add the requested sampling/progress to an instrumentation
+     * bundle. */
     void
-    apply(Machine &m) const
+    addTo(Instrumentation &inst) const
     {
         if (timeseries) {
             TimeseriesConfig cfg;
             cfg.window = static_cast<Cycle>(window);
             cfg.auto_steady = auto_steady;
             cfg.warmup_reset = static_cast<Cycle>(warmup);
-            m.enableTimeseries(cfg);
+            inst.timeseries = cfg;
         }
         if (progress)
-            m.enableProgress();
+            inst.progress = ProgressMeter::Config{};
     }
 
     /** The `timeseries` report section ("null" when sampling is off). */
@@ -332,32 +314,44 @@ struct AuditOptions
     const char *snapshot_dot = nullptr;
     const char *fault = nullptr;
 
-    static AuditOptions
-    parse(const Args &args)
+    /** Declare the shared auditor flags on @p reg. */
+    void
+    registerInto(OptionRegistry &reg)
     {
-        AuditOptions a;
-        a.audit = args.flag("--audit", 0);
-        a.watchdog = args.flag("--watchdog", 0);
-        a.stall_threshold = args.flag("--stall-threshold", 20000);
-        a.snapshot = args.strFlag("--snapshot", nullptr);
-        a.snapshot_dot = args.strFlag("--snapshot-dot", nullptr);
-        a.fault = args.strFlag("--fault", nullptr);
-        // A requested snapshot or fault without an explicit cadence still
-        // needs the watchdog armed to classify and capture the wedge.
-        if ((a.snapshot != nullptr || a.snapshot_dot != nullptr
-             || a.fault != nullptr)
-            && a.watchdog == 0) {
-            a.watchdog = 1024;
-        }
-        return a;
+        reg.add("--audit", "N", "run the invariant audit every N cycles",
+                &audit);
+        reg.add("--watchdog", "N", "probe forward progress every N cycles",
+                &watchdog);
+        reg.add("--stall-threshold", "N",
+                "ejection-stall trip point in cycles (default 20000)",
+                &stall_threshold);
+        reg.add("--snapshot", "PATH",
+                "write a forensic snapshot JSON (implies --watchdog)",
+                &snapshot);
+        reg.add("--snapshot-dot", "PATH",
+                "write the snapshot's waits-for graph as Graphviz DOT "
+                "(implies --watchdog)",
+                &snapshot_dot);
+        reg.add("--fault", "NAME",
+                "arm a seeded negative-control fault: withhold-credit or "
+                "no-promotion (implies --watchdog)",
+                &fault);
     }
 
     bool enabled() const { return audit > 0 || watchdog > 0; }
 
-    /** Fail fast on unwritable paths / bad cadences / unknown faults. */
+    /** Resolve flag implications; fail fast on unwritable paths / bad
+     * cadences / unknown faults. Call once, after parse(). */
     bool
-    validate() const
+    validate()
     {
+        // A requested snapshot or fault without an explicit cadence still
+        // needs the watchdog armed to classify and capture the wedge.
+        if ((snapshot != nullptr || snapshot_dot != nullptr
+             || fault != nullptr)
+            && watchdog == 0) {
+            watchdog = 1024;
+        }
         if (audit < 0 || watchdog < 0 || stall_threshold < 1) {
             std::fprintf(stderr,
                          "error: --audit/--watchdog must be >= 0 and "
@@ -374,9 +368,10 @@ struct AuditOptions
         return validateOutputPaths({ snapshot, snapshot_dot });
     }
 
-    /** Arm the requested fault and bind the auditor to @p m. */
+    /** Add the requested fault and auditor to an instrumentation
+     * bundle (@p geom locates the dateline node for no-promotion). */
     void
-    apply(Machine &m) const
+    addTo(Instrumentation &inst, const TorusGeom &geom) const
     {
         if (fault != nullptr) {
             NetworkFault f;
@@ -387,11 +382,11 @@ struct AuditOptions
                 f.kind = NetworkFault::Kind::NoDatelinePromotion;
                 // The dateline sits between coordinates k-1 and 0, so the
                 // node at x = k-1 is the one whose X+ egress must promote.
-                Coords c(static_cast<std::size_t>(m.geom().ndims()), 0);
-                c[0] = m.geom().radix(0) - 1;
-                f.node = m.geom().id(c);
+                Coords c(static_cast<std::size_t>(geom.ndims()), 0);
+                c[0] = geom.radix(0) - 1;
+                f.node = geom.id(c);
             }
-            m.injectFault(f);
+            inst.faults.push_back(f);
         }
         if (!enabled())
             return;
@@ -399,7 +394,7 @@ struct AuditOptions
         cfg.audit_interval = static_cast<Cycle>(audit);
         cfg.watchdog_interval = static_cast<Cycle>(watchdog);
         cfg.stall_threshold = static_cast<Cycle>(stall_threshold);
-        m.enableAudit(cfg);
+        inst.audit = cfg;
     }
 
     /** The `audit` report section ("null" when the auditor is off). */
@@ -435,6 +430,73 @@ struct AuditOptions
                          static_cast<unsigned long long>(
                              m.audit()->tripSnapshot()->now));
         }
+    }
+};
+
+/**
+ * The full shared option set for a Machine-driving bench: `--threads`
+ * plus the tracing / time-series / auditor groups. One registerInto()
+ * declares every shared flag, one validate() resolves implications and
+ * fail-fasts, and one apply() configures a Machine through the unified
+ * Machine::attachInstrumentation() call.
+ */
+struct RunOptions
+{
+    long threads = 1;
+    TraceOptions trace;
+    TimeseriesOptions ts;
+    AuditOptions audit;
+
+    void
+    registerInto(OptionRegistry &reg)
+    {
+        reg.add("--threads", "N",
+                "engine worker threads (results are bit-identical at "
+                "any count)",
+                &threads);
+        trace.registerInto(reg);
+        ts.registerInto(reg);
+        audit.registerInto(reg);
+    }
+
+    /** Resolve implications and fail fast; call once after parse(). */
+    bool
+    validate()
+    {
+        if (threads < 1) {
+            std::fprintf(stderr, "error: --threads must be >= 1\n");
+            return false;
+        }
+        return trace.validate() && ts.validate() && audit.validate();
+    }
+
+    /** The bundle every requested option group contributes to. */
+    Instrumentation
+    instrumentation(const Machine &m, bool metrics = false) const
+    {
+        Instrumentation inst;
+        inst.metrics = metrics;
+        trace.addTo(inst);
+        ts.addTo(inst);
+        audit.addTo(inst, m.geom());
+        return inst;
+    }
+
+    /** Configure @p m: worker count + one attachInstrumentation(). */
+    void
+    apply(Machine &m, bool metrics = false) const
+    {
+        m.setThreads(static_cast<int>(threads));
+        m.attachInstrumentation(instrumentation(m, metrics));
+    }
+
+    /** Write every requested export of @p m (trace, heatmap, snapshot). */
+    void
+    writeOutputs(Machine &m) const
+    {
+        trace.write(m);
+        ts.write(m);
+        audit.write(m);
     }
 };
 

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Declarative command-line option registry for the experiment harnesses.
+ *
+ * Every bench declares its flags once - name, value placeholder, help
+ * text, destination - and gets parsing, `--help` generation, and
+ * unknown-flag diagnostics for free. This replaces the per-bench
+ * copy-pasted `Args::flag(...)` scans: a flag that is not registered is
+ * now an error instead of being silently ignored.
+ *
+ * Usage:
+ *     long k = 8;
+ *     const char *json = nullptr;
+ *     bench::OptionRegistry reg("Figure N: what this bench reproduces");
+ *     reg.add("--k", "N", "torus radix per dimension", &k);
+ *     reg.add("--json", "PATH", "write the report JSON here", &json);
+ *     if (!reg.parse(argc, argv))
+ *         return 1;
+ *
+ * `--help`/`-h` prints the generated usage text and exits successfully.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace anton2::bench {
+
+class OptionRegistry
+{
+  public:
+    /** @param summary one-line description printed at the top of --help */
+    explicit OptionRegistry(std::string summary)
+        : summary_(std::move(summary))
+    {
+    }
+
+    /** Integer-valued option: `--name <VALUE>`. */
+    void
+    add(const char *name, const char *value_name, const char *help,
+        long *out)
+    {
+        opts_.push_back({ name, value_name, help, Kind::Long, out });
+    }
+
+    /** Real-valued option: `--name <VALUE>`. */
+    void
+    add(const char *name, const char *value_name, const char *help,
+        double *out)
+    {
+        opts_.push_back({ name, value_name, help, Kind::Double, out });
+    }
+
+    /** String-valued option (stores a pointer into argv). */
+    void
+    add(const char *name, const char *value_name, const char *help,
+        const char **out)
+    {
+        opts_.push_back({ name, value_name, help, Kind::String, out });
+    }
+
+    /** Valueless presence flag: `--name` sets *out to true. */
+    void
+    add(const char *name, const char *help, bool *out)
+    {
+        opts_.push_back({ name, nullptr, help, Kind::Flag, out });
+    }
+
+    /** Accept one optional positional argument (stores argv pointer). */
+    void
+    addPositional(const char *value_name, const char *help,
+                  const char **out)
+    {
+        positional_ = { "", value_name, help, Kind::String, out };
+        has_positional_ = true;
+    }
+
+    /**
+     * Parse argv against the registered options. Prints the generated
+     * usage text and exits 0 on `--help`/`-h`; prints a diagnostic and
+     * returns false on an unknown flag, a missing value, or an
+     * unparseable number.
+     */
+    bool
+    parse(int argc, char **argv)
+    {
+        const char *prog = argc > 0 ? argv[0] : "bench";
+        bool got_positional = false;
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strcmp(arg, "--help") == 0
+                || std::strcmp(arg, "-h") == 0) {
+                printHelp(prog);
+                std::exit(0);
+            }
+            const Opt *opt = find(arg);
+            if (opt == nullptr) {
+                if (has_positional_ && !got_positional
+                    && std::strncmp(arg, "--", 2) != 0) {
+                    *static_cast<const char **>(positional_.out) = arg;
+                    got_positional = true;
+                    continue;
+                }
+                std::fprintf(stderr,
+                             "error: unknown option '%s' (try --help)\n",
+                             arg);
+                return false;
+            }
+            if (opt->kind == Kind::Flag) {
+                *static_cast<bool *>(opt->out) = true;
+                continue;
+            }
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s requires a value\n",
+                             opt->name);
+                return false;
+            }
+            const char *val = argv[++i];
+            if (!store(*opt, val))
+                return false;
+        }
+        return true;
+    }
+
+    void
+    printHelp(const char *prog) const
+    {
+        std::string usage = std::string("usage: ") + prog + " [options]";
+        if (has_positional_) {
+            usage += " [";
+            usage += positional_.value_name;
+            usage += "]";
+        }
+        std::printf("%s\n\n%s\n\noptions:\n", usage.c_str(),
+                    summary_.c_str());
+        for (const Opt &o : opts_)
+            printRow(o);
+        printRow({ "--help", nullptr, "print this message and exit",
+                   Kind::Flag, nullptr });
+        if (has_positional_) {
+            std::printf("\npositional:\n");
+            printRow(positional_);
+        }
+    }
+
+  private:
+    enum class Kind
+    {
+        Long,
+        Double,
+        String,
+        Flag,
+    };
+
+    struct Opt
+    {
+        const char *name;       ///< "--flag" (empty for the positional)
+        const char *value_name; ///< placeholder in --help, null for flags
+        const char *help;
+        Kind kind;
+        void *out;
+    };
+
+    const Opt *
+    find(const char *arg) const
+    {
+        for (const Opt &o : opts_) {
+            if (std::strcmp(o.name, arg) == 0)
+                return &o;
+        }
+        return nullptr;
+    }
+
+    bool
+    store(const Opt &opt, const char *val) const
+    {
+        char *end = nullptr;
+        switch (opt.kind) {
+          case Kind::Long:
+            *static_cast<long *>(opt.out) = std::strtol(val, &end, 10);
+            break;
+          case Kind::Double:
+            *static_cast<double *>(opt.out) = std::strtod(val, &end);
+            break;
+          case Kind::String:
+            *static_cast<const char **>(opt.out) = val;
+            return true;
+          case Kind::Flag:
+            return true;
+        }
+        if (end == val || *end != '\0') {
+            std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                         opt.name, val);
+            return false;
+        }
+        return true;
+    }
+
+    static void
+    printRow(const Opt &o)
+    {
+        std::string left = "  ";
+        left += o.name[0] != '\0' ? o.name : "";
+        if (o.value_name != nullptr) {
+            if (!left.empty() && left != "  ")
+                left += " ";
+            left += "<";
+            left += o.value_name;
+            left += ">";
+        }
+        std::printf("%-26s %s\n", left.c_str(), o.help);
+    }
+
+    std::string summary_;
+    std::vector<Opt> opts_;
+    Opt positional_{ "", nullptr, nullptr, Kind::String, nullptr };
+    bool has_positional_ = false;
+};
+
+} // namespace anton2::bench

@@ -21,14 +21,29 @@ using namespace anton2;
 int
 main(int argc, char **argv)
 {
-    // Optional positional argument: path for the near-saturation
-    // congestion heatmap CSV (written from the highest-load sweep point).
     // The runtime-auditor flags (--audit/--watchdog/--snapshot/...) are
     // shared with the figure benches; see bench/common.hpp.
-    const char *heatmap_path =
-        argc > 1 && std::strncmp(argv[1], "--", 2) != 0 ? argv[1] : nullptr;
-    const bench::Args args(argc, argv);
-    const auto audit = bench::AuditOptions::parse(args);
+    const char *heatmap_path = nullptr;
+    long threads = 1;
+    bench::AuditOptions audit;
+    bench::OptionRegistry reg(
+        "Saturation study: open-loop injection sweep toward the analytic "
+        "saturation point, plus equality-of-service beyond it");
+    reg.add("--threads", "N",
+            "engine worker threads (results are bit-identical at any "
+            "count)",
+            &threads);
+    audit.registerInto(reg);
+    reg.addPositional("HEATMAP_CSV",
+                      "path for the near-saturation congestion heatmap "
+                      "CSV (written from the highest-load sweep point)",
+                      &heatmap_path);
+    if (!reg.parse(argc, argv))
+        return 1;
+    if (threads < 1) {
+        std::fprintf(stderr, "error: --threads must be >= 1\n");
+        return 1;
+    }
     if (!audit.validate())
         return 1;
 
@@ -57,16 +72,21 @@ main(int argc, char **argv)
         cfg.use_packaging = false;
         cfg.fixed_torus_latency = 20;
         cfg.seed = 3;
+        cfg.threads = static_cast<int>(threads);
         Machine m(cfg);
-        audit.apply(m);
         UniformPattern pat(m.geom());
 
         // Windowed sampling with online steady-state detection: the
         // reported warmup column is the detected end of the transient.
+        // One bundle carries the sampler plus any requested auditing.
+        Instrumentation inst;
         TimeseriesConfig tcfg;
         tcfg.window = 250;
         tcfg.auto_steady = true;
-        IntervalSampler &sampler = m.enableTimeseries(tcfg);
+        inst.timeseries = tcfg;
+        audit.addTo(inst, m.geom());
+        m.attachInstrumentation(inst);
+        IntervalSampler &sampler = *m.timeseries();
 
         OpenLoopDriver::Config dcfg;
         dcfg.cores = cores;
@@ -128,6 +148,7 @@ main(int argc, char **argv)
         cfg.use_packaging = false;
         cfg.fixed_torus_latency = 20;
         cfg.seed = 3;
+        cfg.threads = static_cast<int>(threads);
         Machine m(cfg);
         UniformPattern pat(m.geom());
 

@@ -125,12 +125,25 @@ Chip::Chip(NodeId node, const ChipConfig &cfg, const ChipLayout &layout,
 void
 Chip::registerWith(Engine &engine)
 {
-    for (auto &r : routers_)
-        engine.add(*r);
-    for (auto &ca : channel_adapters_)
-        engine.add(*ca);
-    for (auto &ep : endpoints_)
-        engine.add(*ep);
+    // One shard per chip; the thunks dispatch each tick with a qualified
+    // (non-virtual) call so the per-component cost is a predicted
+    // indirect call instead of a vtable load + virtual dispatch.
+    const std::size_t shard = engine.newShard();
+    for (auto &r : routers_) {
+        engine.addSharded(shard, *r, [](Component &c, Cycle now) {
+            static_cast<Router &>(c).Router::tick(now);
+        });
+    }
+    for (auto &ca : channel_adapters_) {
+        engine.addSharded(shard, *ca, [](Component &c, Cycle now) {
+            static_cast<ChannelAdapter &>(c).ChannelAdapter::tick(now);
+        });
+    }
+    for (auto &ep : endpoints_) {
+        engine.addSharded(shard, *ep, [](Component &c, Cycle now) {
+            static_cast<EndpointAdapter &>(c).EndpointAdapter::tick(now);
+        });
+    }
 }
 
 void

@@ -60,7 +60,13 @@ class Chip
     Chip(NodeId node, const ChipConfig &cfg, const ChipLayout &layout,
          const TorusGeom &geom);
 
-    /** Register every component of this chip with the engine. */
+    /**
+     * Register every component of this chip with the engine as one
+     * shard (routers, then channel adapters, then endpoints - the
+     * canonical serial order). Chip-granular sharding keeps each chip's
+     * components on a single lane of a threaded engine, so only the
+     * latency >= 1 torus wires ever cross threads.
+     */
     void registerWith(Engine &engine);
 
     /**

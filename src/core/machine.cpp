@@ -52,10 +52,16 @@ Machine::Machine(const MachineConfig &cfg)
         c->registerWith(engine_);
 
     // Delivery accounting and the programming-model hooks on every
-    // endpoint adapter.
+    // endpoint adapter. Delivery side effects are deferred to the
+    // engine's serial phase (serialPhase below): they reach machine-wide
+    // state - the shared latency aggregates, the RNG via read-reply
+    // generation, software handlers - so they must run in one canonical
+    // order whether chips ticked on one thread or many.
     for (NodeId n = 0; n < geom_.numNodes(); ++n) {
         for (EndpointId e = 0; e < layout_.numEndpoints(); ++e) {
             auto &ep = chip(n).endpoint(e);
+            flush_order_.push_back(&ep);
+            ep.setDeferredDelivery(true);
             ep.setDeliverFn([this](const PacketPtr &pkt, Cycle now) {
                 ++delivered_;
                 last_delivery_ = now;
@@ -79,12 +85,49 @@ Machine::Machine(const MachineConfig &cfg)
         }
     }
 
+    engine_.addSerialPhase([this](Cycle now) { serialPhase(now); });
+    setThreads(cfg_.threads);
+
     if (cfg_.enable_metrics)
         enableMetrics();
 }
 
+void
+Machine::serialPhase(Cycle)
+{
+    if (trace_ != nullptr)
+        trace_->mergeStagedLanes();
+    for (EndpointAdapter *ep : flush_order_)
+        ep->flushDeliveries();
+}
+
+void
+Machine::setThreads(int n)
+{
+    engine_.setThreads(n);
+    if (trace_ != nullptr)
+        trace_->configureLanes(engine_.laneCount());
+}
+
+void
+Machine::attachInstrumentation(const Instrumentation &inst)
+{
+    for (const NetworkFault &f : inst.faults)
+        applyFault(f);
+    if (inst.metrics)
+        doEnableMetrics();
+    if (inst.trace.has_value())
+        doEnableTracing(*inst.trace);
+    if (inst.timeseries.has_value())
+        doEnableTimeseries(*inst.timeseries);
+    if (inst.progress.has_value())
+        doEnableProgress(*inst.progress);
+    if (inst.audit.has_value())
+        doEnableAudit(*inst.audit);
+}
+
 MetricsRegistry &
-Machine::enableMetrics()
+Machine::doEnableMetrics()
 {
     if (metrics_ != nullptr)
         return *metrics_;
@@ -185,7 +228,7 @@ Machine::metricsJson()
 }
 
 IntervalSampler &
-Machine::enableTimeseries(const TimeseriesConfig &cfg)
+Machine::doEnableTimeseries(const TimeseriesConfig &cfg)
 {
     if (sampler_ != nullptr)
         return *sampler_;
@@ -364,7 +407,7 @@ Machine::heatmapCsv()
 }
 
 ProgressMeter &
-Machine::enableProgress(const ProgressMeter::Config &cfg)
+Machine::doEnableProgress(const ProgressMeter::Config &cfg)
 {
     if (progress_ != nullptr)
         return *progress_;
@@ -377,12 +420,13 @@ Machine::enableProgress(const ProgressMeter::Config &cfg)
 }
 
 RingTraceSink &
-Machine::enableTracing(const TraceConfig &cfg)
+Machine::doEnableTracing(const TraceConfig &cfg)
 {
     if (trace_ != nullptr)
         return *trace_;
     trace_ = std::make_unique<RingTraceSink>(cfg.capacity);
     trace_->setSampleStride(cfg.sample);
+    trace_->configureLanes(engine_.laneCount());
     for (auto &c : chips_)
         c->bindTrace(*trace_);
     return *trace_;
@@ -609,14 +653,10 @@ Machine::runUntilDelivered(std::uint64_t count, Cycle max_cycles)
 bool
 Machine::runUntilQuiescent(Cycle max_cycles)
 {
-    // Check quiescence only every few cycles: busy() walks all components.
-    const Cycle end = engine_.now() + max_cycles;
-    while (engine_.now() < end) {
-        if (!engine_.busy())
-            return true;
-        engine_.run(8);
-    }
-    return !engine_.busy();
+    // Check quiescence only every few cycles: busy() walks all
+    // components, and drain is monotone at the end of a run.
+    return engine_.runUntil([this] { return !engine_.busy(); }, max_cycles,
+                            /*check_every=*/8);
 }
 
 } // namespace anton2

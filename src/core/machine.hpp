@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/chip.hpp"
@@ -64,8 +65,36 @@ struct MachineConfig
     Cycle fixed_torus_latency = 33; ///< used when use_packaging is false
     PackagingModel packaging;
     std::uint64_t seed = 1;
-    /** Build with telemetry bound (default off: zero hot-path cost). */
+    /** Deprecated: prefer attachInstrumentation() after construction.
+     * Build with telemetry bound (default off: zero hot-path cost). */
     bool enable_metrics = false;
+    /** Worker threads for the engine's parallel phase (1 = serial).
+     * Results are bit-identical at any count; see Machine::setThreads. */
+    int threads = 1;
+};
+
+/**
+ * The one-call instrumentation bundle (Machine::attachInstrumentation):
+ * every observability layer and the seeded negative-control faults in a
+ * single declarative struct. Each engaged member behaves exactly like
+ * the corresponding legacy enable*() call; disengaged members cost
+ * nothing (the layer is simply not constructed). All layers are
+ * idempotent, so attaching a second bundle unions it with the first.
+ */
+struct Instrumentation
+{
+    /** Bind the metrics registry to every component. */
+    bool metrics = false;
+    /** Create the trace ring and bind every component. */
+    std::optional<TraceConfig> trace;
+    /** Create the interval sampler with the standard series set. */
+    std::optional<TimeseriesConfig> timeseries;
+    /** Add the live stderr progress meter. */
+    std::optional<ProgressMeter::Config> progress;
+    /** Create the runtime auditor / deadlock watchdog. */
+    std::optional<AuditConfig> audit;
+    /** Seeded negative-control faults, armed before simulating. */
+    std::vector<NetworkFault> faults;
 };
 
 class Machine
@@ -130,6 +159,16 @@ class Machine
     /** Extra hook invoked on every delivery, after internal accounting. */
     void setDeliverHook(std::function<void(const PacketPtr &, Cycle)> fn);
 
+    /**
+     * Tick chips on @p n threads (1 = serial, the default). Chips are
+     * sharded one-per-lane-group and every cross-thread path is a
+     * latency >= 1 torus wire, so results - delivery stats, metrics
+     * JSON, trace and time-series exports - are bit-identical at any
+     * thread count. Safe to call between runs.
+     */
+    void setThreads(int n);
+    int threads() const { return engine_.threads(); }
+
     void run(Cycle cycles) { engine_.run(cycles); }
 
     /** Run until @p count packets have been delivered (or timeout). */
@@ -146,16 +185,33 @@ class Machine
     const ScalarStat &latencyStat() const { return latency_; }
 
     // ------------------------------------------------------------------
-    // Telemetry
+    // Instrumentation
     // ------------------------------------------------------------------
 
     /**
-     * Create the metrics registry (if absent) and bind every component:
-     * routers, channel adapters, endpoints, and the machine aggregates.
-     * Idempotent; returns the registry. Recording starts immediately, so
-     * enable before driving traffic for complete counts.
+     * Attach every engaged layer of @p inst in one call: faults are
+     * armed first, then metrics, tracing, time series, the progress
+     * meter, and the auditor (the auditor last, so its serial-tail tick
+     * audits a fully settled cycle). This is the primary attach point;
+     * the individual enable*() members below survive as thin deprecated
+     * forwarders. Recording starts immediately, so attach before
+     * driving traffic for complete counts.
      */
-    MetricsRegistry &enableMetrics();
+    void attachInstrumentation(const Instrumentation &inst);
+
+    /**
+     * Deprecated forwarder for attachInstrumentation(): create the
+     * metrics registry (if absent) and bind every component. Idempotent;
+     * returns the registry.
+     */
+    MetricsRegistry &
+    enableMetrics()
+    {
+        Instrumentation inst;
+        inst.metrics = true;
+        attachInstrumentation(inst);
+        return *metrics_;
+    }
 
     /** The bound registry, or null when telemetry is disabled. */
     MetricsRegistry *metrics() { return metrics_.get(); }
@@ -171,12 +227,18 @@ class Machine
     // ------------------------------------------------------------------
 
     /**
-     * Create the trace ring (if absent) and bind every component:
-     * routers (lifecycle events + stall sampling), channel adapters,
-     * and endpoints. Idempotent; returns the sink. Like enableMetrics(),
-     * recording starts immediately.
+     * Deprecated forwarder for attachInstrumentation(): create the
+     * trace ring (if absent) and bind every component. Idempotent;
+     * returns the sink.
      */
-    RingTraceSink &enableTracing(const TraceConfig &cfg = {});
+    RingTraceSink &
+    enableTracing(const TraceConfig &cfg = {})
+    {
+        Instrumentation inst;
+        inst.trace = cfg;
+        attachInstrumentation(inst);
+        return *trace_;
+    }
 
     /** The bound trace sink, or null when tracing is disabled. */
     RingTraceSink *trace() { return trace_.get(); }
@@ -196,14 +258,20 @@ class Machine
     // ------------------------------------------------------------------
 
     /**
-     * Create the interval sampler (if absent), register the standard
-     * series set - machine injection/ejection/latency, per-chip buffer
-     * occupancy and credit levels, per-link flit counts (plus per-router
-     * series under cfg.per_router) - and add it to the engine. Like the
-     * other telemetry layers, a machine that never calls this pays
-     * nothing: the sampler is simply not constructed. Idempotent.
+     * Deprecated forwarder for attachInstrumentation(): create the
+     * interval sampler (if absent) with the standard series set -
+     * machine injection/ejection/latency, per-chip buffer occupancy and
+     * credit levels, per-link flit counts (plus per-router series under
+     * cfg.per_router). Idempotent; returns the sampler.
      */
-    IntervalSampler &enableTimeseries(const TimeseriesConfig &cfg = {});
+    IntervalSampler &
+    enableTimeseries(const TimeseriesConfig &cfg = {})
+    {
+        Instrumentation inst;
+        inst.timeseries = cfg;
+        attachInstrumentation(inst);
+        return *sampler_;
+    }
 
     /** The bound sampler, or null when time-series sampling is off. */
     IntervalSampler *timeseries() { return sampler_.get(); }
@@ -215,11 +283,18 @@ class Machine
     std::string heatmapCsv();
 
     /**
-     * Add an opt-in live progress meter (stderr by default) reporting
-     * the current cycle, event-loop rate, and delivered packet count.
-     * Purely observational. Idempotent.
+     * Deprecated forwarder for attachInstrumentation(): add the opt-in
+     * live progress meter (stderr by default). Purely observational.
+     * Idempotent.
      */
-    ProgressMeter &enableProgress(const ProgressMeter::Config &cfg = {});
+    ProgressMeter &
+    enableProgress(const ProgressMeter::Config &cfg = {})
+    {
+        Instrumentation inst;
+        inst.progress = cfg;
+        attachInstrumentation(inst);
+        return *progress_;
+    }
 
     /** The bound progress meter, or null. */
     ProgressMeter *progress() { return progress_.get(); }
@@ -229,14 +304,20 @@ class Machine
     // ------------------------------------------------------------------
 
     /**
-     * Create the runtime auditor (if absent), register the machine-wide
-     * invariant checks (flit conservation, credit conservation on every
-     * on-chip and torus channel, VC-class legality), arm the
-     * deadlock/livelock watchdog, and add it to the engine *after* every
-     * network component so each audit sees a settled post-tick state.
-     * A machine that never calls this pays nothing. Idempotent.
+     * Deprecated forwarder for attachInstrumentation(): create the
+     * runtime auditor (if absent) with the machine-wide invariant
+     * checks (flit conservation, credit conservation on every on-chip
+     * and torus channel, VC-class legality) and the deadlock/livelock
+     * watchdog. Idempotent; returns the auditor.
      */
-    Auditor &enableAudit(const AuditConfig &cfg = {});
+    Auditor &
+    enableAudit(const AuditConfig &cfg = {})
+    {
+        Instrumentation inst;
+        inst.audit = cfg;
+        attachInstrumentation(inst);
+        return *audit_;
+    }
 
     /** The bound auditor, or null when auditing is disabled. */
     Auditor *audit() { return audit_.get(); }
@@ -249,10 +330,28 @@ class Machine
      */
     MachineSnapshot dumpSnapshot(const std::string &reason = "on_demand");
 
-    /** Arm a seeded negative-control fault (test/debug only). */
-    void injectFault(const NetworkFault &f);
+    /**
+     * Deprecated forwarder for attachInstrumentation(): arm a seeded
+     * negative-control fault (test/debug only).
+     */
+    void
+    injectFault(const NetworkFault &f)
+    {
+        Instrumentation inst;
+        inst.faults.push_back(f);
+        attachInstrumentation(inst);
+    }
 
   private:
+    MetricsRegistry &doEnableMetrics();
+    RingTraceSink &doEnableTracing(const TraceConfig &cfg);
+    IntervalSampler &doEnableTimeseries(const TimeseriesConfig &cfg);
+    ProgressMeter &doEnableProgress(const ProgressMeter::Config &cfg);
+    Auditor &doEnableAudit(const AuditConfig &cfg); // machine_audit.cpp
+    void applyFault(const NetworkFault &f);         // machine_audit.cpp
+    /** Per-cycle post-barrier work: merge staged trace lanes, then run
+     * deferred delivery side effects in endpoint registration order. */
+    void serialPhase(Cycle now);
     void prepareUnicast(Packet &pkt);
     MachineSnapshot buildSnapshot(Cycle now, const std::string &reason);
     ProgressProbe progressProbe() const;
@@ -265,6 +364,9 @@ class Machine
 
     std::vector<std::unique_ptr<Chip>> chips_;
     std::vector<std::unique_ptr<Channel>> torus_channels_;
+    /** Every endpoint in registration order - the canonical delivery
+     * flush order (chip-major, endpoint-minor). */
+    std::vector<EndpointAdapter *> flush_order_;
 
     std::uint64_t next_packet_id_ = 1;
     std::int32_t next_group_ = 0;

@@ -75,7 +75,7 @@ Machine::dumpSnapshot(const std::string &reason)
 }
 
 void
-Machine::injectFault(const NetworkFault &f)
+Machine::applyFault(const NetworkFault &f)
 {
     switch (f.kind) {
       case NetworkFault::Kind::WithholdTorusCredits:
@@ -91,7 +91,7 @@ Machine::injectFault(const NetworkFault &f)
 }
 
 Auditor &
-Machine::enableAudit(const AuditConfig &cfg)
+Machine::doEnableAudit(const AuditConfig &cfg)
 {
     if (audit_ != nullptr)
         return *audit_;

@@ -81,7 +81,7 @@ using IngressFn = std::function<std::vector<IngressCopy>(const PacketPtr &)>;
  */
 using EgressVcFn = std::function<std::uint8_t(Packet &, bool commit)>;
 
-class ChannelAdapter : public Component
+class ChannelAdapter final : public Component
 {
   public:
     ChannelAdapter(std::string name, const ChannelAdapterConfig &cfg,

@@ -156,7 +156,11 @@ EndpointAdapter::tickEject(Cycle now)
     if (slot.arrived < slot.pkt->size_flits)
         return;
 
-    // Full packet delivered.
+    // Full packet delivered. Endpoint-local accounting happens here;
+    // the side effects that touch shared machine state run inline only
+    // in standalone use - under a Machine they are queued and drained by
+    // the engine's serial phase after the per-cycle barrier (identically
+    // in serial and threaded runs).
     PacketPtr pkt = std::move(slot.pkt);
     const Cycle head_at = slot.head_at;
     slot = EjectSlot{};
@@ -165,7 +169,16 @@ EndpointAdapter::tickEject(Cycle now)
     last_delivery_ = now;
     tracePacketEvent(trace_, TraceUnitKind::Endpoint, TraceEventType::Eject,
                      now, pkt->id, -1, phit->vc);
+    if (defer_deliveries_)
+        pending_.push_back({ std::move(pkt), head_at, now });
+    else
+        deliverSideEffects(pkt, head_at, now);
+}
 
+void
+EndpointAdapter::deliverSideEffects(const PacketPtr &pkt, Cycle head_at,
+                                    Cycle now)
+{
     if (metrics_ != nullptr) {
         metrics_->delivered->inc();
         metrics_->lat_source_queue->add(
@@ -191,6 +204,18 @@ EndpointAdapter::tickEject(Cycle now)
                 handler_fn_(pkt->counter, now);
         }
     }
+}
+
+void
+EndpointAdapter::flushDeliveries()
+{
+    // Index loop: handlers may inject new packets (never new pending
+    // deliveries - those only arise inside tickEject).
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const PendingDelivery d = pending_[i];
+        deliverSideEffects(d.pkt, d.head_at, d.at);
+    }
+    pending_.clear();
 }
 
 void

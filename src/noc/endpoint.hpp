@@ -54,7 +54,7 @@ struct EndpointMetrics
     Histogram *lat_total = nullptr; ///< birth -> delivery, cycles
 };
 
-class EndpointAdapter : public Component
+class EndpointAdapter final : public Component
 {
   public:
     /** Called for every fully delivered packet. */
@@ -88,6 +88,29 @@ class EndpointAdapter : public Component
 
     /** Arm a counted-write counter: handler fires after @p count writes. */
     void armCounter(std::int32_t counter, int count);
+
+    /**
+     * Defer delivery side effects out of tick() into flushDeliveries().
+     * The side effects touch machine-global state (shared ScalarStats,
+     * the machine RNG via the packet factory, software handlers), so a
+     * Machine - whose engine may tick chips on several threads - turns
+     * this on and drains every endpoint from the engine's serial phase
+     * in registration order; that one canonical order is what makes
+     * threaded runs byte-identical to serial ones. Standalone adapters
+     * (unit tests) keep the default inline dispatch.
+     */
+    void setDeferredDelivery(bool on) { defer_deliveries_ = on; }
+
+    /**
+     * Run the deferred side effects of every packet that finished
+     * reassembly this cycle: the shared latency aggregates, the delivery
+     * callback, read-reply generation, and counted-write handler
+     * dispatch. Call once per cycle after tick() (the engine's serial
+     * phase does, via Machine).
+     */
+    void flushDeliveries();
+
+    bool hasPendingDeliveries() const { return !pending_.empty(); }
 
     /**
      * Register per-endpoint counters under @p prefix and the latency
@@ -142,6 +165,7 @@ class EndpointAdapter : public Component
   private:
     void tickInject(Cycle now);
     void tickEject(Cycle now);
+    void deliverSideEffects(const PacketPtr &pkt, Cycle head_at, Cycle now);
 
     EndpointConfig cfg_;
     EndpointAddr addr_;
@@ -165,6 +189,16 @@ class EndpointAdapter : public Component
         Cycle head_at = 0; ///< head-flit arrival (latency breakdown)
     };
     std::vector<EjectSlot> eject_;
+
+    /** A delivery completed during tick(), awaiting flushDeliveries(). */
+    struct PendingDelivery
+    {
+        PacketPtr pkt;
+        Cycle head_at = 0;
+        Cycle at = 0;
+    };
+    std::vector<PendingDelivery> pending_;
+    bool defer_deliveries_ = false;
 
     std::unordered_map<std::int32_t, int> counters_;
 

@@ -65,7 +65,7 @@ struct RouteDecision
  */
 using RouteFn = std::function<RouteDecision(Packet &)>;
 
-class Router : public Component
+class Router final : public Component
 {
   public:
     Router(std::string name, const RouterConfig &cfg, RouteFn route_fn);

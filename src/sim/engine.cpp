@@ -1,0 +1,157 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+#include "sim/thread_pool.hpp"
+
+namespace anton2 {
+
+namespace {
+
+void
+virtualTick(Component &c, Cycle now)
+{
+    c.tick(now);
+}
+
+} // namespace
+
+Engine::Engine() = default;
+
+Engine::~Engine() = default;
+
+void
+Engine::add(Component &c)
+{
+    components_.push_back(&c);
+}
+
+std::size_t
+Engine::newShard()
+{
+    shards_.emplace_back();
+    lanes_dirty_ = true;
+    return shards_.size() - 1;
+}
+
+void
+Engine::addSharded(std::size_t shard, Component &c, TickFn fn)
+{
+    assert(shard < shards_.size() && "newShard() first");
+    shards_[shard].push_back({ &c, fn != nullptr ? fn : &virtualTick });
+}
+
+void
+Engine::addSerialPhase(std::function<void(Cycle)> hook)
+{
+    serial_phases_.push_back(std::move(hook));
+}
+
+void
+Engine::setThreads(int n)
+{
+    threads_ = n < 1 ? 1 : n;
+    lanes_dirty_ = true;
+    rebuildLanes();
+}
+
+std::size_t
+Engine::laneCount() const
+{
+    if (pool_ == nullptr)
+        return 1;
+    return lanes_.size();
+}
+
+void
+Engine::rebuildLanes()
+{
+    lanes_dirty_ = false;
+    const std::size_t nshards = shards_.size();
+    const std::size_t want =
+        std::min<std::size_t>(static_cast<std::size_t>(threads_),
+                              nshards == 0 ? 1 : nshards);
+    if (want <= 1) {
+        pool_.reset();
+        lanes_.clear();
+        return;
+    }
+    // Contiguous blocks keep the lane-order concatenation equal to the
+    // shard registration order (the serial order), and keep each lane's
+    // chips adjacent in memory.
+    lanes_.clear();
+    lanes_.reserve(want);
+    for (std::size_t t = 0; t < want; ++t) {
+        Lane lane;
+        lane.begin = nshards * t / want;
+        lane.end = nshards * (t + 1) / want;
+        lanes_.push_back(lane);
+    }
+    if (pool_ == nullptr || pool_->lanes() != static_cast<int>(want))
+        pool_ = std::make_unique<CycleWorkerPool>(static_cast<int>(want));
+}
+
+void
+Engine::tickShardRange(std::size_t begin, std::size_t end, Cycle now)
+{
+    for (std::size_t s = begin; s < end; ++s) {
+        for (const Entry &e : shards_[s])
+            e.fn(*e.c, now);
+    }
+}
+
+void
+Engine::step()
+{
+    if (lanes_dirty_) [[unlikely]]
+        rebuildLanes();
+    const Cycle now = now_;
+    if (pool_ != nullptr) {
+        pool_->run([this, now](int lane) {
+            const Lane &l = lanes_[static_cast<std::size_t>(lane)];
+            tickShardRange(l.begin, l.end, now);
+        });
+    } else {
+        tickShardRange(0, shards_.size(), now);
+    }
+    for (const auto &hook : serial_phases_)
+        hook(now);
+    for (auto *c : components_)
+        c->tick(now);
+    ++now_;
+}
+
+void
+Engine::run(Cycle cycles)
+{
+    const Cycle end = now_ + cycles;
+    while (now_ < end)
+        step();
+}
+
+bool
+Engine::busy() const
+{
+    for (const auto &shard : shards_) {
+        for (const Entry &e : shard) {
+            if (e.c->busy())
+                return true;
+        }
+    }
+    for (const auto *c : components_) {
+        if (c->busy())
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+Engine::componentCount() const
+{
+    std::size_t n = components_.size();
+    for (const auto &shard : shards_)
+        n += shard.size();
+    return n;
+}
+
+} // namespace anton2

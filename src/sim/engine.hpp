@@ -1,11 +1,33 @@
 /**
  * @file
- * The cycle-driven simulation engine.
+ * The cycle-driven simulation engine, with optional sharded (threaded)
+ * execution.
+ *
+ * Because every inter-component path goes through a Wire<T> with latency
+ * >= 1, the evaluation order of components within a cycle is
+ * unobservable: a value sent at cycle c is first readable at c+1, and
+ * the send and take of one cycle land in disjoint ring slots. That is
+ * the conservative-window condition of parallel discrete-event
+ * simulation, and the engine cashes it in: components registered into
+ * *shards* (one shard per chip, so each stays cache-local to one worker)
+ * are ticked concurrently on a persistent worker pool with exactly one
+ * barrier per cycle, and the results are bit-identical to serial
+ * execution.
+ *
+ * Work whose side effects escape a shard (shared statistics, packet
+ * factories drawing from the machine RNG, software handlers) runs in the
+ * *serial phase*: after the barrier, registered serial-phase hooks fire
+ * in order on the calling thread, then serial-tail components (traffic
+ * drivers, samplers, auditors) tick in registration order. The serial
+ * schedule is the same whether the parallel phase ran on one thread or
+ * eight, which is what makes the exports byte-identical.
  */
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/component.hpp"
@@ -13,76 +35,141 @@
 
 namespace anton2 {
 
+class CycleWorkerPool;
+
 /**
  * Steps a fixed set of components through synchronous clock cycles.
  *
  * The engine owns neither the components nor the wires; assemblies (Chip,
  * Machine) own their parts and register them here. Registration order is
  * irrelevant to simulation results because all communication is through
- * latency >= 1 wires.
+ * latency >= 1 wires; it is, however, the canonical order used for the
+ * serial phase, so exports do not depend on the thread count.
  */
 class Engine
 {
   public:
-    /** Register a component to be ticked every cycle. */
-    void
-    add(Component &c)
-    {
-        components_.push_back(&c);
-    }
+    Engine();
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Statically dispatched tick thunk. Shard registrars that know the
+     * concrete component type pass a thunk performing a qualified
+     * (non-virtual) call, removing the vtable load from the hot loop;
+     * null falls back to the virtual Component::tick.
+     */
+    using TickFn = void (*)(Component &, Cycle);
+
+    /**
+     * Register a serial-tail component: ticked every cycle on the
+     * calling thread *after* the parallel phase and the serial-phase
+     * hooks. Use for components with cross-machine side effects
+     * (drivers, samplers, auditors, progress meters).
+     */
+    void add(Component &c);
+
+    /**
+     * Open a new shard and return its index. A shard is the unit of
+     * parallel work: all of its components tick on one lane, in
+     * registration order. Chip-granular sharding (one shard per Chip)
+     * is the intended default.
+     */
+    std::size_t newShard();
+
+    /** Register @p c into shard @p shard (see TickFn for @p fn). */
+    void addSharded(std::size_t shard, Component &c, TickFn fn = nullptr);
+
+    /**
+     * Register a hook that runs on the calling thread each cycle after
+     * the parallel phase, before serial-tail components. Hooks run in
+     * registration order; Machine uses them to merge staged trace lanes
+     * and flush deferred endpoint deliveries.
+     */
+    void addSerialPhase(std::function<void(Cycle)> hook);
+
+    /**
+     * Use @p n threads for the parallel phase (1 = serial, the
+     * default). Shards are split into min(n, shards) contiguous lanes;
+     * the worker pool persists until the count changes. Safe to call
+     * between cycles at any time.
+     */
+    void setThreads(int n);
+    int threads() const { return threads_; }
+
+    /** Lanes the parallel phase runs on (1 when serial). */
+    std::size_t laneCount() const;
 
     /** Current simulation time in cycles. */
     Cycle now() const { return now_; }
 
     /** Advance the simulation by @p cycles clock cycles. */
-    void
-    run(Cycle cycles)
-    {
-        const Cycle end = now_ + cycles;
-        while (now_ < end)
-            step();
-    }
+    void run(Cycle cycles);
 
     /** Advance one clock cycle. */
-    void
-    step()
-    {
-        for (auto *c : components_)
-            c->tick(now_);
-        ++now_;
-    }
+    void step();
 
     /**
-     * Run until @p done returns true (checked once per cycle) or until
-     * @p max_cycles have elapsed. Returns true if the predicate fired.
+     * Run until @p done returns true or @p max_cycles have elapsed;
+     * returns true if the predicate fired. The predicate is evaluated
+     * between cycles, every @p check_every cycles (default: every
+     * cycle), plus a final exact check at the deadline - so a stride
+     * greater than 1 is safe for monotone predicates (delivery counts,
+     * quiescence after a closed batch) at the cost of overshooting the
+     * firing cycle by at most `check_every - 1` cycles. Keep the
+     * default stride when the exact stop cycle matters.
      */
+    template <typename Pred>
     bool
-    runUntil(const std::function<bool()> &done, Cycle max_cycles)
+    runUntil(Pred &&done, Cycle max_cycles, Cycle check_every = 1)
     {
+        if (check_every < 1)
+            check_every = 1;
         const Cycle end = now_ + max_cycles;
+        Cycle next_check = now_;
         while (now_ < end) {
-            if (done())
-                return true;
+            if (now_ >= next_check) {
+                if (done())
+                    return true;
+                next_check = now_ + check_every;
+            }
             step();
         }
         return done();
     }
 
     /** True if any registered component reports buffered work. */
-    bool
-    busy() const
-    {
-        for (const auto *c : components_) {
-            if (c->busy())
-                return true;
-        }
-        return false;
-    }
+    bool busy() const;
 
-    std::size_t componentCount() const { return components_.size(); }
+    /** Registered components, sharded and serial-tail alike. */
+    std::size_t componentCount() const;
 
   private:
-    std::vector<Component *> components_;
+    struct Entry
+    {
+        Component *c;
+        TickFn fn;
+    };
+
+    /** Contiguous shard range [begin, end) assigned to one lane. */
+    struct Lane
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+    };
+
+    void tickShardRange(std::size_t begin, std::size_t end, Cycle now);
+    void rebuildLanes();
+
+    std::vector<std::vector<Entry>> shards_;
+    std::vector<Component *> components_; ///< serial tail
+    std::vector<std::function<void(Cycle)>> serial_phases_;
+    std::vector<Lane> lanes_;
+    std::unique_ptr<CycleWorkerPool> pool_;
+    int threads_ = 1;
+    bool lanes_dirty_ = false;
     Cycle now_ = 0;
 };
 

@@ -1,0 +1,84 @@
+#include "sim/thread_pool.hpp"
+
+#include <cassert>
+
+namespace anton2 {
+
+namespace par {
+
+namespace {
+thread_local int tls_lane = -1;
+} // namespace
+
+int
+currentLane()
+{
+    return tls_lane;
+}
+
+} // namespace par
+
+CycleWorkerPool::CycleWorkerPool(int lanes) : lanes_(lanes)
+{
+    assert(lanes >= 2 && "a 1-lane pool is just the calling thread");
+    workers_.reserve(static_cast<std::size_t>(lanes - 1));
+    for (int lane = 1; lane < lanes; ++lane)
+        workers_.emplace_back([this, lane] { workerLoop(lane); });
+}
+
+CycleWorkerPool::~CycleWorkerPool()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    generation_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+CycleWorkerPool::run(const LaneFn &fn)
+{
+    job_ = &fn;
+    outstanding_.store(lanes_ - 1, std::memory_order_relaxed);
+    // Release: workers that observe the new generation also observe job_
+    // and every simulation write the caller made since the last barrier.
+    generation_.fetch_add(1, std::memory_order_release);
+    generation_.notify_all();
+
+    par::tls_lane = 0;
+    fn(0);
+    par::tls_lane = -1;
+
+    // Acquire on the completion counter: every lane's simulation writes
+    // are visible once outstanding_ reads 0.
+    for (;;) {
+        const int left = outstanding_.load(std::memory_order_acquire);
+        if (left == 0)
+            break;
+        outstanding_.wait(left, std::memory_order_acquire);
+    }
+    job_ = nullptr;
+}
+
+void
+CycleWorkerPool::workerLoop(int lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        generation_.wait(seen, std::memory_order_acquire);
+        const std::uint64_t gen =
+            generation_.load(std::memory_order_acquire);
+        if (gen == seen)
+            continue; // spurious wakeup
+        seen = gen;
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        par::tls_lane = lane;
+        (*job_)(lane);
+        par::tls_lane = -1;
+        if (outstanding_.fetch_sub(1, std::memory_order_release) == 1)
+            outstanding_.notify_one();
+    }
+}
+
+} // namespace anton2

@@ -1,5 +1,9 @@
 #include "trace/trace.hpp"
 
+#include <cassert>
+
+#include "sim/thread_pool.hpp"
+
 namespace anton2 {
 
 const char *
@@ -30,13 +34,37 @@ stallClassName(StallClass c)
     return "unknown";
 }
 
+void
+TraceSink::configureLanes(std::size_t lanes)
+{
+    staged_.resize(lanes);
+}
+
+void
+TraceSink::stage(int lane, const TraceEvent &ev)
+{
+    assert(static_cast<std::size_t>(lane) < staged_.size()
+           && "sink not configured for this many lanes");
+    staged_[static_cast<std::size_t>(lane)].push_back(ev);
+}
+
+void
+TraceSink::mergeStagedLanes()
+{
+    for (auto &lane : staged_) {
+        for (const TraceEvent &ev : lane)
+            doRecord(ev);
+        lane.clear();
+    }
+}
+
 RingTraceSink::RingTraceSink(std::size_t capacity)
     : ring_(capacity == 0 ? 1 : capacity)
 {
 }
 
 void
-RingTraceSink::record(const TraceEvent &ev)
+RingTraceSink::doRecord(const TraceEvent &ev)
 {
     ring_[next_] = ev;
     next_ = (next_ + 1) % ring_.size();

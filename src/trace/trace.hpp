@@ -35,6 +35,12 @@
 
 namespace anton2 {
 
+namespace par {
+// Declared in sim/thread_pool.hpp: the calling thread's lane index
+// during the engine's parallel phase, or -1 on the serial path.
+int currentLane();
+} // namespace par
+
 /** Packet lifecycle states recorded by the tracing layer. */
 enum class TraceEventType : std::uint8_t
 {
@@ -78,6 +84,15 @@ struct TraceEvent
  * null until bound; the sampling filter lives here so every emit site
  * shares one policy (record packets whose id falls on the sample
  * stride; packet-less records always pass).
+ *
+ * Threaded runs: one sink is shared by every component, so when the
+ * engine ticks shards on several lanes, record() routes each event into
+ * a per-lane staging buffer instead of the underlying store. The
+ * engine's serial phase calls mergeStagedLanes() once per cycle, which
+ * replays the staged events in lane order - reproducing the exact
+ * registration-order stream a serial run would have written, so trace
+ * exports are byte-identical at any thread count. Serial runs (lane -1)
+ * bypass staging entirely.
  */
 class TraceSink
 {
@@ -85,7 +100,27 @@ class TraceSink
     virtual ~TraceSink() = default;
 
     /** Append one record (called on the simulation hot path). */
-    virtual void record(const TraceEvent &ev) = 0;
+    void
+    record(const TraceEvent &ev)
+    {
+        const int lane = par::currentLane();
+        if (lane >= 0) [[unlikely]] {
+            stage(lane, ev);
+            return;
+        }
+        doRecord(ev);
+    }
+
+    /**
+     * Size the per-lane staging buffers for a threaded run (call with
+     * Engine::laneCount() whenever the thread count changes). A sink
+     * recording from a lane it was not configured for is a logic error.
+     */
+    void configureLanes(std::size_t lanes);
+
+    /** Replay staged events into the store in lane order (serial phase
+     * only). A no-op when nothing is staged. */
+    void mergeStagedLanes();
 
     /** True if lifecycle events for @p packet_id should be recorded. */
     bool
@@ -98,8 +133,17 @@ class TraceSink
     void setSampleStride(std::uint64_t n) { sample_ = n < 1 ? 1 : n; }
     std::uint64_t sampleStride() const { return sample_; }
 
+  protected:
+    /** Append one record to the underlying store. */
+    virtual void doRecord(const TraceEvent &ev) = 0;
+
   private:
+    void stage(int lane, const TraceEvent &ev);
+
     std::uint64_t sample_ = 1;
+    /** One buffer per lane; only touched by that lane's thread during
+     * the parallel phase, drained at the barrier. */
+    std::vector<std::vector<TraceEvent>> staged_;
 };
 
 /**
@@ -111,8 +155,6 @@ class RingTraceSink : public TraceSink
 {
   public:
     explicit RingTraceSink(std::size_t capacity);
-
-    void record(const TraceEvent &ev) override;
 
     /** Records in chronological order (oldest surviving first). */
     std::vector<TraceEvent> drain() const;
@@ -127,6 +169,9 @@ class RingTraceSink : public TraceSink
 
     /** Forget every record (capacity and sampling are kept). */
     void clear();
+
+  protected:
+    void doRecord(const TraceEvent &ev) override;
 
   private:
     std::vector<TraceEvent> ring_;
