@@ -4,16 +4,28 @@
  * open-loop workload serially and on 2/4 worker threads, and report
  * simulated cycles per wall second and flit-hops per wall second for
  * each. Because every inter-component hop crosses a Wire with latency
- * >= 1, the threaded runs are bit-identical to the serial one - the
- * bench asserts this by comparing delivered packets and flit-hop totals
- * across thread counts, so a scaling number from this harness is always
- * a number for the *same* simulation.
+ * >= 1 and cross-node hops have latency >= the lookahead window, the
+ * threaded runs are bit-identical to the serial one - the bench asserts
+ * this by comparing delivered packets and flit-hop totals across thread
+ * counts, so a scaling number from this harness is always a number for
+ * the *same* simulation.
+ *
+ * `--lookahead` selects the barrier cadence (0 = auto: the machine's
+ * minimum torus link latency; 1 = per-cycle barriers, the pre-lookahead
+ * engine). All measured thread counts run at the *same* window, so the
+ * determinism check stays apples-to-apples.
+ *
+ * Speedups are computed against the serial (threads == 1) row looked up
+ * explicitly - never positionally - and the bench refuses to report
+ * speedups if no serial row was measured.
  *
  * `--json` (default BENCH_speed.json) writes the machine-readable
  * report consumed by the CI perf-smoke job. Wall-clock speedup depends
  * on the host's core count; the deterministic columns do not.
  */
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -36,6 +48,7 @@ struct SpeedResult
     std::uint64_t flit_hops;
     double flit_hops_per_sec;
     std::uint64_t delivered;
+    Cycle window; ///< effective lookahead window of the run
 };
 
 std::uint64_t
@@ -53,7 +66,7 @@ totalFlitHops(Machine &m)
 
 SpeedResult
 runLoad(const std::vector<int> &radix, int cores, double rate,
-        Cycle cycles, int threads)
+        Cycle cycles, int threads, Cycle lookahead)
 {
     MachineConfig cfg;
     cfg.radix = radix;
@@ -62,6 +75,7 @@ runLoad(const std::vector<int> &radix, int cores, double rate,
     cfg.fixed_torus_latency = 20;
     cfg.seed = 17;
     cfg.threads = threads;
+    cfg.lookahead = lookahead;
     Machine m(cfg);
 
     UniformPattern pat(m.geom());
@@ -88,7 +102,29 @@ runLoad(const std::vector<int> &radix, int cores, double rate,
             ? static_cast<double>(r.flit_hops) / r.wall_seconds
             : 0.0;
     r.delivered = m.totalDelivered();
+    r.window = m.lookaheadWindow();
     return r;
+}
+
+/** Parse a comma-separated thread-count list ("1,2,4"); empty on error. */
+std::vector<int>
+parseThreadList(const char *csv)
+{
+    std::vector<int> out;
+    const char *p = csv;
+    while (*p != '\0') {
+        char *end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v < 1)
+            return {};
+        out.push_back(static_cast<int>(v));
+        p = end;
+        if (*p == ',')
+            ++p;
+        else if (*p != '\0')
+            return {};
+    }
+    return out;
 }
 
 } // namespace
@@ -98,8 +134,10 @@ main(int argc, char **argv)
 {
     long kx = 4, ky = 4, kz = 4;
     long cores = 4, cycles_flag = 20000, max_threads = 4;
-    double rate = 0.0; // 0 = 60% of the analytic saturation point
+    long lookahead = 0; // 0 = auto: the machine's min torus link latency
+    double rate = 0.0;  // 0 = 60% of the analytic saturation point
     const char *json_path = "BENCH_speed.json";
+    const char *threads_csv = nullptr;
     bench::OptionRegistry reg(
         "Host speed: simulated cycles/sec and flit-hops/sec, serial vs. "
         "2/4 engine worker threads (bit-identical results)");
@@ -117,18 +155,49 @@ main(int argc, char **argv)
             "largest worker count measured; doubles up from 1 "
             "(default 4)",
             &max_threads);
+    reg.add("--threads-list", "CSV",
+            "explicit thread counts to measure (e.g. 1,2,4; overrides "
+            "--max-threads; must include 1 for speedups)",
+            &threads_csv);
+    reg.add("--lookahead", "N",
+            "cycles per barrier window: 0 = auto (min torus link "
+            "latency, default), 1 = per-cycle barriers",
+            &lookahead);
     reg.add("--json", "PATH",
             "machine-readable report path (default BENCH_speed.json)",
             &json_path);
     if (!reg.parse(argc, argv))
         return 1;
-    if (cycles_flag < 1 || max_threads < 1 || cores < 1) {
+    if (cycles_flag < 1 || max_threads < 1 || cores < 1
+        || lookahead < 0) {
         std::fprintf(stderr, "error: --cycles/--max-threads/--cores must "
-                             "be >= 1\n");
+                             "be >= 1 and --lookahead >= 0\n");
         return 1;
     }
     if (!bench::validateOutputPaths({ json_path }))
         return 1;
+    std::vector<int> thread_counts;
+    if (threads_csv != nullptr) {
+        thread_counts = parseThreadList(threads_csv);
+        if (thread_counts.empty()) {
+            std::fprintf(stderr, "error: --threads-list wants positive "
+                                 "integers like 1,2,4\n");
+            return 1;
+        }
+        bool has_serial = false;
+        for (int t : thread_counts)
+            has_serial = has_serial || t == 1;
+        if (!has_serial) {
+            std::fprintf(stderr,
+                         "error: no serial (threads == 1) run requested; "
+                         "speedups need a serial baseline - include 1 in "
+                         "--threads-list\n");
+            return 1;
+        }
+    } else {
+        for (int t = 1; t <= static_cast<int>(max_threads); t *= 2)
+            thread_counts.push_back(t);
+    }
     const std::vector<int> radix{ static_cast<int>(kx),
                                   static_cast<int>(ky),
                                   static_cast<int>(kz) };
@@ -157,23 +226,43 @@ main(int argc, char **argv)
                 "%llu cycles\n",
                 radix[0], radix[1], radix[2], cores, rate,
                 static_cast<unsigned long long>(cycles));
+
+    std::vector<SpeedResult> results;
+    for (int t : thread_counts)
+        results.push_back(runLoad(radix, static_cast<int>(cores), rate,
+                                  cycles, t,
+                                  static_cast<Cycle>(lookahead)));
+
+    // Speedup denominator: the serial row, found by its thread count.
+    // Never assume row 0 is serial - the measured set is configurable.
+    const SpeedResult *serial = nullptr;
+    for (const SpeedResult &r : results) {
+        if (r.threads == 1) {
+            serial = &r;
+            break;
+        }
+    }
+    if (serial == nullptr) {
+        std::fprintf(stderr, "error: no serial (threads == 1) run "
+                             "measured; speedups need a serial "
+                             "baseline - include 1 in --threads-list\n");
+        return 1;
+    }
+
+    std::printf("lookahead window: %llu cycle(s)%s\n",
+                static_cast<unsigned long long>(serial->window),
+                lookahead == 0 ? " (auto)" : "");
     std::printf("%8s %12s %14s %16s %10s\n", "threads", "wall (s)",
                 "kcycles/s", "Mflit-hops/s", "speedup");
     bench::printRule(66);
 
-    std::vector<SpeedResult> results;
-    for (int t = 1; t <= static_cast<int>(max_threads); t *= 2)
-        results.push_back(runLoad(radix, static_cast<int>(cores), rate,
-                                  cycles, t));
-
     bool identical = true;
     for (const SpeedResult &r : results) {
-        identical = identical && r.delivered == results.front().delivered
-                    && r.flit_hops == results.front().flit_hops;
+        identical = identical && r.delivered == serial->delivered
+                    && r.flit_hops == serial->flit_hops;
         const double speedup =
-            r.wall_seconds > 0.0
-                ? results.front().wall_seconds / r.wall_seconds
-                : 0.0;
+            r.wall_seconds > 0.0 ? serial->wall_seconds / r.wall_seconds
+                                 : 0.0;
         std::printf("%8d %12.3f %14.2f %16.2f %9.2fx\n", r.threads,
                     r.wall_seconds, r.cycles_per_sec / 1e3,
                     r.flit_hops_per_sec / 1e6, speedup);
@@ -182,8 +271,8 @@ main(int argc, char **argv)
     std::printf("deterministic across thread counts: %s  (%llu packets "
                 "delivered, %llu flit-hops)\n",
                 identical ? "yes" : "NO - BUG",
-                static_cast<unsigned long long>(results.front().delivered),
-                static_cast<unsigned long long>(results.front().flit_hops));
+                static_cast<unsigned long long>(serial->delivered),
+                static_cast<unsigned long long>(serial->flit_hops));
 
     std::vector<std::string> rows;
     for (const SpeedResult &r : results) {
@@ -195,7 +284,7 @@ main(int argc, char **argv)
                 .add("flit_hops_per_sec", bench::num(r.flit_hops_per_sec))
                 .add("speedup",
                      bench::num(r.wall_seconds > 0.0
-                                    ? results.front().wall_seconds
+                                    ? serial->wall_seconds
                                           / r.wall_seconds
                                     : 0.0))
                 .add("delivered",
@@ -210,6 +299,9 @@ main(int argc, char **argv)
             .add("cores", bench::num(static_cast<double>(cores)))
             .add("rate", bench::num(rate))
             .add("cycles", bench::num(static_cast<double>(cycles)))
+            .add("lookahead", bench::num(static_cast<double>(lookahead)))
+            .add("window",
+                 bench::num(static_cast<double>(serial->window)))
             .dump(0);
     bench::writeFile(json_path,
                      bench::JsonObj()

@@ -443,6 +443,7 @@ struct AuditOptions
 struct RunOptions
 {
     long threads = 1;
+    long lookahead = 1;
     TraceOptions trace;
     TimeseriesOptions ts;
     AuditOptions audit;
@@ -454,6 +455,10 @@ struct RunOptions
                 "engine worker threads (results are bit-identical at "
                 "any count)",
                 &threads);
+        reg.add("--lookahead", "N",
+                "cycles per barrier window: 0 = auto (min torus link "
+                "latency), 1 = per-cycle barriers (default)",
+                &lookahead);
         trace.registerInto(reg);
         ts.registerInto(reg);
         audit.registerInto(reg);
@@ -465,6 +470,10 @@ struct RunOptions
     {
         if (threads < 1) {
             std::fprintf(stderr, "error: --threads must be >= 1\n");
+            return false;
+        }
+        if (lookahead < 0) {
+            std::fprintf(stderr, "error: --lookahead must be >= 0\n");
             return false;
         }
         return trace.validate() && ts.validate() && audit.validate();
@@ -482,11 +491,14 @@ struct RunOptions
         return inst;
     }
 
-    /** Configure @p m: worker count + one attachInstrumentation(). */
+    /** Configure @p m: worker count, lookahead window, and one
+     * attachInstrumentation(). Window before instrumentation: tracing
+     * and sampling may truncate or disable parts of the window. */
     void
     apply(Machine &m, bool metrics = false) const
     {
         m.setThreads(static_cast<int>(threads));
+        m.setLookahead(static_cast<Cycle>(lookahead));
         m.attachInstrumentation(instrumentation(m, metrics));
     }
 

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     // shared with the figure benches; see bench/common.hpp.
     const char *heatmap_path = nullptr;
     long threads = 1;
+    long lookahead = 1;
     bench::AuditOptions audit;
     bench::OptionRegistry reg(
         "Saturation study: open-loop injection sweep toward the analytic "
@@ -33,6 +34,10 @@ main(int argc, char **argv)
             "engine worker threads (results are bit-identical at any "
             "count)",
             &threads);
+    reg.add("--lookahead", "N",
+            "cycles per barrier window: 0 = auto (min torus link "
+            "latency), 1 = per-cycle barriers (default)",
+            &lookahead);
     audit.registerInto(reg);
     reg.addPositional("HEATMAP_CSV",
                       "path for the near-saturation congestion heatmap "
@@ -40,8 +45,9 @@ main(int argc, char **argv)
                       &heatmap_path);
     if (!reg.parse(argc, argv))
         return 1;
-    if (threads < 1) {
-        std::fprintf(stderr, "error: --threads must be >= 1\n");
+    if (threads < 1 || lookahead < 0) {
+        std::fprintf(stderr, "error: --threads must be >= 1 and "
+                             "--lookahead >= 0\n");
         return 1;
     }
     if (!audit.validate())
@@ -73,6 +79,7 @@ main(int argc, char **argv)
         cfg.fixed_torus_latency = 20;
         cfg.seed = 3;
         cfg.threads = static_cast<int>(threads);
+        cfg.lookahead = static_cast<Cycle>(lookahead);
         Machine m(cfg);
         UniformPattern pat(m.geom());
 
@@ -149,6 +156,7 @@ main(int argc, char **argv)
         cfg.fixed_torus_latency = 20;
         cfg.seed = 3;
         cfg.threads = static_cast<int>(threads);
+        cfg.lookahead = static_cast<Cycle>(lookahead);
         Machine m(cfg);
         UniformPattern pat(m.geom());
 

@@ -24,8 +24,31 @@ Machine::Machine(const MachineConfig &cfg)
             std::make_unique<Chip>(n, cfg_.chip, layout_, geom_));
     }
 
+    // The lookahead bound: shards may tick up to k cycles between
+    // barriers only if every cross-shard wire has latency >= k, and the
+    // only cross-shard wires are the torus channels below (both their
+    // data and credit directions run at the link latency). So the bound
+    // is the minimum link latency across the machine.
+    lookahead_cap_ = kNoCycle;
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        for (int dim = 0; dim < 3; ++dim) {
+            for (Dir dir : kDirs) {
+                const Cycle latency =
+                    cfg_.use_packaging
+                        ? cfg_.packaging.linkLatency(geom_, n, dim, dir)
+                        : cfg_.fixed_torus_latency;
+                if (latency < lookahead_cap_)
+                    lookahead_cap_ = latency;
+            }
+        }
+    }
+    if (lookahead_cap_ == kNoCycle || lookahead_cap_ < 1)
+        lookahead_cap_ = 1;
+
     // Wire the torus: for every (node, dim, dir, slice), one channel from
     // that adapter's egress to the peer node's opposite adapter's ingress.
+    // Ring slack sized for the largest window the engine may run (a
+    // sender may be up to window-1 cycles ahead of the receiver).
     for (NodeId n = 0; n < geom_.numNodes(); ++n) {
         for (int dim = 0; dim < 3; ++dim) {
             for (Dir dir : kDirs) {
@@ -36,7 +59,7 @@ Machine::Machine(const MachineConfig &cfg)
                         : cfg_.fixed_torus_latency;
                 for (int slice = 0; slice < kNumSlices; ++slice) {
                     torus_channels_.push_back(std::make_unique<Channel>(
-                        latency, latency));
+                        latency, latency, lookahead_cap_));
                     Channel &ch = *torus_channels_.back();
                     chip(n).channelAdapter(dim, dir, slice)
                         .connectTorusOut(ch, cfg_.chip.buf_flits);
@@ -87,18 +110,52 @@ Machine::Machine(const MachineConfig &cfg)
 
     engine_.addSerialPhase([this](Cycle now) { serialPhase(now); });
     setThreads(cfg_.threads);
+    setLookahead(cfg_.lookahead);
 
     if (cfg_.enable_metrics)
         enableMetrics();
 }
 
+Machine::PacketPool::~PacketPool()
+{
+    for (Packet *p : free)
+        delete p;
+}
+
+PacketPtr
+Machine::allocPacket()
+{
+    Packet *p = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(pool_->mu);
+        if (!pool_->free.empty()) {
+            p = pool_->free.back();
+            pool_->free.pop_back();
+        }
+    }
+    if (p == nullptr) {
+        p = new Packet();
+    } else {
+        // Reset to factory state but keep the payload vector's heap
+        // capacity - skipping that per-packet allocation is the win.
+        auto payload = std::move(p->payload);
+        payload.clear();
+        *p = Packet{};
+        p->payload = std::move(payload);
+    }
+    return PacketPtr(p, [pool = pool_](Packet *q) {
+        std::lock_guard<std::mutex> lock(pool->mu);
+        pool->free.push_back(q);
+    });
+}
+
 void
-Machine::serialPhase(Cycle)
+Machine::serialPhase(Cycle now)
 {
     if (trace_ != nullptr)
-        trace_->mergeStagedLanes();
+        trace_->mergeStaged(now);
     for (EndpointAdapter *ep : flush_order_)
-        ep->flushDeliveries();
+        ep->flushDeliveries(now);
 }
 
 void
@@ -106,7 +163,19 @@ Machine::setThreads(int n)
 {
     engine_.setThreads(n);
     if (trace_ != nullptr)
-        trace_->configureLanes(engine_.laneCount());
+        trace_->configureLanes(engine_.laneCount(),
+                               static_cast<std::size_t>(lookahead_cap_));
+}
+
+void
+Machine::setLookahead(Cycle w)
+{
+    if (w == 0 || w > lookahead_cap_)
+        w = lookahead_cap_;
+    engine_.setWindow(w);
+    if (trace_ != nullptr)
+        trace_->configureLanes(engine_.laneCount(),
+                               static_cast<std::size_t>(lookahead_cap_));
 }
 
 void
@@ -387,6 +456,12 @@ Machine::doEnableTimeseries(const TimeseriesConfig &cfg)
 
     s.watchSteadyState(delivered_idx, latency_idx, metrics_.get());
     engine_.add(s);
+    // The sampler observes at attach + n*window; those cycles must be
+    // window-final so instantaneous probes see exactly the state a
+    // serial per-cycle run would (lookahead windows truncate to land
+    // the barrier there).
+    if (cfg.window > 1)
+        engine_.addBarrierAlignment(cfg.window, engine_.now() % cfg.window);
     return s;
 }
 
@@ -426,9 +501,14 @@ Machine::doEnableTracing(const TraceConfig &cfg)
         return *trace_;
     trace_ = std::make_unique<RingTraceSink>(cfg.capacity);
     trace_->setSampleStride(cfg.sample);
-    trace_->configureLanes(engine_.laneCount());
+    trace_->configureLanes(engine_.laneCount(),
+                           static_cast<std::size_t>(lookahead_cap_));
     for (auto &c : chips_)
         c->bindTrace(*trace_);
+    // Stall attribution classifies every router output port every cycle
+    // (per-port class totals must sum to the sampled cycle count), so
+    // idle shards cannot be skipped while tracing is bound.
+    engine_.setIdleSkip(false);
     return *trace_;
 }
 
@@ -538,7 +618,7 @@ Machine::makeWrite(EndpointAddr src, EndpointAddr dst, std::uint8_t pattern,
                    int size_flits, std::int32_t counter)
 {
     assert(size_flits >= 1 && size_flits <= kMaxPacketFlits);
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = allocPacket();
     pkt->id = next_packet_id_++;
     pkt->src = src;
     pkt->dst = dst;
@@ -589,7 +669,7 @@ Machine::sendMulticast(EndpointAddr src, std::int32_t group,
     // The source node's table entry is expanded at injection: one packet
     // per source branch (the network replicates at later branch points).
     auto makeCopy = [&]() {
-        auto pkt = std::make_shared<Packet>();
+        auto pkt = allocPacket();
         pkt->id = next_packet_id_++;
         pkt->src = src;
         pkt->tc = TrafficClass::Request;
@@ -646,7 +726,7 @@ Machine::runUntilDelivered(std::uint64_t count, Cycle max_cycles)
             return delivered_ >= count
                    || (audit_ != nullptr && audit_->tripped());
         },
-        max_cycles);
+        max_cycles, /*check_every=*/engine_.window());
     return delivered_ >= count;
 }
 
@@ -654,9 +734,12 @@ bool
 Machine::runUntilQuiescent(Cycle max_cycles)
 {
     // Check quiescence only every few cycles: busy() walks all
-    // components, and drain is monotone at the end of a run.
+    // components, and drain is monotone at the end of a run. Never
+    // check more often than the lookahead window, or the stride would
+    // force every window down to the check interval.
+    const Cycle stride = engine_.window() > 8 ? engine_.window() : 8;
     return engine_.runUntil([this] { return !engine_.busy(); }, max_cycles,
-                            /*check_every=*/8);
+                            /*check_every=*/stride);
 }
 
 } // namespace anton2

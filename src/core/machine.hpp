@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -71,6 +72,14 @@ struct MachineConfig
     /** Worker threads for the engine's parallel phase (1 = serial).
      * Results are bit-identical at any count; see Machine::setThreads. */
     int threads = 1;
+    /** Lookahead window in cycles: how many consecutive cycles each
+     * shard ticks between engine barriers. 1 (default) is the legacy
+     * barrier-per-cycle schedule; 0 picks the maximum conservative
+     * window (the minimum torus link latency); any other value is
+     * clamped to that maximum. Results are bit-identical across thread
+     * counts at any fixed window; see Machine::setLookahead for the
+     * cross-window contract. */
+    Cycle lookahead = 1;
 };
 
 /**
@@ -168,6 +177,25 @@ class Machine
      */
     void setThreads(int n);
     int threads() const { return engine_.threads(); }
+
+    /**
+     * Set the engine's lookahead window (0 = the maximum conservative
+     * window, values above it clamped; see MachineConfig::lookahead).
+     * At any fixed window the simulation is deterministic and
+     * bit-identical across thread counts. Runs at *different* windows
+     * are each exact conservative schedules but may differ from one
+     * another when serial-phase feedback exists (a driver's injections
+     * become visible to the chips at the next window boundary rather
+     * than the next cycle); workloads without such feedback
+     * (pre-injected traffic) are bit-identical across windows too.
+     * Sampler/auditor observation cycles stay exact at any window via
+     * Engine::addBarrierAlignment. Safe to call between runs.
+     */
+    void setLookahead(Cycle w);
+    /** The active lookahead window in cycles. */
+    Cycle lookaheadWindow() const { return engine_.window(); }
+    /** The maximum conservative window: min torus link latency. */
+    Cycle lookaheadCap() const { return lookahead_cap_; }
 
     void run(Cycle cycles) { engine_.run(cycles); }
 
@@ -353,14 +381,31 @@ class Machine
      * deferred delivery side effects in endpoint registration order. */
     void serialPhase(Cycle now);
     void prepareUnicast(Packet &pkt);
+    /** Pooled packet allocation: recycles Packet objects (and their
+     * payload vectors' heap capacity) through a freelist, cutting the
+     * per-packet heap churn of the factory hot path. */
+    PacketPtr allocPacket();
     MachineSnapshot buildSnapshot(Cycle now, const std::string &reason);
     ProgressProbe progressProbe() const;
+
+    /** Freelist behind allocPacket(). Shared with the packet deleters so
+     * packets outliving the Machine degrade to plain deletes; the mutex
+     * covers releases from worker lanes (multicast ingress drops copies
+     * during the parallel phase). */
+    struct PacketPool
+    {
+        std::mutex mu;
+        std::vector<Packet *> free;
+        ~PacketPool();
+    };
 
     MachineConfig cfg_;
     TorusGeom geom_;
     ChipLayout layout_;
     Engine engine_;
     Rng rng_;
+    Cycle lookahead_cap_ = 1;
+    std::shared_ptr<PacketPool> pool_ = std::make_shared<PacketPool>();
 
     std::vector<std::unique_ptr<Chip>> chips_;
     std::vector<std::unique_ptr<Channel>> torus_channels_;

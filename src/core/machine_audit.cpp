@@ -241,6 +241,16 @@ Machine::doEnableAudit(const AuditConfig &cfg)
     // Appended after every chip component (they registered at
     // construction), so each audit pass sees a settled post-tick state.
     engine_.add(a);
+    // Audit and watchdog passes walk live component state, so their
+    // firing cycles must be window-final: align lookahead barriers to
+    // both intervals so a windowed run inspects exactly the state a
+    // serial per-cycle run would at those cycles.
+    if (cfg.audit_interval > 1)
+        engine_.addBarrierAlignment(cfg.audit_interval,
+                                    engine_.now() % cfg.audit_interval);
+    if (cfg.watchdog_interval > 1)
+        engine_.addBarrierAlignment(cfg.watchdog_interval,
+                                    engine_.now() % cfg.watchdog_interval);
     return a;
 }
 

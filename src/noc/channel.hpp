@@ -20,8 +20,12 @@ namespace anton2 {
  */
 struct Channel
 {
-    explicit Channel(Cycle data_latency = 1, Cycle credit_latency = 1)
-        : data(data_latency), credit(credit_latency)
+    /** @param slack Extra ring depth for cross-shard channels ticked in
+     * lookahead windows (see Wire); both directions get it, since data
+     * and credits each cross the shard boundary. */
+    explicit Channel(Cycle data_latency = 1, Cycle credit_latency = 1,
+                     Cycle slack = 0)
+        : data(data_latency, slack), credit(credit_latency, slack)
     {
     }
 

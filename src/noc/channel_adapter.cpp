@@ -323,6 +323,28 @@ ChannelAdapter::tick(Cycle now)
     tickIngress(now);
 }
 
+void
+ChannelAdapter::onIdleSkip(Cycle skipped)
+{
+    // Mirror the accrual tickEgress would have run on each skipped
+    // cycle: +ser_tokens_per_cycle, capped at one flit plus one cycle's
+    // worth (an idle adapter never passes the egress_packets_ gate, so
+    // nothing else in tick() touches state).
+    if (router_in_ == nullptr || torus_out_ == nullptr)
+        return;
+    const int cap = cfg_.ser_tokens_per_flit + cfg_.ser_tokens_per_cycle;
+    const Cycle to_cap =
+        ser_tokens_ >= cap
+            ? 0
+            : static_cast<Cycle>(
+                  (cap - ser_tokens_ + cfg_.ser_tokens_per_cycle - 1)
+                  / cfg_.ser_tokens_per_cycle);
+    const Cycle n = skipped < to_cap ? skipped : to_cap;
+    ser_tokens_ += static_cast<int>(n) * cfg_.ser_tokens_per_cycle;
+    if (ser_tokens_ > cap)
+        ser_tokens_ = cap;
+}
+
 int
 ChannelAdapter::egressReservedFlits(int link_vc) const
 {

@@ -98,6 +98,10 @@ class ChannelAdapter final : public Component
 
     void tick(Cycle now) override;
     bool busy() const override;
+    /** The one piece of state that evolves while idle: SerDes token
+     * accrual (capped at one flit plus one cycle's worth). Replayed here
+     * so idle shard parking stays bit-exact. */
+    void onIdleSkip(Cycle skipped) override;
 
     InverseWeightedArbiter *egressArbiter();
     InverseWeightedArbiter *ingressArbiter();

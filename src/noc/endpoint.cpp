@@ -207,15 +207,25 @@ EndpointAdapter::deliverSideEffects(const PacketPtr &pkt, Cycle head_at,
 }
 
 void
-EndpointAdapter::flushDeliveries()
+EndpointAdapter::flushDeliveries(Cycle up_to)
 {
-    // Index loop: handlers may inject new packets (never new pending
-    // deliveries - those only arise inside tickEject).
+    // Entries are appended by tickEject in nondecreasing cycle order, so
+    // the deliveries due at or before up_to form a prefix. Index loop:
+    // handlers may inject new packets (never new pending deliveries -
+    // those only arise inside tickEject).
+    std::size_t done = 0;
     for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].at > up_to)
+            break;
         const PendingDelivery d = pending_[i];
         deliverSideEffects(d.pkt, d.head_at, d.at);
+        done = i + 1;
     }
-    pending_.clear();
+    if (done == pending_.size())
+        pending_.clear();
+    else if (done > 0)
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + static_cast<std::ptrdiff_t>(done));
 }
 
 void

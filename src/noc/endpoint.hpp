@@ -103,12 +103,15 @@ class EndpointAdapter final : public Component
 
     /**
      * Run the deferred side effects of every packet that finished
-     * reassembly this cycle: the shared latency aggregates, the delivery
-     * callback, read-reply generation, and counted-write handler
-     * dispatch. Call once per cycle after tick() (the engine's serial
-     * phase does, via Machine).
+     * reassembly at or before cycle @p up_to: the shared latency
+     * aggregates, the delivery callback, read-reply generation, and
+     * counted-write handler dispatch. The engine's serial replay calls
+     * this (via Machine) once per simulated cycle with that cycle, so in
+     * a lookahead window the deliveries of several cycles, staged during
+     * the parallel phase, replay in exact per-cycle order. The default
+     * flushes everything (legacy window-1 behavior).
      */
-    void flushDeliveries();
+    void flushDeliveries(Cycle up_to = kNoCycle);
 
     bool hasPendingDeliveries() const { return !pending_.empty(); }
 

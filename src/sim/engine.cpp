@@ -92,33 +92,168 @@ Engine::rebuildLanes()
 }
 
 void
-Engine::tickShardRange(std::size_t begin, std::size_t end, Cycle now)
+Engine::setWindow(Cycle w)
 {
+    window_ = w < 1 ? 1 : w;
+}
+
+void
+Engine::addBarrierAlignment(Cycle period, Cycle phase)
+{
+    if (period < 1)
+        period = 1;
+    Alignment a;
+    a.period = period;
+    a.phase = phase % period;
+    for (const Alignment &have : alignments_) {
+        if (have.period == a.period && have.phase == a.phase)
+            return; // idempotent (instrumentation attach is idempotent)
+    }
+    alignments_.push_back(a);
+}
+
+void
+Engine::setIdleSkip(bool on)
+{
+    idle_skip_ = on;
+}
+
+void
+Engine::tickShardRange(std::size_t begin, std::size_t end, Cycle start,
+                       Cycle window)
+{
+    const bool parking = !parked_.empty();
     for (std::size_t s = begin; s < end; ++s) {
-        for (const Entry &e : shards_[s])
-            e.fn(*e.c, now);
+        if (parking && parked_[s])
+            continue;
+        const auto &shard = shards_[s];
+        // Cycle-major within the shard: all of a shard's components tick
+        // cycle c before any ticks c+1, exactly the serial schedule, so
+        // intra-shard latency-1 wires behave as in a window-1 run.
+        for (Cycle j = 0; j < window; ++j) {
+            const Cycle c = start + j;
+            for (const Entry &e : shard)
+                e.fn(*e.c, c);
+        }
+    }
+}
+
+Cycle
+Engine::alignedWindow(Cycle w) const
+{
+    for (const Alignment &a : alignments_) {
+        // Distance from now_ to the next observation cycle; the window
+        // containing it must end exactly there.
+        const Cycle r = now_ % a.period;
+        const Cycle dist = a.phase >= r ? a.phase - r
+                                        : a.period - r + a.phase;
+        if (dist + 1 < w)
+            w = dist + 1;
+    }
+    return w;
+}
+
+void
+Engine::refreshParking()
+{
+    if (parked_.size() != shards_.size()) {
+        unparkAll();
+        parked_.assign(shards_.size(), 0);
+        parked_since_.assign(shards_.size(), 0);
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        bool idle = true;
+        for (const Entry &e : shards_[s]) {
+            if (e.c->busy()) {
+                idle = false;
+                break;
+            }
+        }
+        if (idle) {
+            if (!parked_[s]) {
+                parked_[s] = 1;
+                parked_since_[s] = now_;
+            }
+        } else if (parked_[s]) {
+            parked_[s] = 0;
+            const Cycle skipped = now_ - parked_since_[s];
+            if (skipped > 0) {
+                for (const Entry &e : shards_[s])
+                    e.c->onIdleSkip(skipped);
+            }
+        }
     }
 }
 
 void
-Engine::step()
+Engine::unparkAll()
 {
+    for (std::size_t s = 0; s < parked_.size(); ++s) {
+        if (!parked_[s])
+            continue;
+        const Cycle skipped = now_ - parked_since_[s];
+        if (skipped > 0) {
+            for (const Entry &e : shards_[s])
+                e.c->onIdleSkip(skipped);
+        }
+    }
+    parked_.clear();
+    parked_since_.clear();
+}
+
+Cycle
+Engine::advance(Cycle budget)
+{
+    if (budget < 1)
+        return 0;
     if (lanes_dirty_) [[unlikely]]
         rebuildLanes();
+    Cycle w = window_ < budget ? window_ : budget;
+    if (!alignments_.empty())
+        w = alignedWindow(w);
     const Cycle now = now_;
+
+    // Parking probes happen at barrier boundaries, never more than a
+    // full window apart, which is exactly the horizon within which a
+    // cross-shard arrival is still in its wire's ring (and thus visible
+    // to the busy() probe before the shard must consume it). At window 1
+    // the probe would cost more than the barrier it saves, and window 1
+    // is the exact-legacy mode, so parking engages only beyond it.
+    const bool parking = idle_skip_ && window_ > 1;
+    if (parking)
+        refreshParking();
+    else if (!parked_.empty())
+        unparkAll();
+
     if (pool_ != nullptr) {
-        pool_->run([this, now](int lane) {
+        pool_->run([this, now, w](int lane) {
             const Lane &l = lanes_[static_cast<std::size_t>(lane)];
-            tickShardRange(l.begin, l.end, now);
+            tickShardRange(l.begin, l.end, now, w);
         });
+    } else if (w > 1) {
+        // A serial windowed phase runs "as lane 0" so shared sinks stage
+        // per (lane, cycle) exactly as a threaded run would; the serial
+        // replay below then restores canonical per-cycle order either
+        // way. (At w == 1 the direct path is already canonical.)
+        par::LaneScope lane0(0);
+        tickShardRange(0, shards_.size(), now, w);
     } else {
-        tickShardRange(0, shards_.size(), now);
+        tickShardRange(0, shards_.size(), now, w);
     }
-    for (const auto &hook : serial_phases_)
-        hook(now);
-    for (auto *c : components_)
-        c->tick(now);
-    ++now_;
+
+    // Serial replay: for each cycle of the window, in order, the phase
+    // hooks (staged-trace merge, deferred-delivery flush) then the
+    // serial-tail components - the same per-cycle schedule a window-1
+    // run interleaves with the parallel phase.
+    for (Cycle j = 0; j < w; ++j) {
+        const Cycle c = now + j;
+        for (const auto &hook : serial_phases_)
+            hook(c);
+        for (auto *comp : components_)
+            comp->tick(c);
+    }
+    now_ = now + w;
+    return w;
 }
 
 void
@@ -126,7 +261,7 @@ Engine::run(Cycle cycles)
 {
     const Cycle end = now_ + cycles;
     while (now_ < end)
-        step();
+        advance(end - now_);
 }
 
 bool

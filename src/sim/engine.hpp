@@ -8,19 +8,42 @@
  * unobservable: a value sent at cycle c is first readable at c+1, and
  * the send and take of one cycle land in disjoint ring slots. That is
  * the conservative-window condition of parallel discrete-event
- * simulation, and the engine cashes it in: components registered into
- * *shards* (one shard per chip, so each stays cache-local to one worker)
- * are ticked concurrently on a persistent worker pool with exactly one
- * barrier per cycle, and the results are bit-identical to serial
- * execution.
+ * simulation, and the engine cashes it in twice:
+ *
+ *  - Components registered into *shards* (one shard per chip, so each
+ *    stays cache-local to one worker) are ticked concurrently on a
+ *    persistent worker pool, and the results are bit-identical to
+ *    serial execution.
+ *
+ *  - When every wire that crosses a shard boundary has latency >= k
+ *    (the *lookahead window*, setWindow), each shard ticks k consecutive
+ *    cycles between barriers instead of one: a cross-shard value sent
+ *    anywhere inside a window is deliverable no earlier than the next
+ *    window, so no shard can observe another's intra-window progress.
+ *    One barrier then amortizes over k cycles of work, and each shard's
+ *    state stays hot in cache for k cycles. Such wires need ring slack
+ *    >= k-1 (see Wire) because sender and receiver may be up to k-1
+ *    cycles apart within a window.
  *
  * Work whose side effects escape a shard (shared statistics, packet
  * factories drawing from the machine RNG, software handlers) runs in the
- * *serial phase*: after the barrier, registered serial-phase hooks fire
- * in order on the calling thread, then serial-tail components (traffic
- * drivers, samplers, auditors) tick in registration order. The serial
- * schedule is the same whether the parallel phase ran on one thread or
- * eight, which is what makes the exports byte-identical.
+ * *serial phase*: after the barrier, for each cycle of the window in
+ * order, registered serial-phase hooks fire on the calling thread, then
+ * serial-tail components (traffic drivers, samplers, auditors) tick in
+ * registration order - a per-cycle replay in the canonical order. The
+ * serial schedule is the same whether the parallel phase ran on one
+ * thread or eight, which is what makes the exports byte-identical at
+ * any thread count for a fixed window.
+ *
+ * Serial-tail work feeding state *into* shards (a driver's injections)
+ * is seen by the shards at the start of the next window rather than the
+ * next cycle, so runs with different window sizes are each internally
+ * deterministic but may differ from one another when such feedback
+ * exists; workloads without it (pre-injected traffic) are byte-identical
+ * across window sizes too. Observation points that must read shard state
+ * at exact cycles (samplers, auditors) register a barrier alignment so
+ * their cycles always land on a window's final cycle, where post-barrier
+ * state equals per-cycle state.
  */
 #pragma once
 
@@ -102,6 +125,39 @@ class Engine
     /** Lanes the parallel phase runs on (1 when serial). */
     std::size_t laneCount() const;
 
+    /**
+     * Tick shards up to @p w consecutive cycles between barriers (the
+     * lookahead window; 1 = the legacy barrier-per-cycle schedule). The
+     * caller guarantees every cross-shard wire has latency >= w and ring
+     * slack >= w-1 (Machine computes and enforces this from the torus
+     * link latencies). Safe to change between cycles.
+     */
+    void setWindow(Cycle w);
+    Cycle window() const { return window_; }
+
+    /**
+     * Constrain windows so every cycle c with c % period == phase is the
+     * *final* cycle of its window. Serial-tail components that read live
+     * shard state on a fixed schedule (interval samplers, auditors)
+     * register their period here; their observation cycles then see
+     * exactly the state a window-1 run would show them.
+     */
+    void addBarrierAlignment(Cycle period, Cycle phase);
+
+    /**
+     * Park shards whose components are all !busy: a parked shard is not
+     * ticked until a probe at a window boundary sees it busy again
+     * (arrivals from other shards are in a wire's ring, and wire
+     * occupancy counts as busy, so the probe fires at least a full
+     * window before the shard must consume anything). Idle-state
+     * evolution is replayed through Component::onIdleSkip on unpark.
+     * Only active with window > 1; default on. Turn off when per-cycle
+     * observation of idle components matters (stall attribution counts
+     * idle cycles, so Machine disables parking while tracing is bound).
+     */
+    void setIdleSkip(bool on);
+    bool idleSkip() const { return idle_skip_; }
+
     /** Current simulation time in cycles. */
     Cycle now() const { return now_; }
 
@@ -109,7 +165,14 @@ class Engine
     void run(Cycle cycles);
 
     /** Advance one clock cycle. */
-    void step();
+    void step() { advance(1); }
+
+    /**
+     * Run one lookahead window of at most @p budget cycles (truncated by
+     * the window size and barrier alignments); returns the cycles
+     * advanced (>= 1 for budget >= 1).
+     */
+    Cycle advance(Cycle budget);
 
     /**
      * Run until @p done returns true or @p max_cycles have elapsed;
@@ -135,7 +198,10 @@ class Engine
                     return true;
                 next_check = now_ + check_every;
             }
-            step();
+            // Advance in whole windows up to the next predicate check
+            // (or the deadline), never past either.
+            const Cycle stop = next_check < end ? next_check : end;
+            advance(stop - now_);
         }
         return done();
     }
@@ -160,15 +226,38 @@ class Engine
         std::size_t end = 0;
     };
 
-    void tickShardRange(std::size_t begin, std::size_t end, Cycle now);
+    /** A serial-tail observation schedule windows must align to. */
+    struct Alignment
+    {
+        Cycle period = 1;
+        Cycle phase = 0;
+    };
+
+    void tickShardRange(std::size_t begin, std::size_t end, Cycle start,
+                        Cycle window);
     void rebuildLanes();
+    /** Largest window <= @p w whose final cycle respects alignments_. */
+    Cycle alignedWindow(Cycle w) const;
+    /** Re-probe shard busy() state; park/unpark (window boundary only). */
+    void refreshParking();
+    /** Replay idle evolution for every parked shard and forget parking
+     * state (when parking deactivates mid-run). */
+    void unparkAll();
 
     std::vector<std::vector<Entry>> shards_;
     std::vector<Component *> components_; ///< serial tail
     std::vector<std::function<void(Cycle)>> serial_phases_;
     std::vector<Lane> lanes_;
+    std::vector<Alignment> alignments_;
+    /** parked_[s] != 0: shard s is idle-skipped; parked_since_[s] is the
+     * cycle its components last ticked (for onIdleSkip replay). Empty
+     * whenever parking is inactive. */
+    std::vector<char> parked_;
+    std::vector<Cycle> parked_since_;
     std::unique_ptr<CycleWorkerPool> pool_;
     int threads_ = 1;
+    Cycle window_ = 1;
+    bool idle_skip_ = true;
     bool lanes_dirty_ = false;
     Cycle now_ = 0;
 };

@@ -16,6 +16,16 @@ currentLane()
     return tls_lane;
 }
 
+LaneScope::LaneScope(int lane) : prev_(tls_lane)
+{
+    tls_lane = lane;
+}
+
+LaneScope::~LaneScope()
+{
+    tls_lane = prev_;
+}
+
 } // namespace par
 
 CycleWorkerPool::CycleWorkerPool(int lanes) : lanes_(lanes)

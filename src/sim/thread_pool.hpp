@@ -33,6 +33,26 @@ namespace par {
  */
 int currentLane();
 
+/**
+ * RAII marker turning the calling thread into lane @p lane for its
+ * lifetime. The engine uses it to run a serial (pool-less) lookahead
+ * window "as lane 0", so trace staging takes the same per-cycle
+ * bucketing path serially and threaded - that shared path is what keeps
+ * a windowed serial run byte-identical to a windowed threaded one.
+ */
+class LaneScope
+{
+  public:
+    explicit LaneScope(int lane);
+    ~LaneScope();
+
+    LaneScope(const LaneScope &) = delete;
+    LaneScope &operator=(const LaneScope &) = delete;
+
+  private:
+    int prev_;
+};
+
 } // namespace par
 
 /**

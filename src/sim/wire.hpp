@@ -28,11 +28,19 @@ template <typename T>
 class Wire
 {
   public:
-    /** @param latency Delivery delay in cycles; must be >= 1. */
-    explicit Wire(Cycle latency = 1)
+    /**
+     * @param latency Delivery delay in cycles; must be >= 1.
+     * @param slack Extra ring slots beyond latency+1. A wire crossing
+     *        engine shards that tick in lookahead windows of up to w
+     *        cycles needs slack >= w-1: the sender may run w cycles ahead
+     *        of the receiver within one window, so up to latency+w
+     *        deliveries are live at once. Intra-shard wires (strictly
+     *        cycle-by-cycle on one lane) keep the default 0.
+     */
+    explicit Wire(Cycle latency = 1, Cycle slack = 0)
         : latency_(latency),
-          slots_(ringSize(latency)),
-          deliver_at_(ringSize(latency), kNoCycle)
+          slots_(ringSize(latency, slack)),
+          deliver_at_(ringSize(latency, slack), kNoCycle)
     {
         assert(latency >= 1 && "zero-latency wires would make evaluation "
                                "order-dependent");
@@ -106,10 +114,11 @@ class Wire
 
   private:
     static std::size_t
-    ringSize(Cycle latency)
+    ringSize(Cycle latency, Cycle slack)
     {
-        // One slot per in-flight cycle plus the current one.
-        return static_cast<std::size_t>(latency) + 1;
+        // One slot per in-flight cycle plus the current one, plus the
+        // window slack (see the constructor).
+        return static_cast<std::size_t>(latency + slack) + 1;
     }
 
     std::size_t

@@ -35,9 +35,10 @@ stallClassName(StallClass c)
 }
 
 void
-TraceSink::configureLanes(std::size_t lanes)
+TraceSink::configureLanes(std::size_t lanes, std::size_t window_depth)
 {
-    staged_.resize(lanes);
+    depth_ = window_depth < 1 ? 1 : window_depth;
+    staged_.assign(lanes, std::vector<std::vector<TraceEvent>>(depth_));
 }
 
 void
@@ -45,16 +46,32 @@ TraceSink::stage(int lane, const TraceEvent &ev)
 {
     assert(static_cast<std::size_t>(lane) < staged_.size()
            && "sink not configured for this many lanes");
-    staged_[static_cast<std::size_t>(lane)].push_back(ev);
+    staged_[static_cast<std::size_t>(lane)]
+           [static_cast<std::size_t>(ev.cycle % depth_)]
+               .push_back(ev);
+}
+
+void
+TraceSink::mergeStaged(Cycle cycle)
+{
+    const auto bucket = static_cast<std::size_t>(cycle % depth_);
+    for (auto &lane : staged_) {
+        auto &events = lane[bucket];
+        for (const TraceEvent &ev : events)
+            doRecord(ev);
+        events.clear();
+    }
 }
 
 void
 TraceSink::mergeStagedLanes()
 {
     for (auto &lane : staged_) {
-        for (const TraceEvent &ev : lane)
-            doRecord(ev);
-        lane.clear();
+        for (auto &bucket : lane) {
+            for (const TraceEvent &ev : bucket)
+                doRecord(ev);
+            bucket.clear();
+        }
     }
 }
 

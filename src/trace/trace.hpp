@@ -85,14 +85,16 @@ struct TraceEvent
  * shares one policy (record packets whose id falls on the sample
  * stride; packet-less records always pass).
  *
- * Threaded runs: one sink is shared by every component, so when the
- * engine ticks shards on several lanes, record() routes each event into
- * a per-lane staging buffer instead of the underlying store. The
- * engine's serial phase calls mergeStagedLanes() once per cycle, which
- * replays the staged events in lane order - reproducing the exact
- * registration-order stream a serial run would have written, so trace
- * exports are byte-identical at any thread count. Serial runs (lane -1)
- * bypass staging entirely.
+ * Threaded and windowed runs: one sink is shared by every component, so
+ * when the engine ticks shards on several lanes (or one lane several
+ * cycles between barriers), record() routes each event into a per-lane,
+ * per-cycle-offset staging bucket instead of the underlying store. The
+ * engine's serial replay calls mergeStaged(cycle) once per simulated
+ * cycle, which drains that cycle's bucket of every lane in lane order -
+ * reproducing the exact (cycle-major, registration-order) stream a
+ * serial window-1 run would have written, so trace exports are
+ * byte-identical at any thread count. Truly serial paths (lane -1,
+ * outside any engine parallel phase) bypass staging entirely.
  */
 class TraceSink
 {
@@ -112,14 +114,24 @@ class TraceSink
     }
 
     /**
-     * Size the per-lane staging buffers for a threaded run (call with
-     * Engine::laneCount() whenever the thread count changes). A sink
-     * recording from a lane it was not configured for is a logic error.
+     * Size the per-lane staging buffers for a threaded or windowed run
+     * (call with Engine::laneCount() whenever the thread count changes).
+     * @p window_depth is the largest lookahead window the engine may
+     * run: each lane gets one bucket per cycle offset, indexed by
+     * event.cycle modulo the depth (distinct within any one window). A
+     * sink recording from a lane it was not configured for is a logic
+     * error. Existing staged events are preserved only when drained
+     * first; reconfigure between windows.
      */
-    void configureLanes(std::size_t lanes);
+    void configureLanes(std::size_t lanes, std::size_t window_depth = 1);
 
-    /** Replay staged events into the store in lane order (serial phase
-     * only). A no-op when nothing is staged. */
+    /** Replay cycle @p cycle's staged events into the store in lane
+     * order (serial replay only). A no-op when nothing is staged. */
+    void mergeStaged(Cycle cycle);
+
+    /** Replay every staged event into the store in lane order,
+     * bucket-major. Only order-exact when at most one cycle is staged
+     * per lane (the window-1 legacy schedule); prefer mergeStaged(). */
     void mergeStagedLanes();
 
     /** True if lifecycle events for @p packet_id should be recorded. */
@@ -141,9 +153,11 @@ class TraceSink
     void stage(int lane, const TraceEvent &ev);
 
     std::uint64_t sample_ = 1;
-    /** One buffer per lane; only touched by that lane's thread during
-     * the parallel phase, drained at the barrier. */
-    std::vector<std::vector<TraceEvent>> staged_;
+    std::size_t depth_ = 1; ///< buckets per lane (max window size)
+    /** One bucket per (lane, cycle % depth_); a bucket is only touched
+     * by its lane's thread during the parallel phase and drained by the
+     * serial replay between windows. */
+    std::vector<std::vector<std::vector<TraceEvent>>> staged_;
 };
 
 /**

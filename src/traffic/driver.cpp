@@ -83,7 +83,7 @@ BatchDriver::run(Cycle max_cycles)
                    || (machine_.audit() != nullptr
                        && machine_.audit()->tripped());
         },
-        max_cycles);
+        max_cycles, /*check_every=*/machine_.engine().window());
     return done(machine_);
 }
 

@@ -1,0 +1,723 @@
+/**
+ * @file
+ * Lookahead-window engine suite: the conservative-window scheduler that
+ * lets each worker tick its shards k consecutive cycles between
+ * barriers, where k is the minimum cross-shard (torus) wire latency.
+ *
+ * What is pinned here:
+ *  - window-size computation across topologies, including mixed-latency
+ *    packaging-derived links, clamping, and the k = 1 degenerate case
+ *    (which is exactly the pre-lookahead per-cycle engine);
+ *  - the engine-level windowed schedule: shard ticks before the serial
+ *    replay, barrier alignment truncation, idle-shard parking with
+ *    onIdleSkip() replay;
+ *  - staged cross-shard side effects (trace lanes, deferred deliveries)
+ *    replay in canonical per-cycle order, proven by byte-identical
+ *    exports across thread counts at any fixed window;
+ *  - feedback-free workloads (pre-injected traffic, no driver/handler
+ *    chains) are byte-identical across *windows* too, because the only
+ *    window-observable effect is serial-to-shard feedback timing;
+ *  - a seeded credit fault trips the watchdog at the same cycle with
+ *    the same forensic report whether the run is serial or threaded,
+ *    windowed or per-cycle;
+ *  - a seeded randomized config sweep (property test) and a pinned
+ *    8x8x8 short-run regression matching bench_host_speed --cycles 200.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "analysis/loads.hpp"
+#include "core/machine.hpp"
+#include "routing/route.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
+#include "trace/trace.hpp"
+#include "traffic/driver.hpp"
+#include "traffic/patterns.hpp"
+
+namespace anton2 {
+namespace {
+
+// ---------------------------------------------------------------------
+// Engine-level windowed schedule
+// ---------------------------------------------------------------------
+
+/** Counts its own ticks; busy until it has ticked @p quota times. */
+class TickCounter final : public Component
+{
+  public:
+    explicit TickCounter(int quota = 0)
+        : Component("tick_counter"), quota_(quota)
+    {
+    }
+    void tick(Cycle) override { ++ticks_; }
+    bool busy() const override { return ticks_ < quota_; }
+    int ticks() const { return ticks_; }
+
+  private:
+    int quota_;
+    int ticks_ = 0;
+};
+
+TEST(LookaheadEngine, WindowedShardTicksCompleteBeforeSerialReplay)
+{
+    Engine e;
+    e.setWindow(4);
+    EXPECT_EQ(e.window(), 4u);
+    TickCounter sharded(1000);
+    TickCounter tail;
+    const std::size_t shard = e.newShard();
+    e.addSharded(shard, sharded);
+    e.add(tail);
+
+    std::vector<int> sharded_at_phase;
+    std::vector<int> tail_at_phase;
+    e.addSerialPhase([&](Cycle) {
+        sharded_at_phase.push_back(sharded.ticks());
+        tail_at_phase.push_back(tail.ticks());
+    });
+
+    e.run(10);
+    EXPECT_EQ(e.now(), 10u);
+    EXPECT_EQ(sharded.ticks(), 10);
+    EXPECT_EQ(tail.ticks(), 10);
+    // Windows [0,3], [4,7], [8,9] (the last clamped by the budget):
+    // every shard tick of the window lands before its serial replay,
+    // and the per-cycle serial tail still runs once per cycle.
+    EXPECT_EQ(sharded_at_phase,
+              (std::vector<int>{ 4, 4, 4, 4, 8, 8, 8, 8, 10, 10 }));
+    EXPECT_EQ(tail_at_phase,
+              (std::vector<int>{ 0, 1, 2, 3, 4, 5, 6, 7, 8, 9 }));
+}
+
+TEST(LookaheadEngine, SetWindowClampsToOne)
+{
+    Engine e;
+    EXPECT_EQ(e.window(), 1u);
+    e.setWindow(0);
+    EXPECT_EQ(e.window(), 1u);
+    e.setWindow(7);
+    EXPECT_EQ(e.window(), 7u);
+}
+
+TEST(LookaheadEngine, AdvanceHonorsBudgetAndBarrierAlignment)
+{
+    Engine e;
+    e.setWindow(4);
+    TickCounter c(1000000);
+    const std::size_t shard = e.newShard();
+    e.addSharded(shard, c);
+
+    // Observation cycles are those == 4 (mod 5); each must be the final
+    // cycle of its window, so the schedule alternates 4-cycle and
+    // 1-cycle windows: [0,3], [4], [5,8], [9], ...
+    e.addBarrierAlignment(5, 4);
+    EXPECT_EQ(e.advance(100), 4u);
+    EXPECT_EQ(e.now(), 4u);
+    EXPECT_EQ(e.advance(100), 1u);
+    EXPECT_EQ(e.now(), 5u);
+    EXPECT_EQ(e.advance(100), 4u);
+    EXPECT_EQ(e.advance(100), 1u);
+    EXPECT_EQ(e.now(), 10u);
+    // The budget clamps below both the window and the alignment.
+    EXPECT_EQ(e.advance(2), 2u);
+    EXPECT_EQ(e.now(), 12u);
+    EXPECT_EQ(c.ticks(), 12);
+}
+
+TEST(LookaheadEngine, ThreadedWindowedScheduleMatchesSerial)
+{
+    for (int threads : { 1, 2, 4 }) {
+        Engine e;
+        e.setThreads(threads);
+        e.setWindow(6);
+        std::deque<TickCounter> cs;
+        for (int i = 0; i < 8; ++i)
+            cs.emplace_back(1000000);
+        for (auto &c : cs) {
+            const std::size_t shard = e.newShard();
+            e.addSharded(shard, c);
+        }
+        int phase_runs = 0;
+        e.addSerialPhase([&](Cycle) { ++phase_runs; });
+        e.run(20);
+        EXPECT_EQ(e.now(), 20u) << "threads=" << threads;
+        EXPECT_EQ(phase_runs, 20) << "threads=" << threads;
+        for (const auto &c : cs)
+            EXPECT_EQ(c.ticks(), 20) << "threads=" << threads;
+    }
+}
+
+/** Parkable component: externally controlled busy(), onIdleSkip log. */
+class Parker final : public Component
+{
+  public:
+    Parker() : Component("parker") {}
+    void tick(Cycle) override { ++ticks_; }
+    bool busy() const override { return busy_; }
+    void onIdleSkip(Cycle skipped) override { skipped_ += skipped; }
+
+    void setBusy(bool b) { busy_ = b; }
+    int ticks() const { return ticks_; }
+    Cycle skippedReplayed() const { return skipped_; }
+
+  private:
+    bool busy_ = false;
+    int ticks_ = 0;
+    Cycle skipped_ = 0;
+};
+
+TEST(LookaheadEngine, IdleShardsAreParkedAndReplayedOnUnpark)
+{
+    Engine e;
+    e.setWindow(4);
+    Parker p;
+    const std::size_t shard = e.newShard();
+    e.addSharded(shard, p);
+
+    // Idle from the start: parked at the first barrier, never ticked.
+    e.run(8);
+    EXPECT_EQ(p.ticks(), 0);
+    EXPECT_EQ(p.skippedReplayed(), 0u);
+
+    // Work arrives between barriers; the next probe unparks the shard
+    // and replays the 8 skipped cycles before its first real tick.
+    p.setBusy(true);
+    e.run(4);
+    EXPECT_EQ(p.ticks(), 4);
+    EXPECT_EQ(p.skippedReplayed(), 8u);
+
+    // Going idle again re-parks at the next barrier probe; disabling
+    // idle-skip resumes ticking and replays the second parked span
+    // (cycles 12-19) before the first post-park tick.
+    p.setBusy(false);
+    e.run(8);
+    EXPECT_EQ(p.ticks(), 4);
+    e.setIdleSkip(false);
+    e.run(4);
+    EXPECT_EQ(p.ticks(), 8);
+    EXPECT_EQ(p.skippedReplayed(), 16u);
+}
+
+TEST(LookaheadEngine, ParkingIsDisabledAtWindowOne)
+{
+    Engine e; // default window 1: the exact-legacy mode ticks everything
+    Parker p;
+    const std::size_t shard = e.newShard();
+    e.addSharded(shard, p);
+    e.run(5);
+    EXPECT_EQ(p.ticks(), 5);
+    EXPECT_EQ(p.skippedReplayed(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Staged trace replay
+// ---------------------------------------------------------------------
+
+TraceEvent
+makeEvent(std::uint64_t packet, Cycle cycle)
+{
+    TraceEvent ev;
+    ev.cycle = cycle;
+    ev.packet = packet;
+    ev.node = 0;
+    ev.unit = 0;
+    ev.type = TraceEventType::Inject;
+    return ev;
+}
+
+TEST(LookaheadTrace, StagedEventsMergeInCanonicalPerCycleOrder)
+{
+    RingTraceSink sink(64);
+    sink.configureLanes(2, /*window_depth=*/4);
+
+    // Shard-major recording order (what a windowed worker produces):
+    // lane 1 first, and within it cycle 1 before cycle 0.
+    {
+        par::LaneScope lane(1);
+        sink.record(makeEvent(21, 1));
+        sink.record(makeEvent(20, 0));
+    }
+    {
+        par::LaneScope lane(0);
+        sink.record(makeEvent(10, 0));
+        sink.record(makeEvent(11, 1));
+    }
+    EXPECT_EQ(sink.size(), 0u) << "events must stage, not publish";
+
+    // The serial replay drains one cycle at a time, lanes in order.
+    sink.mergeStaged(0);
+    sink.mergeStaged(1);
+    const auto events = sink.drain();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].packet, 10u);
+    EXPECT_EQ(events[1].packet, 20u);
+    EXPECT_EQ(events[2].packet, 11u);
+    EXPECT_EQ(events[3].packet, 21u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].cycle, events[i - 1].cycle);
+}
+
+// ---------------------------------------------------------------------
+// Machine window computation
+// ---------------------------------------------------------------------
+
+MachineConfig
+smallConfig(Cycle latency, Cycle lookahead)
+{
+    MachineConfig cfg;
+    cfg.radix = { 2, 2, 2 };
+    cfg.chip.endpoints_per_node = 2;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = latency;
+    cfg.seed = 11;
+    cfg.lookahead = lookahead;
+    return cfg;
+}
+
+TEST(LookaheadWindow, AutoWindowIsMinTorusLatencyAndClamps)
+{
+    // Default lookahead = 1: the legacy per-cycle engine.
+    {
+        Machine m(smallConfig(20, 1));
+        EXPECT_EQ(m.lookaheadCap(), 20u);
+        EXPECT_EQ(m.lookaheadWindow(), 1u);
+    }
+    // 0 = auto: the machine's safe bound, the min torus link latency.
+    {
+        Machine m(smallConfig(20, 0));
+        EXPECT_EQ(m.lookaheadWindow(), 20u);
+    }
+    // Explicit windows pass through below the cap and clamp above it.
+    {
+        Machine m(smallConfig(20, 5));
+        EXPECT_EQ(m.lookaheadWindow(), 5u);
+        m.setLookahead(100);
+        EXPECT_EQ(m.lookaheadWindow(), 20u);
+        m.setLookahead(3);
+        EXPECT_EQ(m.lookaheadWindow(), 3u);
+        m.setLookahead(0);
+        EXPECT_EQ(m.lookaheadWindow(), 20u);
+    }
+    // k = 1 torus links degenerate to per-cycle barriers even on auto.
+    {
+        Machine m(smallConfig(1, 0));
+        EXPECT_EQ(m.lookaheadCap(), 1u);
+        EXPECT_EQ(m.lookaheadWindow(), 1u);
+    }
+}
+
+TEST(LookaheadWindow, PackagingDerivedWindowIsMinOverMixedLatencies)
+{
+    MachineConfig cfg;
+    cfg.radix = { 8, 4, 2 };
+    cfg.chip.endpoints_per_node = 2;
+    cfg.use_packaging = true; // backplane/rack-dependent link latencies
+    cfg.seed = 11;
+    cfg.lookahead = 0;
+    Machine m(cfg);
+
+    const TorusGeom geom(cfg.radix);
+    Cycle expect = kNoCycle;
+    for (NodeId n = 0; n < geom.numNodes(); ++n) {
+        for (int dim = 0; dim < 3; ++dim) {
+            for (Dir dir : kDirs) {
+                const Cycle l =
+                    cfg.packaging.linkLatency(geom, n, dim, dir);
+                if (l < expect)
+                    expect = l;
+            }
+        }
+    }
+    ASSERT_NE(expect, kNoCycle);
+    EXPECT_EQ(m.lookaheadCap(), expect);
+    EXPECT_EQ(m.lookaheadWindow(), expect);
+    EXPECT_GT(m.lookaheadWindow(), 1u)
+        << "packaging latencies should allow a real window";
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity across threads and windows
+// ---------------------------------------------------------------------
+
+/** Every deterministic export a fully-instrumented run produces. */
+struct RunExports
+{
+    std::uint64_t delivered = 0;
+    Cycle final_cycle = 0;
+    std::string metrics;
+    std::string chrome;
+    std::string flights;
+    std::string timeseries;
+    std::string heatmap;
+    std::string audit;
+};
+
+void
+expectIdentical(const RunExports &a, const RunExports &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.delivered, b.delivered) << what;
+    EXPECT_EQ(a.final_cycle, b.final_cycle) << what;
+    EXPECT_EQ(a.metrics, b.metrics) << what << ": metrics JSON differs";
+    EXPECT_EQ(a.chrome, b.chrome) << what << ": Chrome trace differs";
+    EXPECT_EQ(a.flights, b.flights) << what << ": flight CSV differs";
+    EXPECT_EQ(a.timeseries, b.timeseries)
+        << what << ": time-series JSON differs";
+    EXPECT_EQ(a.heatmap, b.heatmap) << what << ": heatmap CSV differs";
+    EXPECT_EQ(a.audit, b.audit) << what << ": audit report differs";
+}
+
+Instrumentation
+fullInstrumentation(bool with_trace = true)
+{
+    Instrumentation inst;
+    inst.metrics = true;
+    if (with_trace) {
+        TraceConfig tcfg;
+        tcfg.capacity = std::size_t{ 1 } << 16;
+        inst.trace = tcfg;
+    }
+    TimeseriesConfig scfg;
+    scfg.window = 64;
+    scfg.per_router = true;
+    inst.timeseries = scfg;
+    AuditConfig acfg;
+    acfg.audit_interval = 32;
+    acfg.watchdog_interval = 16;
+    inst.audit = acfg;
+    return inst;
+}
+
+RunExports
+captureExports(Machine &m)
+{
+    RunExports r;
+    r.delivered = m.totalDelivered();
+    r.final_cycle = m.now();
+    r.metrics = m.metricsJson();
+    if (m.trace() != nullptr) {
+        r.chrome = m.traceChromeJson();
+        r.flights = m.traceFlightCsv();
+    }
+    r.timeseries = m.timeseriesJson();
+    r.heatmap = m.heatmapCsv();
+    r.audit = m.audit()->reportJson();
+    return r;
+}
+
+/** Figure 9-style throughput workload: uniform batch over all cores,
+ * full instrumentation, driver feedback through the serial phase. */
+RunExports
+runFig9Style(int threads, Cycle lookahead)
+{
+    MachineConfig cfg;
+    cfg.radix = { 2, 2, 2 };
+    cfg.chip.endpoints_per_node = 2;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = 8;
+    cfg.seed = 11;
+    cfg.threads = threads;
+    cfg.lookahead = lookahead;
+    Machine m(cfg);
+    m.attachInstrumentation(fullInstrumentation());
+
+    UniformPattern pat(m.geom());
+    BatchDriver::Config dcfg;
+    dcfg.cores = { 0, 1 };
+    dcfg.batch_size = 12;
+    dcfg.pattern = &pat;
+    BatchDriver driver(m, dcfg);
+    m.engine().add(driver);
+
+    EXPECT_TRUE(driver.run(1000000))
+        << "threads=" << threads << " lookahead=" << lookahead;
+    EXPECT_TRUE(m.runUntilQuiescent(100000))
+        << "threads=" << threads << " lookahead=" << lookahead;
+    return captureExports(m);
+}
+
+TEST(LookaheadDeterminism, Fig9ExportsByteIdenticalAcrossThreads)
+{
+    // At any *fixed* window the thread count must be unobservable.
+    // (Across windows a driver workload may differ: serial-to-shard
+    // feedback lands at the next window boundary, not the next cycle.)
+    for (Cycle lookahead : { Cycle{ 1 }, Cycle{ 0 } }) {
+        const RunExports serial = runFig9Style(1, lookahead);
+        EXPECT_GT(serial.delivered, 0u);
+        EXPECT_NE(serial.metrics.find("\"delivered\""), std::string::npos);
+        const std::string tag =
+            "fig9 lookahead=" + std::to_string(lookahead);
+        expectIdentical(serial, runFig9Style(2, lookahead),
+                        tag + " threads=2");
+        expectIdentical(serial, runFig9Style(4, lookahead),
+                        tag + " threads=4");
+    }
+}
+
+/**
+ * Feedback-free workload: every packet is pre-injected before the run
+ * and nothing reaches back from the serial phase into the shards (no
+ * drivers, handlers, or read replies). For these, the window itself is
+ * unobservable: window-k runs are byte-identical to window-1 runs at
+ * every thread count, the strongest form of the lookahead contract.
+ */
+RunExports
+runPreInjected(int threads, Cycle lookahead, std::uint64_t seed = 9)
+{
+    MachineConfig cfg;
+    cfg.radix = { 2, 2, 2 };
+    cfg.chip.endpoints_per_node = 4;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = 12;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    cfg.lookahead = lookahead;
+    Machine m(cfg);
+    m.attachInstrumentation(fullInstrumentation());
+
+    Rng traffic(seed * 1315423911ULL + 1);
+    const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
+    for (int i = 0; i < 200; ++i) {
+        const EndpointAddr src{ static_cast<NodeId>(traffic.below(nodes)),
+                                static_cast<int>(traffic.below(4)) };
+        const EndpointAddr dst{ static_cast<NodeId>(traffic.below(nodes)),
+                                static_cast<int>(traffic.below(4)) };
+        if (src.node == dst.node)
+            continue;
+        const int size = 1 + static_cast<int>(traffic.below(2));
+        m.send(m.makeWrite(src, dst, 0, size));
+    }
+    m.run(2048);
+    return captureExports(m);
+}
+
+TEST(LookaheadDeterminism, FeedbackFreeRunsByteIdenticalAcrossWindows)
+{
+    const RunExports base = runPreInjected(1, 1);
+    EXPECT_GT(base.delivered, 0u);
+    for (int threads : { 1, 2, 4 }) {
+        for (Cycle lookahead : { Cycle{ 1 }, Cycle{ 0 }, Cycle{ 5 } }) {
+            if (threads == 1 && lookahead == 1)
+                continue;
+            expectIdentical(base, runPreInjected(threads, lookahead),
+                            "pre-injected threads=" + std::to_string(threads)
+                                + " lookahead="
+                                + std::to_string(lookahead));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property test: seeded randomized configs
+// ---------------------------------------------------------------------
+
+TEST(LookaheadDeterminism, RandomizedConfigsSerialVsThreadedByteEqual)
+{
+    const std::vector<std::vector<int>> radixes{
+        { 2, 2, 2 }, { 4, 2, 2 }, { 2, 3, 2 }, { 3, 2, 2 }
+    };
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Rng gen(seed * 2654435761ULL + 3);
+        MachineConfig cfg;
+        cfg.radix = radixes[gen.below(radixes.size())];
+        cfg.chip.endpoints_per_node = gen.below(2) == 0 ? 2 : 4;
+        cfg.use_packaging = false;
+        cfg.fixed_torus_latency = 2 + static_cast<Cycle>(gen.below(19));
+        cfg.seed = seed;
+        // Tracing on even seeds only: traced machines pin the staged
+        // trace path, untraced ones keep idle-skip parking engaged.
+        const bool with_trace = seed % 2 == 0;
+
+        auto run = [&](int threads, Cycle lookahead) {
+            MachineConfig c = cfg;
+            c.threads = threads;
+            c.lookahead = lookahead;
+            Machine m(c);
+            m.attachInstrumentation(fullInstrumentation(with_trace));
+            Rng traffic(seed * 1315423911ULL + 7);
+            const auto nodes =
+                static_cast<std::uint64_t>(m.geom().numNodes());
+            const auto eps = static_cast<std::uint64_t>(
+                cfg.chip.endpoints_per_node);
+            for (int i = 0; i < 150; ++i) {
+                const EndpointAddr src{
+                    static_cast<NodeId>(traffic.below(nodes)),
+                    static_cast<int>(traffic.below(eps))
+                };
+                const EndpointAddr dst{
+                    static_cast<NodeId>(traffic.below(nodes)),
+                    static_cast<int>(traffic.below(eps))
+                };
+                if (src.node == dst.node)
+                    continue;
+                const int size = 1 + static_cast<int>(traffic.below(2));
+                m.send(m.makeWrite(src, dst, 0, size));
+            }
+            m.run(1536);
+            EXPECT_FALSE(m.audit()->tripped())
+                << "seed=" << seed << " threads=" << threads;
+            return captureExports(m);
+        };
+
+        const RunExports base = run(1, 1);
+        EXPECT_GT(base.delivered, 0u) << "seed=" << seed;
+        const std::string tag =
+            "seed=" + std::to_string(seed) + " latency="
+            + std::to_string(cfg.fixed_torus_latency);
+        expectIdentical(base, run(1, 0), tag + " serial windowed");
+        expectIdentical(base, run(2, 0), tag + " threads=2 windowed");
+        expectIdentical(base, run(4, 0), tag + " threads=4 windowed");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded-fault watchdog equality under lookahead
+// ---------------------------------------------------------------------
+
+/** Route @p count forced X+ slice-0 packets from @p src to @p dst. */
+std::uint64_t
+sendForcedXPlus(Machine &m, NodeId src, NodeId dst, int count, Rng &tie)
+{
+    std::uint64_t sent = 0;
+    for (int i = 0; i < count; ++i) {
+        auto pkt = m.makeWrite({ src, i % 4 }, { dst, 1 }, 0, 2);
+        pkt->route = makeRoute(m.geom(), src, dst, DimOrder{ 0, 1, 2 }, 0,
+                               tie);
+        pkt->route.dirs[0] = Dir::Pos;
+        pkt->vc = VcState(m.config().chip.vc_policy);
+        m.chip(src).setExit(*pkt, nextRouteDim(m.geom(), src, dst,
+                                               pkt->route));
+        m.send(pkt);
+        ++sent;
+    }
+    return sent;
+}
+
+TEST(LookaheadDeterminism, FaultedWatchdogTripsAtSameCycleUnderLookahead)
+{
+    // The wedging workload is pre-injected (feedback-free), so the trip
+    // cycle and snapshot must agree across thread counts *and* windows;
+    // the full report is compared across threads at each fixed window
+    // (its audit-pass counts depend on the run-loop stride).
+    Cycle ref_trip = 0;
+    bool have_ref = false;
+    for (Cycle lookahead : { Cycle{ 1 }, Cycle{ 0 } }) {
+        std::string window_report;
+        for (int threads : { 1, 2, 4 }) {
+            MachineConfig cfg;
+            cfg.radix = { 4, 2, 2 };
+            cfg.chip.endpoints_per_node = 4;
+            cfg.use_packaging = false;
+            cfg.fixed_torus_latency = 12;
+            cfg.seed = 7;
+            cfg.threads = threads;
+            cfg.lookahead = lookahead;
+            Machine m(cfg);
+
+            Instrumentation inst;
+            inst.metrics = true;
+            NetworkFault fault;
+            fault.kind = NetworkFault::Kind::WithholdTorusCredits;
+            fault.node = 0;
+            inst.faults.push_back(fault);
+            AuditConfig acfg;
+            acfg.audit_interval = 32;
+            acfg.watchdog_interval = 16;
+            acfg.stall_threshold = 300;
+            inst.audit = acfg;
+            m.attachInstrumentation(inst);
+
+            Rng tie(3);
+            const NodeId dst = m.geom().id({ 2, 0, 0 });
+            const auto sent = sendForcedXPlus(m, 0, dst, 40, tie);
+            EXPECT_FALSE(m.runUntilDelivered(sent, 100000))
+                << "threads=" << threads << " lookahead=" << lookahead;
+
+            Auditor &a = *m.audit();
+            ASSERT_TRUE(a.tripped())
+                << "threads=" << threads << " lookahead=" << lookahead;
+            const MachineSnapshot *snap = a.tripSnapshot();
+            ASSERT_NE(snap, nullptr);
+            if (!have_ref) {
+                ref_trip = snap->now;
+                have_ref = true;
+                EXPECT_GT(ref_trip, 0u);
+            } else {
+                EXPECT_EQ(snap->now, ref_trip)
+                    << "threads=" << threads
+                    << " lookahead=" << lookahead;
+            }
+            if (threads == 1)
+                window_report = a.reportJson();
+            else
+                EXPECT_EQ(a.reportJson(), window_report)
+                    << "threads=" << threads
+                    << " lookahead=" << lookahead;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pinned 8x8x8 short-run regression (bench_host_speed --cycles 200)
+// ---------------------------------------------------------------------
+
+/** Replicates bench_host_speed's runLoad() at --cycles 200 defaults. */
+std::uint64_t
+runBenchLoad8x8x8(int threads)
+{
+    const std::vector<int> radix{ 8, 8, 8 };
+
+    // The bench's default rate: 60% of the analytic saturation point.
+    ChipConfig chip;
+    chip.endpoints_per_node = 8;
+    const TorusGeom geom(radix);
+    const ChipLayout layout(8, 3);
+    LoadModel lm(geom, layout, chip, 1);
+    Rng lrng(2);
+    UniformPattern uniform(geom);
+    lm.addPattern(0, uniform, firstEndpoints(4), 300, lrng);
+    const double rate = 0.6 * lm.idealCoreThroughput(0);
+
+    MachineConfig cfg;
+    cfg.radix = radix;
+    cfg.chip.endpoints_per_node = 8;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = 20;
+    cfg.seed = 17;
+    cfg.threads = threads;
+    cfg.lookahead = 0;
+    Machine m(cfg);
+    EXPECT_EQ(m.lookaheadWindow(), 20u);
+
+    UniformPattern pat(m.geom());
+    OpenLoopDriver::Config dcfg;
+    dcfg.cores = firstEndpoints(4);
+    dcfg.rate = rate;
+    dcfg.pattern = &pat;
+    OpenLoopDriver driver(m, dcfg);
+    m.engine().add(driver);
+
+    m.run(200);
+    EXPECT_EQ(m.now(), 200u);
+    return m.totalDelivered();
+}
+
+TEST(LookaheadRegression, BenchHostSpeed8x8x8DeliveredCountIsPinned)
+{
+    // Pinned from the first audited run of this workload; a change here
+    // means the simulated machine itself changed, not just its speed.
+    constexpr std::uint64_t kExpectedDelivered = 1791;
+    const std::uint64_t serial = runBenchLoad8x8x8(1);
+    EXPECT_EQ(serial, kExpectedDelivered);
+    EXPECT_EQ(runBenchLoad8x8x8(4), serial)
+        << "threaded 8x8x8 short run diverged from serial";
+}
+
+} // namespace
+} // namespace anton2
