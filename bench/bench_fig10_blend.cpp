@@ -36,8 +36,11 @@ enum class WeightMode { None, Forward, Reverse, Both };
 double
 runBlend(const std::vector<int> &radix, int cores, std::uint64_t batch,
          WeightMode mode, double reverse_fraction, std::uint64_t seed,
-         int threads)
+         int threads, const bench::ReportOptions &report, bool probe,
+         std::string *report_body, std::string *host_json)
 {
+    HostProfiler prof;
+    prof.beginPhase("build");
     MachineConfig cfg;
     cfg.radix = radix;
     cfg.chip.endpoints_per_node = 8;
@@ -48,6 +51,13 @@ runBlend(const std::vector<int> &radix, int cores, std::uint64_t batch,
     cfg.seed = seed;
     cfg.threads = threads;
     Machine m(cfg);
+    // The probe run (last sweep point, Both mode) carries the run-report
+    // instrumentation; the rest of the sweep stays uninstrumented.
+    if (probe && report.enabled()) {
+        Instrumentation inst;
+        report.addTo(inst);
+        m.attachInstrumentation(inst);
+    }
 
     const auto eps = firstEndpoints(cores);
     TornadoPattern fwd(m.geom(), false);
@@ -115,8 +125,16 @@ runBlend(const std::vector<int> &radix, int cores, std::uint64_t batch,
     dcfg.blend_fraction2 = reverse_fraction;
     BatchDriver driver(m, dcfg);
     m.engine().add(driver);
+    prof.beginPhase("run");
     if (!driver.run(static_cast<Cycle>(batch) * 3000 + 300000))
         std::fprintf(stderr, "WARNING: blend run timed out\n");
+    prof.endPhase();
+    if (probe && report.enabled()) {
+        *report_body = report.bodyJson(m);
+        bench::recordHostMem(prof, m);
+        *host_json = bench::hostJson(prof, m.now(),
+                                     m.engine().componentCount());
+    }
     return driver.throughputPerCore() / ideal;
 }
 
@@ -128,6 +146,7 @@ main(int argc, char **argv)
     long kx = 8, ky = 4, kz = 4;
     long cores = 8, batch_flag = 256, seed_flag = 21, steps_flag = 4;
     long threads = 1;
+    bench::ReportOptions report;
     bench::OptionRegistry reg(
         "Figure 10: tornado / reverse-tornado blending under the four "
         "arbiter weight modes");
@@ -144,12 +163,15 @@ main(int argc, char **argv)
             "engine worker threads (results are bit-identical at any "
             "count)",
             &threads);
+    report.registerInto(reg);
     if (!reg.parse(argc, argv))
         return 1;
     if (threads < 1) {
         std::fprintf(stderr, "error: --threads must be >= 1\n");
         return 1;
     }
+    if (!report.validate())
+        return 1;
     const std::vector<int> radix{ static_cast<int>(kx),
                                   static_cast<int>(ky),
                                   static_cast<int>(kz) };
@@ -167,24 +189,29 @@ main(int argc, char **argv)
                 "Forward", "Reverse", "Both");
     bench::printRule(60);
 
+    std::string report_body, report_host;
     for (int i = 0; i <= steps; ++i) {
         const double f = static_cast<double>(i) / steps;
         const double none =
             runBlend(radix, static_cast<int>(cores), batch,
                      WeightMode::None, f, seed,
-                     static_cast<int>(threads));
+                     static_cast<int>(threads), report, false, nullptr,
+                     nullptr);
         const double fwd =
             runBlend(radix, static_cast<int>(cores), batch,
                      WeightMode::Forward, f, seed,
-                     static_cast<int>(threads));
+                     static_cast<int>(threads), report, false, nullptr,
+                     nullptr);
         const double rev =
             runBlend(radix, static_cast<int>(cores), batch,
                      WeightMode::Reverse, f, seed,
-                     static_cast<int>(threads));
+                     static_cast<int>(threads), report, false, nullptr,
+                     nullptr);
         const double both =
             runBlend(radix, static_cast<int>(cores), batch,
                      WeightMode::Both, f, seed,
-                     static_cast<int>(threads));
+                     static_cast<int>(threads), report, i == steps,
+                     &report_body, &report_host);
         std::printf("%-22.2f %8.3f %8.3f %8.3f %8.3f\n", f, none, fwd, rev,
                     both);
     }
@@ -193,5 +220,15 @@ main(int argc, char **argv)
         "Paper (8x8x8): Both holds ~0.85 across all blends; Forward/"
         "Reverse fall\ntoward round-robin as the blend moves away from "
         "their pattern.\n");
+    report.write("fig10_blend",
+                 bench::JsonObj()
+                     .add("kx", bench::num(radix[0]))
+                     .add("ky", bench::num(radix[1]))
+                     .add("kz", bench::num(radix[2]))
+                     .add("cores", bench::num(cores))
+                     .add("batch", bench::num(static_cast<double>(batch)))
+                     .add("steps", bench::num(steps))
+                     .dump(0),
+                 report_body, report_host);
     return 0;
 }

@@ -178,12 +178,16 @@ main(int argc, char **argv)
     if (!ys.empty())
         std::printf("Minimum measured latency: %.1f ns\n", ys.front());
 
+    const auto config = bench::JsonObj()
+                            .add("k", bench::num(k))
+                            .add("pairs", bench::num(pairs))
+                            .add("rounds", bench::num(rounds))
+                            .dump(0);
+    bench::recordHostMem(prof, m);
+    run.report.write("fig11_latency", config, run.report.bodyJson(m),
+                     bench::hostJson(prof, m.now(),
+                                     m.engine().componentCount()));
     if (json_path != nullptr) {
-        const auto config = bench::JsonObj()
-                                .add("k", bench::num(k))
-                                .add("pairs", bench::num(pairs))
-                                .add("rounds", bench::num(rounds))
-                                .dump(0);
         const auto fit_obj = bench::JsonObj()
                                  .add("intercept_ns",
                                       bench::num(fit.intercept))

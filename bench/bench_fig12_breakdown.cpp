@@ -40,6 +40,8 @@ main(int argc, char **argv)
     const auto &ts = run.ts;
     const auto &audit = run.audit;
 
+    HostProfiler prof;
+    prof.beginPhase("build");
     MachineConfig cfg;
     cfg.radix = { k, k, k };
     cfg.chip.endpoints_per_node = 23;
@@ -49,6 +51,7 @@ main(int argc, char **argv)
     // A single-packet traversal makes the smallest useful demo trace:
     // every lifecycle event of Figure 12's E -> R -> C -> link path.
     run.apply(m);
+    prof.beginPhase("run");
 
     // The minimum-latency configuration: source and destination endpoints
     // co-located with the Y-channel routers (endpoint 16 sits on R(0,2)
@@ -126,6 +129,13 @@ main(int argc, char **argv)
     }
     ts.write(m);
     audit.write(m);
+    prof.endPhase();
+    bench::recordHostMem(prof, m);
+    run.report.write("fig12_breakdown",
+                     bench::JsonObj().add("k", bench::num(k)).dump(0),
+                     run.report.bodyJson(m),
+                     bench::hostJson(prof, m.now(),
+                                     m.engine().componentCount()));
     if (m.audit() != nullptr && m.audit()->violationCount() > 0) {
         std::fprintf(stderr, "audit: %llu invariant violations\n",
                      static_cast<unsigned long long>(

@@ -69,6 +69,7 @@ int
 main(int argc, char **argv)
 {
     long k_flag = 8, threads = 1;
+    bench::ReportOptions report;
     bench::OptionRegistry reg(
         "Figure 3: multicast tree vs. unicast torus hops, plus measured "
         "flit savings in the simulator");
@@ -77,12 +78,15 @@ main(int argc, char **argv)
             "engine worker threads for the measured section (results are "
             "bit-identical at any count)",
             &threads);
+    report.registerInto(reg);
     if (!reg.parse(argc, argv))
         return 1;
     if (threads < 1) {
         std::fprintf(stderr, "error: --threads must be >= 1\n");
         return 1;
     }
+    if (!report.validate())
+        return 1;
     const int k = static_cast<int>(k_flag);
     const TorusGeom geom(k, k, k);
     const NodeId src = geom.id({ k / 2, k / 2, k / 2 });
@@ -119,6 +123,8 @@ main(int argc, char **argv)
                 maxChannelUse({ &tree_a, &tree_b }));
 
     // --- measured in the simulator ------------------------------------
+    HostProfiler prof;
+    prof.beginPhase("build");
     MachineConfig cfg;
     cfg.radix = { 4, 4, 4 };
     cfg.chip.endpoints_per_node = 4;
@@ -126,6 +132,12 @@ main(int argc, char **argv)
     cfg.seed = 9;
     cfg.threads = static_cast<int>(threads);
     Machine m(cfg);
+    if (report.enabled()) {
+        Instrumentation inst;
+        report.addTo(inst);
+        m.attachInstrumentation(inst);
+    }
+    prof.beginPhase("run");
     const NodeId msrc = m.geom().id({ 2, 2, 2 });
     const auto mdests = planeDests(m.geom(), msrc, 1);
 
@@ -158,5 +170,12 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(mcast_flits));
     std::printf("  unicast torus flits:   %llu\n",
                 static_cast<unsigned long long>(unicast_flits));
+    prof.endPhase();
+    bench::recordHostMem(prof, m);
+    report.write("fig3_multicast",
+                 bench::JsonObj().add("k", bench::num(k)).dump(0),
+                 report.bodyJson(m),
+                 bench::hostJson(prof, m.now(),
+                                 m.engine().componentCount()));
     return 0;
 }

@@ -39,6 +39,7 @@ struct RunResult
     std::string timeseries_json; ///< windowed section (probe runs)
     std::string host_json;       ///< simulator self-profile (probe runs)
     std::string audit_json;      ///< auditor summary (probe runs)
+    std::string report_json;     ///< run-report body (probe runs)
 };
 
 RunResult
@@ -66,6 +67,7 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
         run.trace.addTo(inst);
         run.ts.addTo(inst);
         run.audit.addTo(inst, m.geom());
+        run.report.addTo(inst);
     } else if (run.ts.progress) {
         inst.progress = ProgressMeter::Config{};
     }
@@ -120,7 +122,9 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
         res.timeseries_json = run.ts.jsonSection(m);
         run.audit.write(m);
         res.audit_json = run.audit.jsonSection(m);
+        res.report_json = run.report.bodyJson(m);
     }
+    bench::recordHostMem(prof, m);
     res.host_json =
         bench::hostJson(prof, m.now(), m.engine().componentCount());
     return res;
@@ -172,6 +176,7 @@ main(int argc, char **argv)
     std::string last_timeseries;
     std::string last_host;
     std::string last_audit;
+    std::string last_report;
     for (const char *pattern : { "2-hop", "uniform" }) {
         for (std::uint64_t batch = 16; batch <= max_batch; batch *= 4) {
             // The telemetry snapshot (and the event trace / time series,
@@ -179,7 +184,8 @@ main(int argc, char **argv)
             // the last pattern's probe run wins the output files.
             const bool probe =
                 (json_path != nullptr || run.trace.enabled()
-                 || run.ts.enabled() || run.audit.enabled())
+                 || run.ts.enabled() || run.audit.enabled()
+                 || run.report.enabled())
                 && batch * 4 > max_batch;
             const auto rr = runBatch(radix, static_cast<int>(cores),
                                      ArbPolicy::RoundRobin, pattern, batch,
@@ -204,6 +210,7 @@ main(int argc, char **argv)
                 last_metrics = std::move(iw.metrics_json);
                 last_timeseries = std::move(iw.timeseries_json);
                 last_audit = std::move(iw.audit_json);
+                last_report = std::move(iw.report_json);
             }
             last_host = std::move(iw.host_json);
         }
@@ -215,6 +222,21 @@ main(int argc, char **argv)
         "beyond\nsaturation; inverse-weighted saturates near 0.9 and "
         "stays flat.\n");
 
+    // The run report's config carries only experiment parameters - not
+    // the thread count or lookahead window, which are host-execution
+    // details that must not break the report's cross-thread
+    // byte-identity. The --json report below keeps them.
+    const auto det_config =
+        bench::JsonObj()
+            .add("kx", bench::num(radix[0]))
+            .add("ky", bench::num(radix[1]))
+            .add("kz", bench::num(radix[2]))
+            .add("cores", bench::num(cores))
+            .add("maxbatch", bench::num(static_cast<double>(max_batch)))
+            .add("seed", bench::num(static_cast<double>(seed)))
+            .dump(0);
+    run.report.write("fig9_throughput", det_config, last_report,
+                     last_host);
     if (json_path != nullptr) {
         const auto config =
             bench::JsonObj()

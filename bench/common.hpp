@@ -434,11 +434,118 @@ struct AuditOptions
 };
 
 /**
+ * Shared run-report flags for the figure benches:
+ *   --metrics-level LEVEL  telemetry granularity: machine, chip, router,
+ *                          or full (default full). `machine` keeps the
+ *                          registry O(chips) on an 8x8x8 run; rollups
+ *                          and the hot-spot digest stay byte-identical
+ *                          at every level.
+ *   --report PATH          write the single-artifact run report JSON
+ *                          (implies metrics)
+ *   --topk N               hot-spot digest size (default 8)
+ * The report merges bench config, the Machine's deterministic body
+ * (rollups, digest, steady state, audit verdict), and the host profile;
+ * the host section is the LAST key, so byte-comparisons across thread
+ * counts stop at `"host":`. Paths are validated before simulating.
+ */
+struct ReportOptions
+{
+    const char *level_name = nullptr;
+    const char *report = nullptr;
+    long topk = 8;
+    MetricsLevel level = MetricsLevel::Full;
+
+    /** Declare the shared report flags on @p reg. */
+    void
+    registerInto(OptionRegistry &reg)
+    {
+        reg.add("--metrics-level", "LEVEL",
+                "telemetry granularity: machine, chip, router, or full "
+                "(default full)",
+                &level_name);
+        reg.add("--report", "PATH",
+                "write the single-artifact run report JSON (implies "
+                "metrics)",
+                &report);
+        reg.add("--topk", "N", "hot-spot digest size (default 8)", &topk);
+    }
+
+    bool enabled() const { return report != nullptr; }
+
+    /** Parse the level, fail fast on bad values / unwritable paths. */
+    bool
+    validate()
+    {
+        if (level_name != nullptr
+            && !parseMetricsLevel(level_name, level)) {
+            std::fprintf(stderr,
+                         "error: --metrics-level must be machine, chip, "
+                         "router, or full\n");
+            return false;
+        }
+        if (topk < 1) {
+            std::fprintf(stderr, "error: --topk must be >= 1\n");
+            return false;
+        }
+        return validateOutputPaths({ report });
+    }
+
+    /** Contribute to an instrumentation bundle: the level always (it
+     * only takes effect when metrics engage), metrics when a report
+     * was requested. */
+    void
+    addTo(Instrumentation &inst) const
+    {
+        inst.metrics_level = level;
+        if (report != nullptr)
+            inst.metrics = true;
+    }
+
+    /** The deterministic report body ("" when --report is off). Call on
+     * the probe Machine before it is destroyed. */
+    std::string
+    bodyJson(Machine &m) const
+    {
+        return report != nullptr
+                   ? m.runReportJson(static_cast<std::size_t>(topk))
+                   : std::string();
+    }
+
+    /**
+     * Compose and write the run report: report_version / bench / config
+     * first, the deterministic body under "run", and the
+     * non-deterministic host section last. No-op when --report is off
+     * or the probe run never produced a body. @p config_json must carry
+     * only experiment parameters (radix, cores, seed, ...) - never the
+     * thread count or lookahead window - so everything before the
+     * `"host"` key stays byte-identical across thread counts.
+     */
+    void
+    write(const char *bench_name, const std::string &config_json,
+          const std::string &body, const std::string &host_json) const
+    {
+        if (report == nullptr || body.empty())
+            return;
+        writeFile(report,
+                  JsonObj()
+                      .add("report_version", num(1))
+                      .add("bench", str(bench_name))
+                      .add("config", config_json)
+                      .add("run", body)
+                      .add("host",
+                           host_json.empty() ? "null" : host_json)
+                      .dump()
+                      + "\n");
+        std::printf("Run report written to %s\n", report);
+    }
+};
+
+/**
  * The full shared option set for a Machine-driving bench: `--threads`
- * plus the tracing / time-series / auditor groups. One registerInto()
- * declares every shared flag, one validate() resolves implications and
- * fail-fasts, and one apply() configures a Machine through the unified
- * Machine::attachInstrumentation() call.
+ * plus the tracing / time-series / auditor / report groups. One
+ * registerInto() declares every shared flag, one validate() resolves
+ * implications and fail-fasts, and one apply() configures a Machine
+ * through the unified Machine::attachInstrumentation() call.
  */
 struct RunOptions
 {
@@ -447,6 +554,7 @@ struct RunOptions
     TraceOptions trace;
     TimeseriesOptions ts;
     AuditOptions audit;
+    ReportOptions report;
 
     void
     registerInto(OptionRegistry &reg)
@@ -462,6 +570,7 @@ struct RunOptions
         trace.registerInto(reg);
         ts.registerInto(reg);
         audit.registerInto(reg);
+        report.registerInto(reg);
     }
 
     /** Resolve implications and fail fast; call once after parse(). */
@@ -476,7 +585,8 @@ struct RunOptions
             std::fprintf(stderr, "error: --lookahead must be >= 0\n");
             return false;
         }
-        return trace.validate() && ts.validate() && audit.validate();
+        return trace.validate() && ts.validate() && audit.validate()
+               && report.validate();
     }
 
     /** The bundle every requested option group contributes to. */
@@ -488,6 +598,7 @@ struct RunOptions
         trace.addTo(inst);
         ts.addTo(inst);
         audit.addTo(inst, m.geom());
+        report.addTo(inst);
         return inst;
     }
 
@@ -522,6 +633,18 @@ inline std::string
 hostJson(const HostProfiler &prof, Cycle cycles, std::size_t components)
 {
     return prof.toJson(cycles, components);
+}
+
+/** Record the simulator's memory footprint on @p prof (peak RSS plus
+ * the packet-pool and metric-registry sizes from @p m), so the host
+ * section carries the `machine.host.mem.*` gauges. Call right before
+ * hostJson(). */
+inline void
+recordHostMem(HostProfiler &prof, Machine &m)
+{
+    prof.setMemStats(m.packetPoolBytes(),
+                     m.metrics() != nullptr ? m.metrics()->approxBytes()
+                                            : 0);
 }
 
 /** Render a possibly-NaN value for the text tables ("-" when empty). */

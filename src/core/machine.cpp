@@ -184,7 +184,7 @@ Machine::attachInstrumentation(const Instrumentation &inst)
     for (const NetworkFault &f : inst.faults)
         applyFault(f);
     if (inst.metrics)
-        doEnableMetrics();
+        doEnableMetrics(inst.metrics_level);
     if (inst.trace.has_value())
         doEnableTracing(*inst.trace);
     if (inst.timeseries.has_value())
@@ -196,11 +196,12 @@ Machine::attachInstrumentation(const Instrumentation &inst)
 }
 
 MetricsRegistry &
-Machine::doEnableMetrics()
+Machine::doEnableMetrics(MetricsLevel level)
 {
     if (metrics_ != nullptr)
         return *metrics_;
     metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_->setLevel(level);
     for (auto &c : chips_)
         c->bindMetrics(*metrics_);
     m_delivered_ = &metrics_->counter("machine.delivered");
@@ -213,40 +214,64 @@ Machine::metricsJson()
 {
     assert(metrics_ != nullptr && "call enableMetrics() first");
     MetricsRegistry &reg = *metrics_;
+    const MetricsLevel level = reg.level();
     const auto cycles = static_cast<double>(engine_.now());
     reg.setGauge("machine.cycles", cycles);
 
     // Per-channel utilization: flits actually serialized over the flits
     // the SerDes could have carried in the elapsed time (the paper's
     // normalization: 1.0 = the 89.6 Gb/s effective channel rate).
+    // Reduced along the hierarchy like everything else: per-adapter
+    // gauges at Router/Full, per-chip at Chip, machine-wide always.
+    // The accumulation loop is level-independent, so the machine value
+    // is byte-identical at every level.
+    double m_flits = 0.0;
+    double m_capacity = 0.0;
     for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        double c_flits = 0.0;
+        double c_capacity = 0.0;
         for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
             ChannelAdapter &a = chip(n).channelAdapter(ca);
             const double capacity =
                 cycles
                 * static_cast<double>(a.config().ser_tokens_per_cycle)
                 / static_cast<double>(a.config().ser_tokens_per_flit);
-            reg.setGauge("chip." + std::to_string(n) + ".ca."
-                             + layout_.channelShortName(ca)
-                             + ".utilization",
-                         capacity > 0.0
-                             ? static_cast<double>(a.flitsSent()) / capacity
-                             : 0.0);
+            const auto flits = static_cast<double>(a.flitsSent());
+            c_flits += flits;
+            c_capacity += capacity;
+            if (level >= MetricsLevel::Router) {
+                reg.setGauge("chip." + std::to_string(n) + ".ca."
+                                 + layout_.channelShortName(ca)
+                                 + ".utilization",
+                             capacity > 0.0 ? flits / capacity : 0.0);
+            }
+        }
+        m_flits += c_flits;
+        m_capacity += c_capacity;
+        if (level >= MetricsLevel::Chip) {
+            reg.setGauge("chip." + std::to_string(n)
+                             + ".link.utilization",
+                         c_capacity > 0.0 ? c_flits / c_capacity : 0.0);
         }
     }
+    reg.setGauge("machine.link.utilization",
+                 m_capacity > 0.0 ? m_flits / m_capacity : 0.0);
 
     // Stall attribution (present once tracing enabled the samplers):
-    // per-router per-class cycle totals plus the machine-wide aggregate
-    // that traceChromeJson() mirrors in otherData.stall_totals.
+    // per-class cycle totals reduced router -> chip -> machine; the
+    // machine aggregate mirrors traceChromeJson()'s
+    // otherData.stall_totals.
     PortStallTotals machine_stalls;
     bool any_stalls = false;
     for (NodeId n = 0; n < geom_.numNodes(); ++n) {
         const MeshGeom &mesh = layout_.mesh();
+        PortStallTotals chip_stalls;
+        bool chip_any = false;
         for (RouterId r = 0; r < layout_.numRouters(); ++r) {
             const RouterStallSampler *s = chip(n).router(r).stallSampler();
             if (s == nullptr)
                 continue;
-            any_stalls = true;
+            chip_any = true;
             const PortStallTotals agg = s->aggregate();
             const std::string prefix = "chip." + std::to_string(n)
                                        + ".router."
@@ -256,9 +281,27 @@ Machine::metricsJson()
             for (int c = 0; c < kNumStallClasses; ++c) {
                 const auto cycles_c =
                     agg.cycles[static_cast<std::size_t>(c)];
-                reg.setGauge(prefix
-                                 + stallClassName(static_cast<StallClass>(c)),
-                             static_cast<double>(cycles_c));
+                if (level >= MetricsLevel::Router) {
+                    reg.setGauge(
+                        prefix
+                            + stallClassName(static_cast<StallClass>(c)),
+                        static_cast<double>(cycles_c));
+                }
+                chip_stalls.cycles[static_cast<std::size_t>(c)] +=
+                    cycles_c;
+            }
+        }
+        if (chip_any) {
+            any_stalls = true;
+            for (int c = 0; c < kNumStallClasses; ++c) {
+                const auto cycles_c =
+                    chip_stalls.cycles[static_cast<std::size_t>(c)];
+                if (level >= MetricsLevel::Chip) {
+                    reg.setGauge(
+                        "chip." + std::to_string(n) + ".stall."
+                            + stallClassName(static_cast<StallClass>(c)),
+                        static_cast<double>(cycles_c));
+                }
                 machine_stalls.cycles[static_cast<std::size_t>(c)] +=
                     cycles_c;
             }
@@ -279,10 +322,12 @@ Machine::metricsJson()
     Cycle oldest = kNoCycle;
     for (NodeId n = 0; n < geom_.numNodes(); ++n) {
         const Cycle b = chips_[n]->oldestPacketBirth();
-        reg.setGauge("chip." + std::to_string(n) + ".pkt.oldest_age",
-                     b == kNoCycle
-                         ? 0.0
-                         : static_cast<double>(engine_.now() - b));
+        if (level >= MetricsLevel::Chip) {
+            reg.setGauge("chip." + std::to_string(n) + ".pkt.oldest_age",
+                         b == kNoCycle
+                             ? 0.0
+                             : static_cast<double>(engine_.now() - b));
+        }
         if (b < oldest)
             oldest = b;
     }
@@ -291,9 +336,127 @@ Machine::metricsJson()
                      ? 0.0
                      : static_cast<double>(engine_.now() - oldest));
 
+    // The hierarchical reduction of every recorded counter/stat; at
+    // Machine level these rollups are all the export will show.
+    applyRollups(reg);
+
     if (audit_ != nullptr)
         audit_->publishGauges(reg);
     return reg.toJson();
+}
+
+HotspotDigest
+Machine::hotspotDigest(std::size_t k)
+{
+    HotspotDigest d;
+    d.k = k;
+    const auto cycles = static_cast<double>(engine_.now());
+    const MeshGeom &mesh = layout_.mesh();
+
+    struct AxisAccum
+    {
+        std::uint64_t flits = 0;
+        std::uint64_t links = 0;
+        double util_sum = 0.0;
+    };
+    AxisAccum axes[6];
+
+    for (NodeId n = 0; n < geom_.numNodes(); ++n) {
+        Chip &c = chip(n);
+        for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
+            ChannelAdapter &a = c.channelAdapter(ca);
+            const double capacity =
+                cycles
+                * static_cast<double>(a.config().ser_tokens_per_cycle)
+                / static_cast<double>(a.config().ser_tokens_per_flit);
+            const double util =
+                capacity > 0.0
+                    ? static_cast<double>(a.flitsSent()) / capacity
+                    : 0.0;
+            d.links.push_back({ static_cast<std::int64_t>(n),
+                                layout_.channelShortName(ca),
+                                a.flitsSent(), util });
+            int dim, slice;
+            Dir dir;
+            layout_.channelAdapterParams(ca, dim, dir, slice);
+            AxisAccum &ax =
+                axes[static_cast<std::size_t>(dim * 2 + dirIndex(dir))];
+            ax.flits += a.flitsSent();
+            ++ax.links;
+            ax.util_sum += util;
+        }
+        for (RouterId r = 0; r < layout_.numRouters(); ++r) {
+            d.routers.push_back({ static_cast<std::int64_t>(n),
+                                  mesh.u(r), mesh.v(r),
+                                  c.router(r).flitsRouted() });
+        }
+        const Cycle b = c.oldestPacketBirth();
+        if (b != kNoCycle) {
+            d.oldest.push_back(
+                { static_cast<std::int64_t>(n),
+                  static_cast<std::uint64_t>(engine_.now() - b) });
+        }
+    }
+
+    for (int dim = 0; dim < 3; ++dim) {
+        for (Dir dir : { Dir::Pos, Dir::Neg }) {
+            const AxisAccum &ax =
+                axes[static_cast<std::size_t>(dim * 2 + dirIndex(dir))];
+            d.axes.push_back(
+                { std::string(1, kDimNames[dim]) + dirName(dir),
+                  ax.flits, ax.links,
+                  ax.links > 0
+                      ? ax.util_sum / static_cast<double>(ax.links)
+                      : 0.0 });
+        }
+    }
+
+    finalizeHotspots(d);
+    return d;
+}
+
+std::string
+Machine::runReportJson(std::size_t topk)
+{
+    assert(metrics_ != nullptr && "call enableMetrics() first");
+    if (sampler_ != nullptr)
+        sampler_->finalize(engine_.now());
+
+    std::string out = "{\n";
+    out += "  \"metrics_level\": "
+           + jsonString(metricsLevelName(metrics_->level())) + ",\n";
+    out += "  \"cycles\": "
+           + jsonNumber(static_cast<double>(engine_.now())) + ",\n";
+    out += "  \"delivered\": "
+           + jsonNumber(static_cast<double>(delivered_)) + ",\n";
+    out += "  \"metrics\": " + metricsJson();
+    // metricsJson() ends with a newline; splice the separator in place.
+    out.insert(out.size() - 1, ",");
+    out += "  \"digest\": " + hotspotDigestJson(hotspotDigest(topk), 2, 1)
+           + ",\n";
+    out += "  \"steady_state\": "
+           + (sampler_ != nullptr ? sampler_->steadyStateJson(2, 1)
+                                  : std::string("null"))
+           + ",\n";
+    out += "  \"audit\": "
+           + (audit_ != nullptr ? audit_->reportJson()
+                                : std::string("null"))
+           + "\n";
+    out += "}";
+    return out;
+}
+
+std::size_t
+Machine::packetPoolBytes()
+{
+    std::lock_guard<std::mutex> lock(pool_->mu);
+    std::size_t total = pool_->free.capacity() * sizeof(Packet *);
+    for (const Packet *p : pool_->free) {
+        total += sizeof(Packet)
+                 + p->payload.capacity()
+                       * sizeof(decltype(p->payload)::value_type);
+    }
+    return total;
 }
 
 IntervalSampler &

@@ -22,6 +22,7 @@
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
+#include "sim/rollup.hpp"
 #include "sim/timeseries.hpp"
 #include "trace/trace.hpp"
 
@@ -94,6 +95,11 @@ struct Instrumentation
 {
     /** Bind the metrics registry to every component. */
     bool metrics = false;
+    /** Telemetry granularity for the registry (see MetricsLevel): how
+     * much per-component state is materialized and exported. Only
+     * consulted when `metrics` is engaged, and only by the *first*
+     * attach that creates the registry (binding is one-shot). */
+    MetricsLevel metrics_level = MetricsLevel::Full;
     /** Create the trace ring and bind every component. */
     std::optional<TraceConfig> trace;
     /** Create the interval sampler with the standard series set. */
@@ -246,9 +252,36 @@ class Machine
 
     /**
      * Refresh derived gauges (elapsed cycles, per-channel utilization)
-     * and serialize the full registry. Requires enableMetrics().
+     * and the hierarchical rollups (`machine.noc.*` / `machine.link.*`
+     * / `machine.ep.*`, per-chip reductions at the fine levels), then
+     * serialize the registry at its bound MetricsLevel. Requires
+     * enableMetrics().
      */
     std::string metricsJson();
+
+    /**
+     * Build the top-K hot-spot digest from the components' always-on
+     * raw counters: the K hottest torus links and routers, per-chip
+     * oldest-packet watermarks, and per-axis torus aggregates. Works at
+     * every metrics level (and even with metrics disabled) - this is
+     * the coarse-level replacement for the per-link dumps.
+     */
+    HotspotDigest hotspotDigest(std::size_t k = 8);
+
+    /**
+     * The deterministic body of the single-artifact run report: metrics
+     * level, elapsed cycles, delivered count, the level-aware metrics
+     * tree (rollups included), the hot-spot digest, the steady-state
+     * outcome (null without a sampler), and the audit verdict (null
+     * without the auditor). Byte-identical across thread counts; bench
+     * wrappers append their config and the non-deterministic host
+     * section *after* this body. Requires enableMetrics().
+     */
+    std::string runReportJson(std::size_t topk = 8);
+
+    /** Bytes parked in the packet-pool freelist (objects + payload
+     * capacity), for the host memory report. */
+    std::size_t packetPoolBytes();
 
     // ------------------------------------------------------------------
     // Event tracing
@@ -371,7 +404,7 @@ class Machine
     }
 
   private:
-    MetricsRegistry &doEnableMetrics();
+    MetricsRegistry &doEnableMetrics(MetricsLevel level);
     RingTraceSink &doEnableTracing(const TraceConfig &cfg);
     IntervalSampler &doEnableTimeseries(const TimeseriesConfig &cfg);
     ProgressMeter &doEnableProgress(const ProgressMeter::Config &cfg);

@@ -41,6 +41,11 @@ LinkSender::offer(const FlitPayload &flit)
 void
 LinkSender::bindMetrics(MetricsRegistry &reg, const std::string &prefix)
 {
+    // Link endpoints are per-link instruments; below Router level they
+    // stay unbound entirely (the counters are visible through
+    // framesTransmitted()/retransmissions() regardless).
+    if (reg.level() < MetricsLevel::Router)
+        return;
     m_frames_tx_ = &reg.counter(prefix + ".frames_tx");
     m_retransmissions_ = &reg.counter(prefix + ".retransmissions");
     m_acks_rx_ = &reg.counter(prefix + ".acks_rx");
@@ -132,6 +137,8 @@ LinkReceiver::LinkReceiver(std::string name, const LinkConfig &cfg,
 void
 LinkReceiver::bindMetrics(MetricsRegistry &reg, const std::string &prefix)
 {
+    if (reg.level() < MetricsLevel::Router)
+        return;
     m_delivered_ = &reg.counter(prefix + ".delivered");
     m_crc_drops_ = &reg.counter(prefix + ".crc_drops");
     m_order_drops_ = &reg.counter(prefix + ".order_drops");

@@ -51,19 +51,33 @@ void
 Router::bindMetrics(MetricsRegistry &reg, const std::string &prefix)
 {
     metrics_ = std::make_unique<RouterMetrics>();
-    for (int p = 0; p < cfg_.num_ports; ++p) {
-        metrics_->in_flits.push_back(
-            &reg.counter(prefix + ".flits_in.port" + std::to_string(p)));
+    // The per-port and per-VC breakdowns are the O(routers x VCs) term
+    // in the registry footprint; below Full they collapse into shared
+    // aggregates (all port slots alias one counter; per_vc_occupancy
+    // stays empty and the record site skips it). At Chip/Machine level
+    // the caller additionally passes one shared prefix per chip, so all
+    // sixteen routers of a chip record into the same metric set.
+    if (reg.level() >= MetricsLevel::Full) {
+        for (int p = 0; p < cfg_.num_ports; ++p) {
+            metrics_->in_flits.push_back(&reg.counter(
+                prefix + ".flits_in.port" + std::to_string(p)));
+        }
+    } else {
+        Counter &agg = reg.counter(prefix + ".flits_in");
+        metrics_->in_flits.assign(
+            static_cast<std::size_t>(cfg_.num_ports), &agg);
     }
     metrics_->sa2_grants = &reg.counter(prefix + ".sa2.grants");
     metrics_->sa2_losses = &reg.counter(prefix + ".sa2.losses");
     metrics_->va_credit_stalls =
         &reg.counter(prefix + ".va.credit_stalls");
     metrics_->vc_occupancy = &reg.scalar(prefix + ".vc_occupancy");
-    for (int v = 0; v < cfg_.num_vcs; ++v) {
-        metrics_->per_vc_occupancy.push_back(
-            &reg.scalar(prefix + ".vc." + std::to_string(v)
-                        + ".occupancy"));
+    if (reg.level() >= MetricsLevel::Full) {
+        for (int v = 0; v < cfg_.num_vcs; ++v) {
+            metrics_->per_vc_occupancy.push_back(
+                &reg.scalar(prefix + ".vc." + std::to_string(v)
+                            + ".occupancy"));
+        }
     }
 }
 
@@ -380,13 +394,15 @@ Router::tick(Cycle now)
         return;
     }
     if (metrics_ != nullptr) {
+        const bool per_vc = !metrics_->per_vc_occupancy.empty();
         int total = 0;
         for (int v = 0; v < cfg_.num_vcs; ++v) {
             int occ = 0;
             for (const auto &ip : in_)
                 occ += ip.vcs[static_cast<std::size_t>(v)].occupancy();
-            metrics_->per_vc_occupancy[static_cast<std::size_t>(v)]->add(
-                occ);
+            if (per_vc)
+                metrics_->per_vc_occupancy[static_cast<std::size_t>(v)]
+                    ->add(occ);
             total += occ;
         }
         metrics_->vc_occupancy->add(total);

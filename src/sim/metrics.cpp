@@ -7,6 +7,34 @@
 
 namespace anton2 {
 
+const char *
+metricsLevelName(MetricsLevel level)
+{
+    switch (level) {
+      case MetricsLevel::Machine: return "machine";
+      case MetricsLevel::Chip: return "chip";
+      case MetricsLevel::Router: return "router";
+      case MetricsLevel::Full: return "full";
+    }
+    return "full";
+}
+
+bool
+parseMetricsLevel(const std::string &name, MetricsLevel &out)
+{
+    if (name == "machine")
+        out = MetricsLevel::Machine;
+    else if (name == "chip")
+        out = MetricsLevel::Chip;
+    else if (name == "router")
+        out = MetricsLevel::Router;
+    else if (name == "full")
+        out = MetricsLevel::Full;
+    else
+        return false;
+    return true;
+}
+
 std::string
 jsonNumber(double x)
 {
@@ -153,6 +181,24 @@ MetricsRegistry::findHistogram(const std::string &path) const
                                 : std::get_if<Histogram>(&it->second);
 }
 
+std::size_t
+MetricsRegistry::approxBytes() const
+{
+    // Rough but stable accounting: red-black tree node overhead plus the
+    // key string (including any heap allocation beyond SSO) plus the
+    // variant payload and histogram bin storage.
+    constexpr std::size_t kNodeOverhead = 4 * sizeof(void *);
+    std::size_t total = sizeof(*this);
+    for (const auto &[path, m] : metrics_) {
+        total += kNodeOverhead + sizeof(path) + sizeof(m);
+        if (path.size() >= sizeof(std::string))
+            total += path.capacity() + 1;
+        if (const auto *h = std::get_if<Histogram>(&m))
+            total += h->counts().capacity() * sizeof(std::uint64_t);
+    }
+    return total;
+}
+
 void
 MetricsRegistry::reset()
 {
@@ -252,6 +298,11 @@ MetricsRegistry::toJson(int indent) const
 {
     Node root;
     for (const auto &[path, metric] : metrics_) {
+        // Machine level records per-chip aggregates (for shard safety)
+        // but exports only the machine-wide view.
+        if (level_ == MetricsLevel::Machine
+            && path.compare(0, 5, "chip.") == 0)
+            continue;
         Node *node = &root;
         std::size_t start = 0;
         while (true) {

@@ -27,6 +27,40 @@
 
 namespace anton2 {
 
+/**
+ * Telemetry granularity axis. Components materialize their counters and
+ * stats only at or below the selected level, so a coarse run on a large
+ * machine allocates O(chips) metric state instead of O(routers x VCs):
+ *
+ *  - Machine: per-chip shared aggregates are recorded (one counter set
+ *    per chip - the finest granularity that never crosses an engine
+ *    shard, hence thread-safe), but the export collapses everything to
+ *    `machine.*` rollups.
+ *  - Chip: per-chip shared aggregates, exported per chip.
+ *  - Router: per-router / per-adapter / per-endpoint metrics, without
+ *    the per-VC and per-port breakdowns.
+ *  - Full: everything, including per-VC occupancy and per-port flit
+ *    counters (the pre-level behavior, and the default).
+ *
+ * Rollups (`machine.noc.*`, `machine.link.*`, `machine.ep.*`) are
+ * computed at export time at every level from whatever granularity was
+ * recorded, so their values are byte-identical across levels.
+ */
+enum class MetricsLevel : std::uint8_t
+{
+    Machine = 0,
+    Chip = 1,
+    Router = 2,
+    Full = 3,
+};
+
+/** Lowercase level name ("machine", "chip", "router", "full"). */
+const char *metricsLevelName(MetricsLevel level);
+
+/** Parse a level name; returns false (and leaves @p out alone) on an
+ * unknown name. */
+bool parseMetricsLevel(const std::string &name, MetricsLevel &out);
+
 /** A monotonically increasing event counter. */
 class Counter
 {
@@ -66,6 +100,23 @@ class MetricsRegistry
 
     std::size_t size() const { return metrics_.size(); }
 
+    /**
+     * Telemetry granularity consulted by components in bindMetrics.
+     * Defaults to Full so standalone registries (unit tests, the link
+     * layer in isolation) behave exactly as before the level axis
+     * existed. Set before binding; changing it afterwards does not
+     * re-bind anything.
+     */
+    MetricsLevel level() const { return level_; }
+    void setLevel(MetricsLevel level) { level_ = level; }
+
+    /**
+     * Approximate heap footprint of the registry itself (map nodes, path
+     * strings, histogram bins). Reported as `machine.host.mem.*` so
+     * full-scale runs can see what the telemetry costs.
+     */
+    std::size_t approxBytes() const;
+
     /** Reset every metric to its empty state (gauges to 0). */
     void reset();
 
@@ -74,14 +125,31 @@ class MetricsRegistry
      * gauges become numbers; scalar stats and histograms become objects
      * of their summary fields. NaN (for example the min of an empty
      * stat) serializes as null.
+     *
+     * At `machine` level the recorded per-chip subtrees (`chip.*`) are
+     * elided from the export - their content is preserved in the
+     * `machine.*` rollups - so the report stays O(1) in machine size.
      */
     std::string toJson(int indent = 2) const;
+
+    /** Iterate all (path, metric) pairs in sorted-path order. The
+     * visitor receives the path plus exactly one non-null pointer. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[path, m] : metrics_) {
+            fn(path, std::get_if<Counter>(&m), std::get_if<ScalarStat>(&m),
+               std::get_if<Histogram>(&m), std::get_if<double>(&m));
+        }
+    }
 
   private:
     using Metric = std::variant<Counter, ScalarStat, Histogram, double>;
 
     /** Sorted by path: serialization order is deterministic. */
     std::map<std::string, Metric> metrics_;
+    MetricsLevel level_ = MetricsLevel::Full;
 };
 
 /** Format a double for JSON: NaN/Inf -> "null", integral values without

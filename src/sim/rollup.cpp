@@ -1,0 +1,283 @@
+#include "sim/rollup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace anton2 {
+
+namespace {
+
+/** Merged scalar-stat moments that survive reduction exactly: stddev is
+ * deliberately absent (its accumulator is summation-order dependent). */
+struct StatAgg
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+
+    void
+    merge(const ScalarStat &s)
+    {
+        if (s.count() == 0)
+            return;
+        count += s.count();
+        sum += s.sum();
+        min = std::min(min, s.min());
+        max = std::max(max, s.max());
+    }
+};
+
+/** One reduction domain (noc / link / ep) at one hierarchy node. */
+struct DomainAggs
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, StatAgg> stats;
+
+    void
+    add(const std::string &leaf, const Counter *c, const ScalarStat *s)
+    {
+        if (c != nullptr)
+            counters[leaf] += c->value();
+        else if (s != nullptr)
+            stats[leaf].merge(*s);
+    }
+};
+
+constexpr int kNumDomains = 3;
+constexpr const char *kDomainNames[kNumDomains] = { "noc", "link", "ep" };
+
+/** Take `path[pos..)` up to the next dot; advance pos past the dot (or
+ * to npos at the end). Empty return means the path is exhausted. */
+std::string
+takeSegment(const std::string &path, std::size_t &pos)
+{
+    if (pos == std::string::npos || pos >= path.size())
+        return {};
+    const std::size_t dot = path.find('.', pos);
+    std::string seg = path.substr(pos, dot == std::string::npos
+                                           ? std::string::npos
+                                           : dot - pos);
+    pos = dot == std::string::npos ? std::string::npos : dot + 1;
+    return seg;
+}
+
+bool
+allDigits(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (const char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+    }
+    return true;
+}
+
+/** Normalize a noc-domain leaf: fold the per-port flit counters into
+ * one, and drop the per-VC occupancy detail (subsumed by the total).
+ * Returns false when the leaf should not roll up. */
+bool
+normalizeNocLeaf(std::string &leaf)
+{
+    if (leaf.compare(0, 13, "flits_in.port") == 0) {
+        leaf = "flits_in";
+        return true;
+    }
+    if (leaf.compare(0, 3, "vc.") == 0)
+        return false;
+    return true;
+}
+
+void
+emitDomain(MetricsRegistry &reg, const std::string &prefix,
+           const DomainAggs &aggs)
+{
+    for (const auto &[leaf, sum] : aggs.counters)
+        reg.setGauge(prefix + "." + leaf, static_cast<double>(sum));
+    for (const auto &[leaf, st] : aggs.stats) {
+        const std::string base = prefix + "." + leaf;
+        reg.setGauge(base + ".count", static_cast<double>(st.count));
+        reg.setGauge(base + ".sum", st.count ? st.sum : 0.0);
+        reg.setGauge(base + ".mean",
+                     st.count ? st.sum / static_cast<double>(st.count)
+                              : 0.0);
+        reg.setGauge(base + ".min",
+                     st.count
+                         ? st.min
+                         : std::numeric_limits<double>::quiet_NaN());
+        reg.setGauge(base + ".max",
+                     st.count
+                         ? st.max
+                         : std::numeric_limits<double>::quiet_NaN());
+    }
+}
+
+} // namespace
+
+void
+applyRollups(MetricsRegistry &reg)
+{
+    DomainAggs machine[kNumDomains];
+    // Per-chip reductions, keyed by the chip id's path segment. Only
+    // built when the level records per-component paths; below Router
+    // the registry already holds per-chip aggregates.
+    std::map<std::string, DomainAggs> chips[kNumDomains];
+    const bool per_chip = reg.level() >= MetricsLevel::Router;
+
+    reg.forEach([&](const std::string &path, const Counter *c,
+                    const ScalarStat *s, const Histogram *,
+                    const double *) {
+        // Gauges (including rollups from a prior export) and histograms
+        // are not reduction sources; the scan stays idempotent.
+        if (c == nullptr && s == nullptr)
+            return;
+        if (path.compare(0, 5, "chip.") != 0)
+            return;
+        std::size_t pos = 5;
+        const std::string chip_id = takeSegment(path, pos);
+        const std::string kind = takeSegment(path, pos);
+        int domain;
+        if (kind == "router" || kind == "noc") {
+            if (kind == "router") {
+                takeSegment(path, pos); // mesh u
+                takeSegment(path, pos); // mesh v
+            }
+            domain = 0;
+        } else if (kind == "ca" || kind == "link") {
+            if (kind == "ca")
+                takeSegment(path, pos); // channel short name
+            domain = 1;
+        } else if (kind == "ep") {
+            // Per-endpoint paths have a numeric id segment; the shared
+            // per-chip aggregate goes straight to the leaf.
+            const std::size_t mark = pos;
+            const std::string next = takeSegment(path, pos);
+            if (!allDigits(next))
+                pos = mark;
+            domain = 2;
+        } else {
+            return;
+        }
+        if (pos == std::string::npos || pos >= path.size())
+            return;
+        std::string leaf = path.substr(pos);
+        if (domain == 0 && !normalizeNocLeaf(leaf))
+            return;
+        machine[domain].add(leaf, c, s);
+        if (per_chip)
+            chips[domain][chip_id].add(leaf, c, s);
+    });
+
+    for (int d = 0; d < kNumDomains; ++d) {
+        emitDomain(reg, std::string("machine.") + kDomainNames[d],
+                   machine[d]);
+        for (const auto &[chip_id, aggs] : chips[d]) {
+            emitDomain(reg,
+                       "chip." + chip_id + "." + kDomainNames[d], aggs);
+        }
+    }
+}
+
+void
+finalizeHotspots(HotspotDigest &d)
+{
+    std::sort(d.links.begin(), d.links.end(),
+              [](const HotLink &a, const HotLink &b) {
+                  if (a.utilization != b.utilization)
+                      return a.utilization > b.utilization;
+                  if (a.chip != b.chip)
+                      return a.chip < b.chip;
+                  return a.link < b.link;
+              });
+    std::sort(d.routers.begin(), d.routers.end(),
+              [](const HotRouter &a, const HotRouter &b) {
+                  if (a.flits != b.flits)
+                      return a.flits > b.flits;
+                  if (a.chip != b.chip)
+                      return a.chip < b.chip;
+                  if (a.u != b.u)
+                      return a.u < b.u;
+                  return a.v < b.v;
+              });
+    std::sort(d.oldest.begin(), d.oldest.end(),
+              [](const OldestPacket &a, const OldestPacket &b) {
+                  if (a.age != b.age)
+                      return a.age > b.age;
+                  return a.chip < b.chip;
+              });
+    if (d.links.size() > d.k)
+        d.links.resize(d.k);
+    if (d.routers.size() > d.k)
+        d.routers.resize(d.k);
+    if (d.oldest.size() > d.k)
+        d.oldest.resize(d.k);
+}
+
+std::string
+hotspotDigestJson(const HotspotDigest &d, int indent, int depth)
+{
+    const std::string p0(static_cast<std::size_t>(indent * depth), ' ');
+    const std::string p1(static_cast<std::size_t>(indent * (depth + 1)),
+                         ' ');
+    const std::string p2(static_cast<std::size_t>(indent * (depth + 2)),
+                         ' ');
+
+    std::string out = "{\n";
+    out += p1 + "\"k\": " + jsonNumber(static_cast<double>(d.k)) + ",\n";
+
+    out += p1 + "\"hot_links\": [";
+    for (std::size_t i = 0; i < d.links.size(); ++i) {
+        const HotLink &l = d.links[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += p2 + "{\"chip\": "
+               + jsonNumber(static_cast<double>(l.chip))
+               + ", \"link\": " + jsonString(l.link)
+               + ", \"flits\": "
+               + jsonNumber(static_cast<double>(l.flits))
+               + ", \"utilization\": " + jsonNumber(l.utilization) + "}";
+    }
+    out += d.links.empty() ? "],\n" : "\n" + p1 + "],\n";
+
+    out += p1 + "\"hot_routers\": [";
+    for (std::size_t i = 0; i < d.routers.size(); ++i) {
+        const HotRouter &r = d.routers[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += p2 + "{\"chip\": "
+               + jsonNumber(static_cast<double>(r.chip))
+               + ", \"u\": " + jsonNumber(r.u) + ", \"v\": "
+               + jsonNumber(r.v) + ", \"flits\": "
+               + jsonNumber(static_cast<double>(r.flits)) + "}";
+    }
+    out += d.routers.empty() ? "],\n" : "\n" + p1 + "],\n";
+
+    out += p1 + "\"oldest_packets\": [";
+    for (std::size_t i = 0; i < d.oldest.size(); ++i) {
+        const OldestPacket &o = d.oldest[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += p2 + "{\"chip\": "
+               + jsonNumber(static_cast<double>(o.chip))
+               + ", \"age\": " + jsonNumber(static_cast<double>(o.age))
+               + "}";
+    }
+    out += d.oldest.empty() ? "],\n" : "\n" + p1 + "],\n";
+
+    out += p1 + "\"axes\": [";
+    for (std::size_t i = 0; i < d.axes.size(); ++i) {
+        const AxisAggregate &a = d.axes[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += p2 + "{\"axis\": " + jsonString(a.axis) + ", \"flits\": "
+               + jsonNumber(static_cast<double>(a.flits))
+               + ", \"links\": "
+               + jsonNumber(static_cast<double>(a.links))
+               + ", \"utilization\": " + jsonNumber(a.utilization) + "}";
+    }
+    out += d.axes.empty() ? "]\n" : "\n" + p1 + "]\n";
+
+    out += p0 + "}";
+    return out;
+}
+
+} // namespace anton2

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Hierarchical metric rollups and the top-K hot-spot digest - the
+ * export-side half of the scale-proof observability layer.
+ *
+ * The registry records at whatever granularity MetricsLevel selected;
+ * applyRollups() reduces the recorded component metrics along the
+ * router -> chip -> machine hierarchy at export time and writes the
+ * results back as gauges (`machine.noc.*`, `machine.link.*`,
+ * `machine.ep.*`, plus per-chip reductions at the fine levels). Every
+ * rolled-up sample is an integral cycle or flit count, so the floating
+ * sums are exact and the rollup values are byte-identical no matter
+ * which granularity they were reduced from - the cross-level/
+ * cross-thread determinism contract the rollup test suite pins.
+ *
+ * The HotspotDigest is the coarse-level replacement for per-link dumps:
+ * the K hottest torus links and routers, the oldest-packet watermarks,
+ * and per-axis torus aggregates, built from the components' always-on
+ * raw counters (so it works at every metrics level, including
+ * `machine`, where no per-link metric exists at all).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace anton2 {
+
+/**
+ * Reduce recorded component counters and scalar stats into rollup
+ * gauges inside @p reg:
+ *
+ *  - `machine.noc.*` from every router (per-router paths at
+ *    Router/Full, per-chip `chip.<n>.noc` aggregates below), with the
+ *    per-port `flits_in.port<p>` counters folded into one `flits_in`
+ *    and per-VC occupancy detail excluded (subsumed by `vc_occupancy`);
+ *  - `machine.link.*` from every channel adapter;
+ *  - `machine.ep.*` from every endpoint's injected/delivered counters;
+ *  - the same three reductions per chip (`chip.<n>.noc` etc.) when the
+ *    level records per-component paths (Router/Full).
+ *
+ * Counters reduce to a plain sum gauge. Scalar stats reduce to
+ * `.count/.sum/.mean/.min/.max` gauge leaves - deliberately no stddev,
+ * whose Welford accumulator is summation-order dependent and would
+ * break byte-identity across levels and thread counts. Idempotent:
+ * rollup gauges are doubles and the scan only reads counters/stats.
+ */
+void applyRollups(MetricsRegistry &reg);
+
+/** One torus link in the digest, hottest first. */
+struct HotLink
+{
+    std::int64_t chip = 0;
+    std::string link;            ///< channel short name, e.g. `x0p`
+    std::uint64_t flits = 0;     ///< flits serialized onto the wire
+    double utilization = 0.0;    ///< flits / SerDes capacity so far
+};
+
+/** One mesh router in the digest, most flits routed first. */
+struct HotRouter
+{
+    std::int64_t chip = 0;
+    int u = 0;
+    int v = 0;
+    std::uint64_t flits = 0;     ///< flits accepted across all ports
+};
+
+/** Oldest in-flight packet watermark for one chip, oldest first. */
+struct OldestPacket
+{
+    std::int64_t chip = 0;
+    std::uint64_t age = 0;       ///< cycles since injection
+};
+
+/** Aggregate over every link of one torus axis (dimension x direction). */
+struct AxisAggregate
+{
+    std::string axis;            ///< e.g. `X+`, `Z-`
+    std::uint64_t flits = 0;
+    std::uint64_t links = 0;
+    double utilization = 0.0;    ///< mean utilization across the axis
+};
+
+struct HotspotDigest
+{
+    std::size_t k = 8;
+    std::vector<HotLink> links;
+    std::vector<HotRouter> routers;
+    std::vector<OldestPacket> oldest;
+    std::vector<AxisAggregate> axes; ///< fixed X+/X-/Y+/... order
+};
+
+/**
+ * Sort each digest list with deterministic tiebreaks (primary metric
+ * descending, then chip/coords/name ascending) and truncate the link,
+ * router, and oldest-packet lists to @p d.k entries.
+ */
+void finalizeHotspots(HotspotDigest &d);
+
+/** Deterministic pretty-printed JSON object for the digest. */
+std::string hotspotDigestJson(const HotspotDigest &d, int indent = 2,
+                              int depth = 0);
+
+} // namespace anton2

@@ -5,6 +5,10 @@
 #include <cmath>
 #include <map>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace anton2 {
 
 // ---------------------------------------------------------------------
@@ -276,48 +280,7 @@ IntervalSampler::toJson(int indent) const
 
     // Steady-state outcome plus the offline MSER cross-check on the
     // windowed ejection series.
-    out += p1 + "\"steady_state\": ";
-    if (!cfg_.auto_steady && cfg_.warmup_reset == 0
-        && steady_result_.metrics_reset_cycle == kNoCycle) {
-        out += "null,\n";
-    } else {
-        const SteadyStateResult &r = steady_result_;
-        out += "{\n";
-        out += p2 + "\"auto\": " + (r.auto_steady ? "true" : "false")
-               + ",\n";
-        out += p2 + "\"converged\": " + (r.converged ? "true" : "false")
-               + ",\n";
-        out += p2 + "\"warmup_cycles\": "
-               + (r.converged
-                      ? jsonNumber(static_cast<double>(r.warmup_cycles))
-                      : std::string("null"))
-               + ",\n";
-        out += p2 + "\"detected_cycle\": "
-               + (r.converged
-                      ? jsonNumber(static_cast<double>(r.detected_cycle))
-                      : std::string("null"))
-               + ",\n";
-        out += p2 + "\"metrics_reset_cycle\": "
-               + (r.metrics_reset_cycle != kNoCycle
-                      ? jsonNumber(
-                            static_cast<double>(r.metrics_reset_cycle))
-                      : std::string("null"))
-               + ",\n";
-        std::string mser = "null";
-        if (ss_throughput_ != npos && window_end_.size() >= 2) {
-            std::vector<double> rates;
-            rates.reserve(window_end_.size());
-            for (std::size_t w = 0; w < window_end_.size(); ++w) {
-                const auto len = static_cast<double>(window_end_[w]
-                                                     - windowStart(w));
-                rates.push_back(value(ss_throughput_, w) / len);
-            }
-            mser = jsonNumber(
-                static_cast<double>(mserTruncation(rates)));
-        }
-        out += p2 + "\"mser_window\": " + mser + "\n";
-        out += p1 + "},\n";
-    }
+    out += p1 + "\"steady_state\": " + steadyStateJson(indent, 1) + ",\n";
 
     // Machine- and Chip-scope series, sorted by name. Link and Router
     // series are exported through the heatmap CSV / API instead (a
@@ -343,6 +306,53 @@ IntervalSampler::toJson(int indent) const
     }
     out += first ? "}\n" : "\n" + p1 + "}\n";
     out += "}";
+    return out;
+}
+
+std::string
+IntervalSampler::steadyStateJson(int indent, int depth) const
+{
+    if (!cfg_.auto_steady && cfg_.warmup_reset == 0
+        && steady_result_.metrics_reset_cycle == kNoCycle)
+        return "null";
+
+    const std::string p0(static_cast<std::size_t>(indent * depth), ' ');
+    const std::string p1(static_cast<std::size_t>(indent * (depth + 1)),
+                         ' ');
+    const SteadyStateResult &r = steady_result_;
+    std::string out = "{\n";
+    out += p1 + "\"auto\": " + (r.auto_steady ? "true" : "false") + ",\n";
+    out += p1 + "\"converged\": " + (r.converged ? "true" : "false")
+           + ",\n";
+    out += p1 + "\"warmup_cycles\": "
+           + (r.converged
+                  ? jsonNumber(static_cast<double>(r.warmup_cycles))
+                  : std::string("null"))
+           + ",\n";
+    out += p1 + "\"detected_cycle\": "
+           + (r.converged
+                  ? jsonNumber(static_cast<double>(r.detected_cycle))
+                  : std::string("null"))
+           + ",\n";
+    out += p1 + "\"metrics_reset_cycle\": "
+           + (r.metrics_reset_cycle != kNoCycle
+                  ? jsonNumber(
+                        static_cast<double>(r.metrics_reset_cycle))
+                  : std::string("null"))
+           + ",\n";
+    std::string mser = "null";
+    if (ss_throughput_ != npos && window_end_.size() >= 2) {
+        std::vector<double> rates;
+        rates.reserve(window_end_.size());
+        for (std::size_t w = 0; w < window_end_.size(); ++w) {
+            const auto len = static_cast<double>(window_end_[w]
+                                                 - windowStart(w));
+            rates.push_back(value(ss_throughput_, w) / len);
+        }
+        mser = jsonNumber(static_cast<double>(mserTruncation(rates)));
+    }
+    out += p1 + "\"mser_window\": " + mser + "\n";
+    out += p0 + "}";
     return out;
 }
 
@@ -387,6 +397,33 @@ IntervalSampler::heatmapCsv() const
 // ---------------------------------------------------------------------
 // HostProfiler
 // ---------------------------------------------------------------------
+
+std::size_t
+hostPeakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::size_t>(ru.ru_maxrss); // bytes on Darwin
+#else
+    return static_cast<std::size_t>(ru.ru_maxrss) * 1024; // KiB on Linux
+#endif
+#else
+    return 0;
+#endif
+}
+
+void
+HostProfiler::setMemStats(std::size_t packet_pool_bytes,
+                          std::size_t metric_registry_bytes)
+{
+    have_mem_ = true;
+    peak_rss_bytes_ = hostPeakRssBytes();
+    pool_bytes_ = packet_pool_bytes;
+    registry_bytes_ = metric_registry_bytes;
+}
 
 void
 HostProfiler::beginPhase(const std::string &name)
@@ -440,6 +477,14 @@ HostProfiler::publish(MetricsRegistry &reg, Cycle cycles,
     reg.setGauge("machine.host.cycles_per_sec", cps);
     reg.setGauge("machine.host.ticks_per_sec",
                  cps * static_cast<double>(components));
+    if (have_mem_) {
+        reg.setGauge("machine.host.mem.peak_rss_bytes",
+                     static_cast<double>(peak_rss_bytes_));
+        reg.setGauge("machine.host.mem.packet_pool_bytes",
+                     static_cast<double>(pool_bytes_));
+        reg.setGauge("machine.host.mem.metric_registry_bytes",
+                     static_cast<double>(registry_bytes_));
+    }
     for (const auto &[name, secs] : phases_)
         reg.setGauge("machine.host.phase." + name + "_seconds", secs);
 }
@@ -461,6 +506,15 @@ HostProfiler::toJson(Cycle cycles, std::size_t components, int indent,
            + ",\n";
     out += pad + "\"machine.host.ticks_per_sec\": "
            + jsonNumber(cps * static_cast<double>(components));
+    if (have_mem_) {
+        out += ",\n" + pad + "\"machine.host.mem.peak_rss_bytes\": "
+               + jsonNumber(static_cast<double>(peak_rss_bytes_));
+        out += ",\n" + pad + "\"machine.host.mem.packet_pool_bytes\": "
+               + jsonNumber(static_cast<double>(pool_bytes_));
+        out += ",\n" + pad
+               + "\"machine.host.mem.metric_registry_bytes\": "
+               + jsonNumber(static_cast<double>(registry_bytes_));
+    }
     for (const auto &[name, secs] : phases_) {
         out += ",\n" + pad + "\"machine.host.phase."
                + jsonEscape(name) + "_seconds\": " + jsonNumber(secs);

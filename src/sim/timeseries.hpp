@@ -253,6 +253,15 @@ class IntervalSampler : public Component
     std::string toJson(int indent = 2) const;
 
     /**
+     * The steady-state outcome alone as a JSON value: `null` when no
+     * warmup handling was configured, else the same object toJson()
+     * embeds (convergence verdict, warmup/detected/reset cycles, and
+     * the offline MSER cross-check). The run report embeds this
+     * directly.
+     */
+    std::string steadyStateJson(int indent = 2, int depth = 0) const;
+
+    /**
      * Per-link congestion heatmap CSV:
      * `window,start_cycle,end_cycle,chip,u,v,port,flits,utilization`
      * (one row per Link-scope series per window; utilization is flits
@@ -306,6 +315,10 @@ class IntervalSampler : public Component
  * consumers that want them as `machine.host.*` gauges in a registry
  * (which then stops being byte-reproducible).
  */
+/** Peak resident set size of this process in bytes (via getrusage),
+ * or 0 when the platform does not report it. */
+std::size_t hostPeakRssBytes();
+
 class HostProfiler
 {
   public:
@@ -315,6 +328,16 @@ class HostProfiler
     void beginPhase(const std::string &name);
     /** End the open phase, accumulating its wall time. */
     void endPhase();
+
+    /**
+     * Record the simulator's memory footprint for the host report:
+     * bytes parked in the packet-pool freelist and the metric
+     * registry's approximate size (both from the Machine); peak RSS is
+     * sampled here via hostPeakRssBytes(). Once set, publish()/toJson()
+     * emit the three `machine.host.mem.*` gauges.
+     */
+    void setMemStats(std::size_t packet_pool_bytes,
+                     std::size_t metric_registry_bytes);
 
     double wallSeconds() const;
     /** Accumulated seconds of phase @p name (0 if never opened). */
@@ -344,6 +367,10 @@ class HostProfiler
     std::vector<std::pair<std::string, double>> phases_; ///< insertion order
     std::string open_;
     ClockT::time_point open_start_;
+    bool have_mem_ = false;
+    std::size_t peak_rss_bytes_ = 0;
+    std::size_t pool_bytes_ = 0;
+    std::size_t registry_bytes_ = 0;
 };
 
 /**
