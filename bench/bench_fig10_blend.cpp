@@ -36,7 +36,8 @@ enum class WeightMode { None, Forward, Reverse, Both };
 double
 runBlend(const std::vector<int> &radix, int cores, std::uint64_t batch,
          WeightMode mode, double reverse_fraction, std::uint64_t seed,
-         int threads, const bench::ReportOptions &report, bool probe,
+         int threads, const bench::ReportOptions &report,
+         const bench::HostProfileOptions &host_profile, bool probe,
          std::string *report_body, std::string *host_json)
 {
     HostProfiler prof;
@@ -52,10 +53,12 @@ runBlend(const std::vector<int> &radix, int cores, std::uint64_t batch,
     cfg.threads = threads;
     Machine m(cfg);
     // The probe run (last sweep point, Both mode) carries the run-report
-    // instrumentation; the rest of the sweep stays uninstrumented.
-    if (probe && report.enabled()) {
+    // and self-profiling instrumentation; the rest of the sweep stays
+    // uninstrumented.
+    if (probe && (report.enabled() || host_profile.enabled)) {
         Instrumentation inst;
         report.addTo(inst);
+        host_profile.addTo(inst);
         m.attachInstrumentation(inst);
     }
 
@@ -129,11 +132,14 @@ runBlend(const std::vector<int> &radix, int cores, std::uint64_t batch,
     if (!driver.run(static_cast<Cycle>(batch) * 3000 + 300000))
         std::fprintf(stderr, "WARNING: blend run timed out\n");
     prof.endPhase();
-    if (probe && report.enabled()) {
-        *report_body = report.bodyJson(m);
-        bench::recordHostMem(prof, m);
-        *host_json = bench::hostJson(prof, m.now(),
-                                     m.engine().componentCount());
+    if (probe) {
+        host_profile.write(m);
+        if (report.enabled()) {
+            *report_body = report.bodyJson(m);
+            bench::recordHostMem(prof, m);
+            *host_json = bench::hostJson(prof, m.now(),
+                                         m.engine().componentCount());
+        }
     }
     return driver.throughputPerCore() / ideal;
 }
@@ -147,6 +153,7 @@ main(int argc, char **argv)
     long cores = 8, batch_flag = 256, seed_flag = 21, steps_flag = 4;
     long threads = 1;
     bench::ReportOptions report;
+    bench::HostProfileOptions host_profile;
     bench::OptionRegistry reg(
         "Figure 10: tornado / reverse-tornado blending under the four "
         "arbiter weight modes");
@@ -163,6 +170,7 @@ main(int argc, char **argv)
             "engine worker threads (results are bit-identical at any "
             "count)",
             &threads);
+    host_profile.registerInto(reg);
     report.registerInto(reg);
     if (!reg.parse(argc, argv))
         return 1;
@@ -170,7 +178,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: --threads must be >= 1\n");
         return 1;
     }
-    if (!report.validate())
+    if (!host_profile.validate() || !report.validate())
         return 1;
     const std::vector<int> radix{ static_cast<int>(kx),
                                   static_cast<int>(ky),
@@ -195,23 +203,23 @@ main(int argc, char **argv)
         const double none =
             runBlend(radix, static_cast<int>(cores), batch,
                      WeightMode::None, f, seed,
-                     static_cast<int>(threads), report, false, nullptr,
+                     static_cast<int>(threads), report, host_profile, false, nullptr,
                      nullptr);
         const double fwd =
             runBlend(radix, static_cast<int>(cores), batch,
                      WeightMode::Forward, f, seed,
-                     static_cast<int>(threads), report, false, nullptr,
+                     static_cast<int>(threads), report, host_profile, false, nullptr,
                      nullptr);
         const double rev =
             runBlend(radix, static_cast<int>(cores), batch,
                      WeightMode::Reverse, f, seed,
-                     static_cast<int>(threads), report, false, nullptr,
+                     static_cast<int>(threads), report, host_profile, false, nullptr,
                      nullptr);
         const double both =
             runBlend(radix, static_cast<int>(cores), batch,
                      WeightMode::Both, f, seed,
-                     static_cast<int>(threads), report, i == steps,
-                     &report_body, &report_host);
+                     static_cast<int>(threads), report, host_profile,
+                     i == steps, &report_body, &report_host);
         std::printf("%-22.2f %8.3f %8.3f %8.3f %8.3f\n", f, none, fwd, rev,
                     both);
     }

@@ -170,6 +170,7 @@ main(int argc, char **argv)
     prof.endPhase();
     ts.write(m);
     audit.write(m);
+    run.host_profile.write(m);
 
     const auto fit = LinearFit::fit(xs, ys);
     std::printf("\nLinear fit: %.1f ns fixed + %.1f ns/hop (r^2 = %.4f)\n",

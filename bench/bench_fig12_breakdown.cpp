@@ -129,6 +129,7 @@ main(int argc, char **argv)
     }
     ts.write(m);
     audit.write(m);
+    run.host_profile.write(m);
     prof.endPhase();
     bench::recordHostMem(prof, m);
     run.report.write("fig12_breakdown",

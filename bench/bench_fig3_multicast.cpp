@@ -70,6 +70,7 @@ main(int argc, char **argv)
 {
     long k_flag = 8, threads = 1;
     bench::ReportOptions report;
+    bench::HostProfileOptions host_profile;
     bench::OptionRegistry reg(
         "Figure 3: multicast tree vs. unicast torus hops, plus measured "
         "flit savings in the simulator");
@@ -78,6 +79,7 @@ main(int argc, char **argv)
             "engine worker threads for the measured section (results are "
             "bit-identical at any count)",
             &threads);
+    host_profile.registerInto(reg);
     report.registerInto(reg);
     if (!reg.parse(argc, argv))
         return 1;
@@ -85,7 +87,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: --threads must be >= 1\n");
         return 1;
     }
-    if (!report.validate())
+    if (!host_profile.validate() || !report.validate())
         return 1;
     const int k = static_cast<int>(k_flag);
     const TorusGeom geom(k, k, k);
@@ -132,9 +134,10 @@ main(int argc, char **argv)
     cfg.seed = 9;
     cfg.threads = static_cast<int>(threads);
     Machine m(cfg);
-    if (report.enabled()) {
+    if (report.enabled() || host_profile.enabled) {
         Instrumentation inst;
         report.addTo(inst);
+        host_profile.addTo(inst);
         m.attachInstrumentation(inst);
     }
     prof.beginPhase("run");
@@ -171,6 +174,7 @@ main(int argc, char **argv)
     std::printf("  unicast torus flits:   %llu\n",
                 static_cast<unsigned long long>(unicast_flits));
     prof.endPhase();
+    host_profile.write(m);
     bench::recordHostMem(prof, m);
     report.write("fig3_multicast",
                  bench::JsonObj().add("k", bench::num(k)).dump(0),

@@ -59,6 +59,7 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
     cfg.seed = seed;
     Machine m(cfg);
     m.setThreads(static_cast<int>(run.threads));
+    m.setLookahead(static_cast<Cycle>(run.lookahead));
     // Probe runs carry the full requested instrumentation; the other
     // sweep points keep only metrics/progress so the sweep stays fast.
     Instrumentation inst;
@@ -67,6 +68,7 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
         run.trace.addTo(inst);
         run.ts.addTo(inst);
         run.audit.addTo(inst, m.geom());
+        run.host_profile.addTo(inst);
         run.report.addTo(inst);
     } else if (run.ts.progress) {
         inst.progress = ProgressMeter::Config{};
@@ -121,6 +123,7 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
     if (probe) {
         res.timeseries_json = run.ts.jsonSection(m);
         run.audit.write(m);
+        run.host_profile.write(m);
         res.audit_json = run.audit.jsonSection(m);
         res.report_json = run.report.bodyJson(m);
     }
@@ -185,7 +188,7 @@ main(int argc, char **argv)
             const bool probe =
                 (json_path != nullptr || run.trace.enabled()
                  || run.ts.enabled() || run.audit.enabled()
-                 || run.report.enabled())
+                 || run.host_profile.enabled || run.report.enabled())
                 && batch * 4 > max_batch;
             const auto rr = runBatch(radix, static_cast<int>(cores),
                                      ArbPolicy::RoundRobin, pattern, batch,

@@ -23,6 +23,7 @@
  * report consumed by the CI perf-smoke job. Wall-clock speedup depends
  * on the host's core count; the deterministic columns do not.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +50,14 @@ struct SpeedResult
     double flit_hops_per_sec;
     std::uint64_t delivered;
     Cycle window; ///< effective lookahead window of the run
+
+    // Engine self-profile: where the wall time went (host_profile.hpp).
+    double imbalance;             ///< max/mean per-lane tick seconds
+    double barrier_wait_fraction; ///< worst lane's wait share of its span
+    double serial_fraction;       ///< serial-replay share of profiled time
+    double straggler_shard;       ///< most-often-slowest shard (-1 = none)
+    double straggler_share;       ///< its share of the sampled windows
+    double class_seconds[kNumHostCompClasses]; ///< sampled attribution
 };
 
 std::uint64_t
@@ -66,7 +75,8 @@ totalFlitHops(Machine &m)
 
 SpeedResult
 runLoad(const std::vector<int> &radix, int cores, double rate,
-        Cycle cycles, int threads, Cycle lookahead)
+        Cycle cycles, int threads, Cycle lookahead,
+        const bench::HostProfileOptions &host_profile)
 {
     MachineConfig cfg;
     cfg.radix = radix;
@@ -77,6 +87,13 @@ runLoad(const std::vector<int> &radix, int cores, double rate,
     cfg.threads = threads;
     cfg.lookahead = lookahead;
     Machine m(cfg);
+    // The engine profiler is always on here: the per-row imbalance /
+    // attribution columns are this bench's product. Its cost is two
+    // clock reads per lane per window plus the sampled attribution
+    // pass, which is noise next to the ticks being measured.
+    EngineProfileConfig pcfg;
+    pcfg.sample_every = static_cast<Cycle>(host_profile.sample_every);
+    m.enableHostProfile(pcfg);
 
     UniformPattern pat(m.geom());
     OpenLoopDriver::Config dcfg;
@@ -90,6 +107,7 @@ runLoad(const std::vector<int> &radix, int cores, double rate,
     prof.beginPhase("run");
     m.run(cycles);
     prof.endPhase();
+    host_profile.write(m); // timeline (single-thread-count runs only)
 
     SpeedResult r;
     r.threads = threads;
@@ -103,6 +121,32 @@ runLoad(const std::vector<int> &radix, int cores, double rate,
             : 0.0;
     r.delivered = m.totalDelivered();
     r.window = m.lookaheadWindow();
+
+    const EngineProfiler &ep = *m.hostProfile();
+    r.imbalance = ep.imbalance();
+    double worst_wait = 0.0;
+    for (std::size_t l = 0; l < ep.lanes(); ++l) {
+        const double span = ep.laneTickSeconds(l) + ep.laneWaitSeconds(l);
+        if (span > 0.0)
+            worst_wait = std::max(worst_wait,
+                                  ep.laneWaitSeconds(l) / span);
+    }
+    r.barrier_wait_fraction = worst_wait;
+    r.serial_fraction = ep.profiledSeconds() > 0.0
+                            ? ep.serialSeconds() / ep.profiledSeconds()
+                            : 0.0;
+    r.straggler_shard =
+        ep.stragglerShard() == EngineProfiler::npos
+            ? -1.0
+            : static_cast<double>(ep.stragglerShard());
+    r.straggler_share =
+        ep.sampledWindows() > 0
+            ? static_cast<double>(ep.stragglerWindows())
+                  / static_cast<double>(ep.sampledWindows())
+            : 0.0;
+    for (std::size_t c = 0; c < kNumHostCompClasses; ++c)
+        r.class_seconds[c] =
+            ep.classSeconds(static_cast<HostCompClass>(c));
     return r;
 }
 
@@ -138,6 +182,7 @@ main(int argc, char **argv)
     double rate = 0.0;  // 0 = 60% of the analytic saturation point
     const char *json_path = "BENCH_speed.json";
     const char *threads_csv = nullptr;
+    bench::HostProfileOptions host_profile;
     bench::OptionRegistry reg(
         "Host speed: simulated cycles/sec and flit-hops/sec, serial vs. "
         "2/4 engine worker threads (bit-identical results)");
@@ -166,7 +211,10 @@ main(int argc, char **argv)
     reg.add("--json", "PATH",
             "machine-readable report path (default BENCH_speed.json)",
             &json_path);
+    host_profile.registerInto(reg);
     if (!reg.parse(argc, argv))
+        return 1;
+    if (!host_profile.validate())
         return 1;
     if (cycles_flag < 1 || max_threads < 1 || cores < 1
         || lookahead < 0) {
@@ -198,6 +246,9 @@ main(int argc, char **argv)
         for (int t = 1; t <= static_cast<int>(max_threads); t *= 2)
             thread_counts.push_back(t);
     }
+    if (!bench::validateTimelineSingleRun(host_profile,
+                                          thread_counts.size()))
+        return 1;
     const std::vector<int> radix{ static_cast<int>(kx),
                                   static_cast<int>(ky),
                                   static_cast<int>(kz) };
@@ -231,7 +282,8 @@ main(int argc, char **argv)
     for (int t : thread_counts)
         results.push_back(runLoad(radix, static_cast<int>(cores), rate,
                                   cycles, t,
-                                  static_cast<Cycle>(lookahead)));
+                                  static_cast<Cycle>(lookahead),
+                                  host_profile));
 
     // Speedup denominator: the serial row, found by its thread count.
     // Never assume row 0 is serial - the measured set is configurable.
@@ -252,9 +304,10 @@ main(int argc, char **argv)
     std::printf("lookahead window: %llu cycle(s)%s\n",
                 static_cast<unsigned long long>(serial->window),
                 lookahead == 0 ? " (auto)" : "");
-    std::printf("%8s %12s %14s %16s %10s\n", "threads", "wall (s)",
-                "kcycles/s", "Mflit-hops/s", "speedup");
-    bench::printRule(66);
+    std::printf("%8s %12s %14s %16s %10s %8s %8s\n", "threads",
+                "wall (s)", "kcycles/s", "Mflit-hops/s", "speedup",
+                "imbal", "wait");
+    bench::printRule(82);
 
     bool identical = true;
     for (const SpeedResult &r : results) {
@@ -263,11 +316,12 @@ main(int argc, char **argv)
         const double speedup =
             r.wall_seconds > 0.0 ? serial->wall_seconds / r.wall_seconds
                                  : 0.0;
-        std::printf("%8d %12.3f %14.2f %16.2f %9.2fx\n", r.threads,
-                    r.wall_seconds, r.cycles_per_sec / 1e3,
-                    r.flit_hops_per_sec / 1e6, speedup);
+        std::printf("%8d %12.3f %14.2f %16.2f %9.2fx %8.2f %7.0f%%\n",
+                    r.threads, r.wall_seconds, r.cycles_per_sec / 1e3,
+                    r.flit_hops_per_sec / 1e6, speedup, r.imbalance,
+                    100.0 * r.barrier_wait_fraction);
     }
-    bench::printRule(66);
+    bench::printRule(82);
     std::printf("deterministic across thread counts: %s  (%llu packets "
                 "delivered, %llu flit-hops)\n",
                 identical ? "yes" : "NO - BUG",
@@ -276,6 +330,10 @@ main(int argc, char **argv)
 
     std::vector<std::string> rows;
     for (const SpeedResult &r : results) {
+        bench::JsonObj classes;
+        for (std::size_t c = 0; c < kNumHostCompClasses; ++c)
+            classes.add(hostCompClassName(static_cast<HostCompClass>(c)),
+                        bench::num(r.class_seconds[c]));
         rows.push_back(
             bench::JsonObj()
                 .add("threads", bench::num(r.threads))
@@ -289,6 +347,13 @@ main(int argc, char **argv)
                                     : 0.0))
                 .add("delivered",
                      bench::num(static_cast<double>(r.delivered)))
+                .add("imbalance", bench::num(r.imbalance))
+                .add("barrier_wait_fraction",
+                     bench::num(r.barrier_wait_fraction))
+                .add("serial_fraction", bench::num(r.serial_fraction))
+                .add("straggler_shard", bench::num(r.straggler_shard))
+                .add("straggler_share", bench::num(r.straggler_share))
+                .add("class_seconds", classes.dump(0))
                 .dump(0));
     }
     const auto config =

@@ -434,6 +434,94 @@ struct AuditOptions
 };
 
 /**
+ * Shared engine self-profiling flags for the Machine-driving benches:
+ *   --host-profile[=PATH]      profile the lookahead-window engine loop
+ *                              (per-lane tick / barrier-wait / serial
+ *                              replay seconds, straggler shard, sampled
+ *                              component-class attribution). With =PATH,
+ *                              also write a Chrome-trace host timeline
+ *                              (workers as tids, windows as slices).
+ *   --host-profile-sample <N>  attribute shards/component classes every
+ *                              Nth window (default 16; 1 = every window)
+ * Profiling only reads the host clock and writes its own buffers, so
+ * every deterministic export stays byte-identical with it on or off.
+ * The timeline path must be attached with `=` (it is optional).
+ */
+struct HostProfileOptions
+{
+    bool enabled = false;
+    const char *timeline = nullptr;
+    long sample_every = 16;
+
+    /** Declare the shared profiling flags on @p reg. */
+    void
+    registerInto(OptionRegistry &reg)
+    {
+        reg.addOptional("--host-profile", "PATH",
+                        "profile the engine host loop; =PATH also writes "
+                        "a Chrome-trace host timeline",
+                        &enabled, &timeline);
+        reg.add("--host-profile-sample", "N",
+                "attribute component classes every Nth window "
+                "(default 16)",
+                &sample_every);
+    }
+
+    /** Resolve implications (a timeline path implies profiling); fail
+     * fast on bad cadences / unwritable paths. Call after parse(). */
+    bool
+    validate()
+    {
+        enabled = enabled || timeline != nullptr;
+        if (sample_every < 1) {
+            std::fprintf(stderr,
+                         "error: --host-profile-sample must be >= 1\n");
+            return false;
+        }
+        return validateOutputPaths({ timeline });
+    }
+
+    /** Add the requested profiling to an instrumentation bundle. */
+    void
+    addTo(Instrumentation &inst) const
+    {
+        if (!enabled)
+            return;
+        EngineProfileConfig cfg;
+        cfg.sample_every = static_cast<Cycle>(sample_every);
+        inst.host_profile = cfg;
+    }
+
+    /** Write the Chrome-trace host timeline when a path was given. */
+    void
+    write(Machine &m) const
+    {
+        if (timeline != nullptr && m.hostProfile() != nullptr) {
+            writeFile(timeline, m.hostTimelineChromeJson());
+            std::printf("Host timeline written to %s\n", timeline);
+        }
+    }
+};
+
+/** A host timeline is one run's worth of window slices: benches that
+ * measure several configurations back to back (bench_host_speed's
+ * thread sweep) would overwrite it with whichever run finished last.
+ * Gate on the measured-run count; false = refuse to simulate. */
+inline bool
+validateTimelineSingleRun(const HostProfileOptions &hp,
+                          std::size_t run_count)
+{
+    if (hp.timeline != nullptr && run_count != 1) {
+        std::fprintf(stderr,
+                     "error: --host-profile=PATH writes one run's "
+                     "timeline; measure a single thread count "
+                     "(--threads-list N)\n");
+        return false;
+    }
+    return true;
+}
+
+/**
  * Shared run-report flags for the figure benches:
  *   --metrics-level LEVEL  telemetry granularity: machine, chip, router,
  *                          or full (default full). `machine` keeps the
@@ -554,6 +642,7 @@ struct RunOptions
     TraceOptions trace;
     TimeseriesOptions ts;
     AuditOptions audit;
+    HostProfileOptions host_profile;
     ReportOptions report;
 
     void
@@ -570,6 +659,7 @@ struct RunOptions
         trace.registerInto(reg);
         ts.registerInto(reg);
         audit.registerInto(reg);
+        host_profile.registerInto(reg);
         report.registerInto(reg);
     }
 
@@ -586,7 +676,7 @@ struct RunOptions
             return false;
         }
         return trace.validate() && ts.validate() && audit.validate()
-               && report.validate();
+               && host_profile.validate() && report.validate();
     }
 
     /** The bundle every requested option group contributes to. */
@@ -598,6 +688,7 @@ struct RunOptions
         trace.addTo(inst);
         ts.addTo(inst);
         audit.addTo(inst, m.geom());
+        host_profile.addTo(inst);
         report.addTo(inst);
         return inst;
     }
@@ -620,6 +711,7 @@ struct RunOptions
         trace.write(m);
         ts.write(m);
         audit.write(m);
+        host_profile.write(m);
     }
 };
 
@@ -637,14 +729,21 @@ hostJson(const HostProfiler &prof, Cycle cycles, std::size_t components)
 
 /** Record the simulator's memory footprint on @p prof (peak RSS plus
  * the packet-pool and metric-registry sizes from @p m), so the host
- * section carries the `machine.host.mem.*` gauges. Call right before
- * hostJson(). */
+ * section carries the `machine.host.mem.*` gauges - and, when the
+ * engine profiler is attached, fold its `engine.*` gauges in too (lane
+ * tick / barrier-wait seconds, straggler shard, class attribution), so
+ * every bench's host section carries `machine.host.engine.*` without
+ * per-bench wiring. Call right before hostJson(). */
 inline void
 recordHostMem(HostProfiler &prof, Machine &m)
 {
     prof.setMemStats(m.packetPoolBytes(),
                      m.metrics() != nullptr ? m.metrics()->approxBytes()
                                             : 0);
+    if (m.hostProfile() != nullptr) {
+        for (const auto &[key, value] : m.hostProfile()->gauges())
+            prof.setExtraGauge(key, value);
+    }
 }
 
 /** Render a possibly-NaN value for the text tables ("-" when empty). */

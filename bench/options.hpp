@@ -69,6 +69,22 @@ class OptionRegistry
         opts_.push_back({ name, nullptr, help, Kind::Flag, out });
     }
 
+    /**
+     * Presence flag with an optional attached value: `--name` sets
+     * *present; `--name=VALUE` additionally stores the value (pointing
+     * into argv). The value must be attached with `=` - a following
+     * bare argument is not consumed, so `--name PATH` leaves *out
+     * null and treats PATH as the next argument.
+     */
+    void
+    addOptional(const char *name, const char *value_name,
+                const char *help, bool *present, const char **out)
+    {
+        opts_.push_back(
+            { name, value_name, help, Kind::OptionalString, present,
+              out });
+    }
+
     /** Accept one optional positional argument (stores argv pointer). */
     void
     addPositional(const char *value_name, const char *help,
@@ -96,7 +112,19 @@ class OptionRegistry
                 printHelp(prog);
                 std::exit(0);
             }
-            const Opt *opt = find(arg);
+            // `--name=value` attaches the value to the flag itself;
+            // every kind accepts it, and it is the only way to give an
+            // OptionalString flag its value.
+            const char *eq = std::strncmp(arg, "--", 2) == 0
+                                 ? std::strchr(arg, '=')
+                                 : nullptr;
+            std::string name_buf;
+            const char *lookup = arg;
+            if (eq != nullptr) {
+                name_buf.assign(arg, eq);
+                lookup = name_buf.c_str();
+            }
+            const Opt *opt = find(lookup);
             if (opt == nullptr) {
                 if (has_positional_ && !got_positional
                     && std::strncmp(arg, "--", 2) != 0) {
@@ -106,19 +134,36 @@ class OptionRegistry
                 }
                 std::fprintf(stderr,
                              "error: unknown option '%s' (try --help)\n",
-                             arg);
+                             lookup);
                 return false;
             }
+            if (opt->kind == Kind::OptionalString) {
+                *static_cast<bool *>(opt->out) = true;
+                if (eq != nullptr)
+                    *static_cast<const char **>(opt->out2) = eq + 1;
+                continue;
+            }
             if (opt->kind == Kind::Flag) {
+                if (eq != nullptr) {
+                    std::fprintf(stderr,
+                                 "error: %s does not take a value\n",
+                                 lookup);
+                    return false;
+                }
                 *static_cast<bool *>(opt->out) = true;
                 continue;
             }
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "error: %s requires a value\n",
-                             opt->name);
-                return false;
+            const char *val = nullptr;
+            if (eq != nullptr) {
+                val = eq + 1;
+            } else {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "error: %s requires a value\n",
+                                 opt->name);
+                    return false;
+                }
+                val = argv[++i];
             }
-            const char *val = argv[++i];
             if (!store(*opt, val))
                 return false;
         }
@@ -153,6 +198,7 @@ class OptionRegistry
         Double,
         String,
         Flag,
+        OptionalString, ///< presence flag with optional `=VALUE`
     };
 
     struct Opt
@@ -162,6 +208,7 @@ class OptionRegistry
         const char *help;
         Kind kind;
         void *out;
+        void *out2 = nullptr;   ///< OptionalString: the value slot
     };
 
     const Opt *
@@ -189,6 +236,7 @@ class OptionRegistry
             *static_cast<const char **>(opt.out) = val;
             return true;
           case Kind::Flag:
+          case Kind::OptionalString:
             return true;
         }
         if (end == val || *end != '\0') {
@@ -205,11 +253,17 @@ class OptionRegistry
         std::string left = "  ";
         left += o.name[0] != '\0' ? o.name : "";
         if (o.value_name != nullptr) {
-            if (!left.empty() && left != "  ")
-                left += " ";
-            left += "<";
-            left += o.value_name;
-            left += ">";
+            if (o.kind == Kind::OptionalString) {
+                left += "[=";
+                left += o.value_name;
+                left += "]";
+            } else {
+                if (!left.empty() && left != "  ")
+                    left += " ";
+                left += "<";
+                left += o.value_name;
+                left += ">";
+            }
         }
         std::printf("%-26s %s\n", left.c_str(), o.help);
     }

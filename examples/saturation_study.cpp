@@ -27,6 +27,7 @@ main(int argc, char **argv)
     long threads = 1;
     long lookahead = 1;
     bench::AuditOptions audit;
+    bench::HostProfileOptions host_profile;
     bench::OptionRegistry reg(
         "Saturation study: open-loop injection sweep toward the analytic "
         "saturation point, plus equality-of-service beyond it");
@@ -39,6 +40,7 @@ main(int argc, char **argv)
             "latency), 1 = per-cycle barriers (default)",
             &lookahead);
     audit.registerInto(reg);
+    host_profile.registerInto(reg);
     reg.addPositional("HEATMAP_CSV",
                       "path for the near-saturation congestion heatmap "
                       "CSV (written from the highest-load sweep point)",
@@ -50,7 +52,7 @@ main(int argc, char **argv)
                              "--lookahead >= 0\n");
         return 1;
     }
-    if (!audit.validate())
+    if (!audit.validate() || !host_profile.validate())
         return 1;
 
     const std::vector<int> radix{ 4, 4, 4 };
@@ -92,6 +94,7 @@ main(int argc, char **argv)
         tcfg.auto_steady = true;
         inst.timeseries = tcfg;
         audit.addTo(inst, m.geom());
+        host_profile.addTo(inst);
         m.attachInstrumentation(inst);
         IntervalSampler &sampler = *m.timeseries();
 
@@ -133,6 +136,7 @@ main(int argc, char **argv)
         }
         if (frac == 1.0) {
             audit.write(m);
+            host_profile.write(m); // highest-load sweep point's timeline
             if (m.audit() != nullptr) {
                 std::printf("audit: %llu passes, %llu violations\n",
                             static_cast<unsigned long long>(

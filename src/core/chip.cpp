@@ -128,21 +128,34 @@ Chip::registerWith(Engine &engine)
     // One shard per chip; the thunks dispatch each tick with a qualified
     // (non-virtual) call so the per-component cost is a predicted
     // indirect call instead of a vtable load + virtual dispatch.
+    // The class tags keep registration's contiguous grouping visible to
+    // the profiler's sampled attribution pass (one timestamped run per
+    // class per shard).
     const std::size_t shard = engine.newShard();
     for (auto &r : routers_) {
-        engine.addSharded(shard, *r, [](Component &c, Cycle now) {
-            static_cast<Router &>(c).Router::tick(now);
-        });
+        engine.addSharded(
+            shard, *r,
+            [](Component &c, Cycle now) {
+                static_cast<Router &>(c).Router::tick(now);
+            },
+            HostCompClass::Router);
     }
     for (auto &ca : channel_adapters_) {
-        engine.addSharded(shard, *ca, [](Component &c, Cycle now) {
-            static_cast<ChannelAdapter &>(c).ChannelAdapter::tick(now);
-        });
+        engine.addSharded(
+            shard, *ca,
+            [](Component &c, Cycle now) {
+                static_cast<ChannelAdapter &>(c).ChannelAdapter::tick(now);
+            },
+            HostCompClass::ChannelAdapter);
     }
     for (auto &ep : endpoints_) {
-        engine.addSharded(shard, *ep, [](Component &c, Cycle now) {
-            static_cast<EndpointAdapter &>(c).EndpointAdapter::tick(now);
-        });
+        engine.addSharded(
+            shard, *ep,
+            [](Component &c, Cycle now) {
+                static_cast<EndpointAdapter &>(c).EndpointAdapter::tick(
+                    now);
+            },
+            HostCompClass::Endpoint);
     }
 }
 

@@ -191,6 +191,8 @@ Machine::attachInstrumentation(const Instrumentation &inst)
         doEnableTimeseries(*inst.timeseries);
     if (inst.progress.has_value())
         doEnableProgress(*inst.progress);
+    if (inst.host_profile.has_value())
+        doEnableHostProfile(*inst.host_profile);
     if (inst.audit.has_value())
         doEnableAudit(*inst.audit);
 }
@@ -654,7 +656,81 @@ Machine::doEnableProgress(const ProgressMeter::Config &cfg)
         return "delivered " + std::to_string(delivered_);
     });
     engine_.add(*progress_);
+    wireProgressRate();
     return *progress_;
+}
+
+EngineProfiler &
+Machine::doEnableHostProfile(const EngineProfileConfig &cfg)
+{
+    if (host_profile_ != nullptr)
+        return *host_profile_;
+    host_profile_ = std::make_unique<EngineProfiler>(cfg);
+    engine_.setProfiler(host_profile_.get());
+    wireProgressRate();
+    return *host_profile_;
+}
+
+void
+Machine::wireProgressRate()
+{
+    if (progress_ == nullptr || host_profile_ == nullptr)
+        return;
+    // Window-aware rate: the profiler's running cycles/s covers exactly
+    // the engine loop (not setup or export time), so the meter's rate
+    // and ETA stop wobbling with whatever the driver does between
+    // windows.
+    progress_->setRateFn(
+        [p = host_profile_.get()] { return p->cyclesPerSec(); });
+}
+
+std::string
+Machine::hostTimelineChromeJson()
+{
+    assert(host_profile_ != nullptr && "call enableHostProfile() first");
+    const EngineProfiler &prof = *host_profile_;
+
+    HostTimelineInput in;
+    in.windows = prof.windows();
+    in.detail_windows = prof.detailWindows();
+    in.detail_dropped = prof.detailDropped();
+    in.profiled_seconds = prof.profiledSeconds();
+
+    const std::size_t lanes = prof.lanes();
+    const int serial_tid = static_cast<int>(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        in.threads.emplace_back(
+            static_cast<int>(l),
+            "lane " + std::to_string(l) + (l == 0 ? " (main)" : ""));
+    }
+    in.threads.emplace_back(serial_tid, "serial replay");
+
+    const double epoch = static_cast<double>(prof.epochNs());
+    auto us = [epoch](std::int64_t ns) {
+        return (static_cast<double>(ns) - epoch) / 1000.0;
+    };
+    for (std::size_t w = 0; w < prof.detailWindows(); ++w) {
+        const auto &d = prof.detail(w);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const auto [begin_ns, end_ns] = prof.laneSlice(l, w);
+            if (end_ns <= begin_ns)
+                continue; // lane sat this window out
+            in.slices.push_back({ static_cast<int>(l), "tick",
+                                  us(begin_ns),
+                                  static_cast<double>(end_ns - begin_ns)
+                                      / 1000.0,
+                                  d.start, d.len });
+        }
+        if (d.end_ns > d.barrier_ns) {
+            in.slices.push_back({ serial_tid, "serial replay",
+                                  us(d.barrier_ns),
+                                  static_cast<double>(d.end_ns
+                                                      - d.barrier_ns)
+                                      / 1000.0,
+                                  d.start, d.len });
+        }
+    }
+    return hostTimelineJson(in);
 }
 
 RingTraceSink &
@@ -879,9 +955,22 @@ Machine::setDeliverHook(std::function<void(const PacketPtr &, Cycle)> fn)
     deliver_hook_ = std::move(fn);
 }
 
+void
+Machine::run(Cycle cycles)
+{
+    // The deadline is exact, so the progress meter's ETA is too.
+    if (progress_ != nullptr)
+        progress_->setTargetCycles(engine_.now() + cycles);
+    engine_.run(cycles);
+}
+
 bool
 Machine::runUntilDelivered(std::uint64_t count, Cycle max_cycles)
 {
+    // The budget is an upper bound (the predicate usually fires first),
+    // so the meter reports the ETA as a bound too.
+    if (progress_ != nullptr)
+        progress_->setTargetCycles(engine_.now() + max_cycles);
     // Abort on a watchdog trip: the network is wedged and the remaining
     // deliveries will never arrive.
     engine_.runUntil(
@@ -901,6 +990,8 @@ Machine::runUntilQuiescent(Cycle max_cycles)
     // check more often than the lookahead window, or the stride would
     // force every window down to the check interval.
     const Cycle stride = engine_.window() > 8 ? engine_.window() : 8;
+    if (progress_ != nullptr)
+        progress_->setTargetCycles(engine_.now() + max_cycles);
     return engine_.runUntil([this] { return !engine_.busy(); }, max_cycles,
                             /*check_every=*/stride);
 }

@@ -106,6 +106,11 @@ struct Instrumentation
     std::optional<TimeseriesConfig> timeseries;
     /** Add the live stderr progress meter. */
     std::optional<ProgressMeter::Config> progress;
+    /** Attach the engine self-profiler (per-lane tick/barrier-wait/
+     * serial-replay attribution, straggler analysis, sampled component
+     * class breakdown). Host wall-clock only: deterministic exports are
+     * byte-identical with or without it. */
+    std::optional<EngineProfileConfig> host_profile;
     /** Create the runtime auditor / deadlock watchdog. */
     std::optional<AuditConfig> audit;
     /** Seeded negative-control faults, armed before simulating. */
@@ -203,7 +208,7 @@ class Machine
     /** The maximum conservative window: min torus link latency. */
     Cycle lookaheadCap() const { return lookahead_cap_; }
 
-    void run(Cycle cycles) { engine_.run(cycles); }
+    void run(Cycle cycles);
 
     /** Run until @p count packets have been delivered (or timeout). */
     bool runUntilDelivered(std::uint64_t count, Cycle max_cycles);
@@ -361,6 +366,38 @@ class Machine
     ProgressMeter *progress() { return progress_.get(); }
 
     // ------------------------------------------------------------------
+    // Engine self-profiling (host wall-clock attribution)
+    // ------------------------------------------------------------------
+
+    /**
+     * Convenience forwarder for attachInstrumentation(): attach the
+     * engine self-profiler. Idempotent; returns the profiler. Purely
+     * host-side: every deterministic export stays byte-identical with
+     * profiling on or off, and a Machine without it performs zero
+     * profiling clock reads.
+     */
+    EngineProfiler &
+    enableHostProfile(const EngineProfileConfig &cfg = {})
+    {
+        Instrumentation inst;
+        inst.host_profile = cfg;
+        attachInstrumentation(inst);
+        return *host_profile_;
+    }
+
+    /** The attached engine profiler, or null when profiling is off. */
+    EngineProfiler *hostProfile() { return host_profile_.get(); }
+
+    /**
+     * Export the profiler's per-window detail ring as a Chrome-trace
+     * host timeline: worker lanes as threads, each window's parallel
+     * tick as a duration slice (barrier waits appear as the gaps
+     * between slices), the serial replay on its own track. Requires
+     * enableHostProfile().
+     */
+    std::string hostTimelineChromeJson();
+
+    // ------------------------------------------------------------------
     // Runtime auditor (invariants, watchdog, forensic snapshots)
     // ------------------------------------------------------------------
 
@@ -408,6 +445,10 @@ class Machine
     RingTraceSink &doEnableTracing(const TraceConfig &cfg);
     IntervalSampler &doEnableTimeseries(const TimeseriesConfig &cfg);
     ProgressMeter &doEnableProgress(const ProgressMeter::Config &cfg);
+    EngineProfiler &doEnableHostProfile(const EngineProfileConfig &cfg);
+    /** Feed the profiler's running rate into the progress meter (when
+     * both layers are attached, in either order). */
+    void wireProgressRate();
     Auditor &doEnableAudit(const AuditConfig &cfg); // machine_audit.cpp
     void applyFault(const NetworkFault &f);         // machine_audit.cpp
     /** Per-cycle post-barrier work: merge staged trace lanes, then run
@@ -461,6 +502,7 @@ class Machine
     std::unique_ptr<RingTraceSink> trace_;
     std::unique_ptr<IntervalSampler> sampler_;
     std::unique_ptr<ProgressMeter> progress_;
+    std::unique_ptr<EngineProfiler> host_profile_;
     std::unique_ptr<Auditor> audit_;
 };
 

@@ -35,10 +35,13 @@ Engine::newShard()
 }
 
 void
-Engine::addSharded(std::size_t shard, Component &c, TickFn fn)
+Engine::addSharded(std::size_t shard, Component &c, TickFn fn,
+                   HostCompClass cls)
 {
     assert(shard < shards_.size() && "newShard() first");
-    shards_[shard].push_back({ &c, fn != nullptr ? fn : &virtualTick });
+    shards_[shard].push_back(
+        { &c, fn != nullptr ? fn : &virtualTick, cls });
+    class_runs_dirty_ = true;
 }
 
 void
@@ -89,6 +92,37 @@ Engine::rebuildLanes()
     }
     if (pool_ == nullptr || pool_->lanes() != static_cast<int>(want))
         pool_ = std::make_unique<CycleWorkerPool>(static_cast<int>(want));
+    if (profiler_ != nullptr)
+        profiler_->configure(laneCount(), shards_.size());
+}
+
+void
+Engine::setProfiler(EngineProfiler *p)
+{
+    profiler_ = p;
+    if (profiler_ == nullptr)
+        return;
+    if (lanes_dirty_)
+        rebuildLanes();
+    profiler_->configure(laneCount(), shards_.size());
+    class_runs_dirty_ = true;
+}
+
+void
+Engine::rebuildClassRuns()
+{
+    class_runs_dirty_ = false;
+    class_runs_.assign(shards_.size(), {});
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        auto &runs = class_runs_[s];
+        for (std::size_t i = 0; i < shards_[s].size(); ++i) {
+            const HostCompClass cls = shards_[s][i].cls;
+            if (runs.empty() || runs.back().cls != cls)
+                runs.push_back({ i + 1, cls });
+            else
+                runs.back().end = i + 1;
+        }
+    }
 }
 
 void
@@ -134,6 +168,45 @@ Engine::tickShardRange(std::size_t begin, std::size_t end, Cycle start,
             const Cycle c = start + j;
             for (const Entry &e : shard)
                 e.fn(*e.c, c);
+        }
+    }
+}
+
+void
+Engine::tickShardRangeProfiled(std::size_t begin, std::size_t end,
+                               Cycle start, Cycle window)
+{
+    const bool parking = !parked_.empty();
+    const int lane = par::currentLane() >= 0 ? par::currentLane() : 0;
+    for (std::size_t s = begin; s < end; ++s) {
+        if (parking && parked_[s])
+            continue;
+        const auto &shard = shards_[s];
+        const auto &runs = class_runs_[s];
+        std::int64_t cls_ns[kNumHostCompClasses] = {};
+        // Chained reads: each run's segment ends where the next begins,
+        // so a shard costs (runs + 1) clock reads per cycle - amortized
+        // further by only running on the profiler's sampled windows.
+        std::int64_t t = prof_detail::nowNs();
+        const std::int64_t t_shard = t;
+        for (Cycle j = 0; j < window; ++j) {
+            const Cycle c = start + j;
+            std::size_t i = 0;
+            for (const ClassRun &run : runs) {
+                for (; i < run.end; ++i) {
+                    const Entry &e = shard[i];
+                    e.fn(*e.c, c);
+                }
+                const std::int64_t t2 = prof_detail::nowNs();
+                cls_ns[static_cast<std::size_t>(run.cls)] += t2 - t;
+                t = t2;
+            }
+        }
+        profiler_->shardSampleNs(s, t - t_shard);
+        for (std::size_t c = 0; c < kNumHostCompClasses; ++c) {
+            if (cls_ns[c] != 0)
+                profiler_->classSampleNs(
+                    lane, static_cast<HostCompClass>(c), cls_ns[c]);
         }
     }
 }
@@ -213,6 +286,14 @@ Engine::advance(Cycle budget)
         w = alignedWindow(w);
     const Cycle now = now_;
 
+    const bool prof = profiler_ != nullptr;
+    bool sampled = false;
+    if (prof) [[unlikely]] {
+        if (class_runs_dirty_)
+            rebuildClassRuns();
+        sampled = profiler_->windowBegin(now, w);
+    }
+
     // Parking probes happen at barrier boundaries, never more than a
     // full window apart, which is exactly the horizon within which a
     // cross-shard arrival is still in its wire's ring (and thus visible
@@ -226,20 +307,50 @@ Engine::advance(Cycle budget)
         unparkAll();
 
     if (pool_ != nullptr) {
-        pool_->run([this, now, w](int lane) {
-            const Lane &l = lanes_[static_cast<std::size_t>(lane)];
-            tickShardRange(l.begin, l.end, now, w);
-        });
+        if (prof) [[unlikely]] {
+            pool_->run([this, now, w, sampled](int lane) {
+                const Lane &l = lanes_[static_cast<std::size_t>(lane)];
+                profiler_->laneBegin(lane);
+                if (sampled)
+                    tickShardRangeProfiled(l.begin, l.end, now, w);
+                else
+                    tickShardRange(l.begin, l.end, now, w);
+                profiler_->laneEnd(lane);
+            });
+        } else {
+            pool_->run([this, now, w](int lane) {
+                const Lane &l = lanes_[static_cast<std::size_t>(lane)];
+                tickShardRange(l.begin, l.end, now, w);
+            });
+        }
     } else if (w > 1) {
         // A serial windowed phase runs "as lane 0" so shared sinks stage
         // per (lane, cycle) exactly as a threaded run would; the serial
         // replay below then restores canonical per-cycle order either
         // way. (At w == 1 the direct path is already canonical.)
         par::LaneScope lane0(0);
-        tickShardRange(0, shards_.size(), now, w);
+        if (prof) [[unlikely]] {
+            profiler_->laneBegin(0);
+            if (sampled)
+                tickShardRangeProfiled(0, shards_.size(), now, w);
+            else
+                tickShardRange(0, shards_.size(), now, w);
+            profiler_->laneEnd(0);
+        } else {
+            tickShardRange(0, shards_.size(), now, w);
+        }
+    } else if (prof) [[unlikely]] {
+        profiler_->laneBegin(0);
+        if (sampled)
+            tickShardRangeProfiled(0, shards_.size(), now, w);
+        else
+            tickShardRange(0, shards_.size(), now, w);
+        profiler_->laneEnd(0);
     } else {
         tickShardRange(0, shards_.size(), now, w);
     }
+    if (prof) [[unlikely]]
+        profiler_->barrierDone();
 
     // Serial replay: for each cycle of the window, in order, the phase
     // hooks (staged-trace merge, deferred-delivery flush) then the
@@ -252,6 +363,8 @@ Engine::advance(Cycle budget)
         for (auto *comp : components_)
             comp->tick(c);
     }
+    if (prof) [[unlikely]]
+        profiler_->windowEnd();
     now_ = now + w;
     return w;
 }

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "sim/component.hpp"
+#include "sim/host_profile.hpp"
 #include "sim/types.hpp"
 
 namespace anton2 {
@@ -102,8 +103,12 @@ class Engine
      */
     std::size_t newShard();
 
-    /** Register @p c into shard @p shard (see TickFn for @p fn). */
-    void addSharded(std::size_t shard, Component &c, TickFn fn = nullptr);
+    /** Register @p c into shard @p shard (see TickFn for @p fn). The
+     * class tag @p cls feeds the profiler's sampled attribution pass
+     * (and nothing else); registrars that know the concrete type pass
+     * it alongside the devirtualized thunk. */
+    void addSharded(std::size_t shard, Component &c, TickFn fn = nullptr,
+                    HostCompClass cls = HostCompClass::Other);
 
     /**
      * Register a hook that runs on the calling thread each cycle after
@@ -157,6 +162,20 @@ class Engine
      */
     void setIdleSkip(bool on);
     bool idleSkip() const { return idle_skip_; }
+
+    /**
+     * Attach (or detach with null) the host self-profiler. Not owned.
+     * With a profiler attached, advance() brackets each window with
+     * timestamp hooks and, on the profiler's sampled windows, takes a
+     * tick variant that additionally times each shard and its
+     * contiguous component-class runs. The schedule itself - tick
+     * order, parking, staging, serial replay - is untouched, so every
+     * deterministic export stays byte-identical with profiling on or
+     * off. With no profiler (the default), the pre-existing paths run
+     * unchanged and zero profiling clock reads happen.
+     */
+    void setProfiler(EngineProfiler *p);
+    EngineProfiler *profiler() const { return profiler_; }
 
     /** Current simulation time in cycles. */
     Cycle now() const { return now_; }
@@ -217,6 +236,18 @@ class Engine
     {
         Component *c;
         TickFn fn;
+        HostCompClass cls;
+    };
+
+    /** One contiguous same-class run of a shard's entry array: entries
+     * [prev.end, end) all carry @p cls. Registration groups classes
+     * (routers, then adapters, then endpoints), so a shard has ~3 runs
+     * and the profiled tick path needs only ~runs clock reads per cycle
+     * instead of one per component. */
+    struct ClassRun
+    {
+        std::size_t end = 0;
+        HostCompClass cls = HostCompClass::Other;
     };
 
     /** Contiguous shard range [begin, end) assigned to one lane. */
@@ -235,7 +266,12 @@ class Engine
 
     void tickShardRange(std::size_t begin, std::size_t end, Cycle start,
                         Cycle window);
+    /** The sampled-window variant: same order, same skips, plus
+     * per-shard and per-class timestamps reported to profiler_. */
+    void tickShardRangeProfiled(std::size_t begin, std::size_t end,
+                                Cycle start, Cycle window);
     void rebuildLanes();
+    void rebuildClassRuns();
     /** Largest window <= @p w whose final cycle respects alignments_. */
     Cycle alignedWindow(Cycle w) const;
     /** Re-probe shard busy() state; park/unpark (window boundary only). */
@@ -255,10 +291,13 @@ class Engine
     std::vector<char> parked_;
     std::vector<Cycle> parked_since_;
     std::unique_ptr<CycleWorkerPool> pool_;
+    EngineProfiler *profiler_ = nullptr;
+    std::vector<std::vector<ClassRun>> class_runs_;
     int threads_ = 1;
     Cycle window_ = 1;
     bool idle_skip_ = true;
     bool lanes_dirty_ = false;
+    bool class_runs_dirty_ = true;
     Cycle now_ = 0;
 };
 

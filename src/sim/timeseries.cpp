@@ -457,14 +457,49 @@ HostProfiler::wallSeconds() const
     return std::chrono::duration<double>(ClockT::now() - start_).count();
 }
 
+std::vector<std::pair<std::string, double>>
+HostProfiler::phasesNow() const
+{
+    auto phases = phases_;
+    if (!open_.empty()) {
+        const double secs =
+            std::chrono::duration<double>(ClockT::now() - open_start_)
+                .count();
+        bool merged = false;
+        for (auto &[name, total] : phases) {
+            if (name == open_) {
+                total += secs;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            phases.emplace_back(open_, secs);
+    }
+    return phases;
+}
+
 double
 HostProfiler::phaseSeconds(const std::string &name) const
 {
-    for (const auto &[n, total] : phases_) {
+    double total = 0.0;
+    for (const auto &[n, secs] : phasesNow()) {
         if (n == name)
-            return total;
+            total += secs;
     }
-    return 0.0;
+    return total;
+}
+
+void
+HostProfiler::setExtraGauge(const std::string &key, double value)
+{
+    for (auto &[k, v] : extras_) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    extras_.emplace_back(key, value);
 }
 
 void
@@ -485,7 +520,9 @@ HostProfiler::publish(MetricsRegistry &reg, Cycle cycles,
         reg.setGauge("machine.host.mem.metric_registry_bytes",
                      static_cast<double>(registry_bytes_));
     }
-    for (const auto &[name, secs] : phases_)
+    for (const auto &[key, value] : extras_)
+        reg.setGauge("machine.host." + key, value);
+    for (const auto &[name, secs] : phasesNow())
         reg.setGauge("machine.host.phase." + name + "_seconds", secs);
 }
 
@@ -497,6 +534,15 @@ HostProfiler::toJson(Cycle cycles, std::size_t components, int indent,
                           ' ');
     const double wall = wallSeconds();
     const double cps = cyclesPerSec(cycles);
+    const auto phases = phasesNow();
+    // Phases are sequential slices of [start_, now] - beginPhase ends
+    // the previous phase - so their sum can never exceed the wall time.
+    // A violation means a phase timer outlived its profiler.
+    [[maybe_unused]] double phase_sum = 0.0;
+    for (const auto &[name, secs] : phases)
+        phase_sum += secs;
+    assert(phase_sum <= wallSeconds() + 1e-6
+           && "phase seconds exceed wall seconds");
     std::string out = "{\n";
     out += pad + "\"machine.host.wall_seconds\": " + jsonNumber(wall)
            + ",\n";
@@ -515,7 +561,11 @@ HostProfiler::toJson(Cycle cycles, std::size_t components, int indent,
                + "\"machine.host.mem.metric_registry_bytes\": "
                + jsonNumber(static_cast<double>(registry_bytes_));
     }
-    for (const auto &[name, secs] : phases_) {
+    for (const auto &[key, value] : extras_) {
+        out += ",\n" + pad + "\"machine.host." + jsonEscape(key)
+               + "\": " + jsonNumber(value);
+    }
+    for (const auto &[name, secs] : phases) {
         out += ",\n" + pad + "\"machine.host.phase."
                + jsonEscape(name) + "_seconds\": " + jsonNumber(secs);
     }
@@ -554,10 +604,21 @@ ProgressMeter::tick(Cycle now)
         std::chrono::duration<double>(wall - last_wall_).count();
     if (secs < cfg_.min_seconds)
         return;
-    const double rate =
-        static_cast<double>(now - last_cycle_) / secs / 1e6;
-    std::fprintf(cfg_.out, "\r[progress] cycle %llu  %.2f Mcyc/s",
-                 static_cast<unsigned long long>(now), rate);
+    // Prefer the window-aware running rate (the engine profiler's
+    // cycles/s over its profiled windows) when one is wired in: the raw
+    // cycle-delta rate below also counts whatever the driver and
+    // exporters did between our ticks, so it wobbles.
+    double rate_cps = rate_ ? rate_() : 0.0;
+    const bool windowed = rate_cps > 0.0;
+    if (!windowed)
+        rate_cps = static_cast<double>(now - last_cycle_) / secs;
+    std::fprintf(cfg_.out, "\r[progress] cycle %llu  %.2f Mcyc/s%s",
+                 static_cast<unsigned long long>(now), rate_cps / 1e6,
+                 windowed ? " (win)" : "");
+    if (target_ > now && rate_cps > 0.0) {
+        std::fprintf(cfg_.out, "  eta %.0fs",
+                     static_cast<double>(target_ - now) / rate_cps);
+    }
     if (status_)
         std::fprintf(cfg_.out, "  %s", status_().c_str());
     std::fflush(cfg_.out);

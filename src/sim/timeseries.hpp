@@ -324,10 +324,18 @@ class HostProfiler
   public:
     HostProfiler() : start_(ClockT::now()) {}
 
-    /** Begin a named phase (ends any open phase). */
+    /**
+     * Begin a named phase (ends any open phase, including a re-entered
+     * one: `beginPhase("x")` while "x" is open banks the elapsed time
+     * and restarts the segment, so nothing is counted twice). Phase
+     * time re-entered under the same name accumulates.
+     */
     void beginPhase(const std::string &name);
-    /** End the open phase, accumulating its wall time. */
+    /** End the open phase, accumulating its wall time. A no-op when no
+     * phase is open, so a stray extra endPhase() is harmless. */
     void endPhase();
+    /** Name of the currently open phase ("" when none). */
+    const std::string &openPhase() const { return open_; }
 
     /**
      * Record the simulator's memory footprint for the host report:
@@ -339,8 +347,18 @@ class HostProfiler
     void setMemStats(std::size_t packet_pool_bytes,
                      std::size_t metric_registry_bytes);
 
+    /**
+     * Attach an extra host gauge, reported as `machine.host.<key>` by
+     * publish()/toJson() in insertion order (same key overwrites). The
+     * engine self-profiler's `engine.*` gauges arrive through here, so
+     * they ride the existing non-deterministic host report section.
+     */
+    void setExtraGauge(const std::string &key, double value);
+
     double wallSeconds() const;
-    /** Accumulated seconds of phase @p name (0 if never opened). */
+    /** Accumulated seconds of phase @p name. An unended (still-open)
+     * phase counts its elapsed-so-far time, so the value is usable
+     * mid-phase and an unended final phase is never silently lost. */
     double phaseSeconds(const std::string &name) const;
 
     /** Simulated cycles per wall second over the full profile. */
@@ -352,19 +370,27 @@ class HostProfiler
     }
 
     /** Gauges into @p reg: machine.host.{wall_seconds, cycles_per_sec,
-     * ticks_per_sec, phase.<name>_seconds}. */
+     * ticks_per_sec, phase.<name>_seconds} plus any extra gauges. */
     void publish(MetricsRegistry &reg, Cycle cycles,
                  std::size_t components) const;
 
-    /** The same figures as a flat JSON object keyed `machine.host.*`. */
+    /** The same figures as a flat JSON object keyed `machine.host.*`.
+     * Includes the elapsed time of a still-open phase, and asserts the
+     * phase times sum to no more than the wall time (phases are
+     * sequential slices of the profiled run by construction). */
     std::string toJson(Cycle cycles, std::size_t components,
                        int indent = 2, int depth = 1) const;
 
   private:
     using ClockT = std::chrono::steady_clock;
 
+    /** Recorded phases with a still-open phase folded in at its
+     * elapsed-so-far time (the exporters' and phaseSeconds()' view). */
+    std::vector<std::pair<std::string, double>> phasesNow() const;
+
     ClockT::time_point start_;
     std::vector<std::pair<std::string, double>> phases_; ///< insertion order
+    std::vector<std::pair<std::string, double>> extras_; ///< insertion order
     std::string open_;
     ClockT::time_point open_start_;
     bool have_mem_ = false;
@@ -399,6 +425,19 @@ class ProgressMeter : public Component
         status_ = std::move(fn);
     }
 
+    /**
+     * Window-aware rate source (cycles per wall second; <= 0 = unknown
+     * yet). When set - the Machine wires the engine self-profiler's
+     * running rate in here - lines report it instead of the raw
+     * cycle-delta rate, which wobbles with driver and export work
+     * between windows.
+     */
+    void setRateFn(std::function<double()> fn) { rate_ = std::move(fn); }
+
+    /** Known end cycle of the current run (0 = none): enables the ETA
+     * field. For bounded runUntil* budgets the ETA is an upper bound. */
+    void setTargetCycles(Cycle target) { target_ = target; }
+
     void tick(Cycle now) override;
     bool busy() const override { return false; }
 
@@ -412,6 +451,8 @@ class ProgressMeter : public Component
 
     Config cfg_;
     std::function<std::string()> status_;
+    std::function<double()> rate_;
+    Cycle target_ = 0;
     ClockT::time_point last_wall_;
     Cycle last_cycle_ = 0;
     bool started_ = false;

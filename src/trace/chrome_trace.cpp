@@ -210,4 +210,55 @@ chromeTraceJson(const ChromeTraceInput &in)
     return out;
 }
 
+std::string
+hostTimelineJson(const HostTimelineInput &in)
+{
+    std::string out = "{\n  \"displayTimeUnit\": \"ns\",\n";
+    out += "  \"otherData\": {\n";
+    out += "    \"generator\": \"anton2net host profile\",\n";
+    out += "    \"time_base\": \"host wall clock, us since first "
+           "window\",\n";
+    out += "    \"windows\": "
+           + jsonNumber(static_cast<double>(in.windows)) + ",\n";
+    out += "    \"detail_windows\": "
+           + jsonNumber(static_cast<double>(in.detail_windows)) + ",\n";
+    out += "    \"detail_dropped\": "
+           + jsonNumber(static_cast<double>(in.detail_dropped)) + ",\n";
+    out += "    \"profiled_seconds\": " + jsonNumber(in.profiled_seconds)
+           + "\n  },\n";
+
+    out += "  \"traceEvents\": [";
+    bool first = true;
+    auto emit = [&](const std::string &ev) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        out += ev;
+    };
+
+    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+         "\"args\": {\"name\": \"engine host\"}}");
+    for (const auto &[tid, name] : in.threads) {
+        emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+             "\"tid\": "
+             + std::to_string(tid) + ", \"args\": {\"name\": \""
+             + jsonEscape(name) + "\"}}");
+    }
+
+    for (const auto &sl : in.slices) {
+        std::string e = "{\"name\": \"";
+        e += sl.name;
+        e += "\", \"ph\": \"X\", \"ts\": " + jsonNumber(sl.ts_us);
+        e += ", \"dur\": " + jsonNumber(sl.dur_us);
+        e += ", \"pid\": 0, \"tid\": " + std::to_string(sl.tid);
+        e += ", \"args\": {\"cycle\": "
+             + std::to_string(sl.start_cycle);
+        e += ", \"window_cycles\": " + std::to_string(sl.window);
+        e += "}}";
+        emit(e);
+    }
+
+    out += "\n  ]\n}\n";
+    return out;
+}
+
 } // namespace anton2

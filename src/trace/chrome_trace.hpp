@@ -83,4 +83,45 @@ struct ChromeTraceInput
 /** Serialize the trace as Chrome trace-event JSON (with trailing \n). */
 std::string chromeTraceJson(const ChromeTraceInput &in);
 
+// ---------------------------------------------------------------------
+// Host timeline (engine self-profiling)
+// ---------------------------------------------------------------------
+
+/**
+ * One host-time duration slice: worker lanes and the serial replay
+ * become threads of a synthetic "engine host" process, each window's
+ * parallel tick becomes a complete ('X') event on its lane, and the
+ * serial replay becomes one on its own track. Timestamps are *wall*
+ * microseconds relative to the first profiled window - unlike the
+ * simulated-time chromeTraceJson() - so barrier waits show up as the
+ * visible gaps between a lane's tick slice and the next window.
+ */
+struct HostTimelineSlice
+{
+    int tid = 0;
+    const char *name = "tick";
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    Cycle start_cycle = 0; ///< first simulated cycle of the window
+    Cycle window = 0;      ///< window length in cycles
+};
+
+struct HostTimelineInput
+{
+    /** (tid, display name) per track, emitted as thread_name metadata. */
+    std::vector<std::pair<int, std::string>> threads;
+    std::vector<HostTimelineSlice> slices;
+    std::uint64_t windows = 0;        ///< windows profiled in total
+    std::uint64_t detail_windows = 0; ///< windows with recorded slices
+    std::uint64_t detail_dropped = 0; ///< windows past the detail ring
+    double profiled_seconds = 0.0;    ///< wall time across all windows
+};
+
+/**
+ * Serialize the engine's host-time profile as Chrome trace-event JSON
+ * (with trailing \n). Same "JSON Array with metadata" flavor as
+ * chromeTraceJson(), loadable in chrome://tracing or Perfetto.
+ */
+std::string hostTimelineJson(const HostTimelineInput &in);
+
 } // namespace anton2

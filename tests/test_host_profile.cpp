@@ -1,0 +1,703 @@
+/**
+ * @file
+ * Engine self-profiling suite (src/sim/host_profile.*): the opt-in
+ * profiler that attributes the lookahead-window engine's wall time to
+ * per-lane shard ticks, barrier waits, and the serial replay, with
+ * sampled per-shard straggler and per-component-class attribution.
+ *
+ * What is pinned here:
+ *  - off by default means *zero* profiling clock reads on the engine
+ *    hot path (the ANTON2_PROF_CLOCK_AUDIT counter proves it);
+ *  - the per-lane identity tick + wait + serial == profiledSeconds()
+ *    (wait is derived as the lane's parallel-span remainder, so the
+ *    books balance by construction);
+ *  - the `machine.host.engine.*` gauge schema that reports and benches
+ *    surface, and its internal consistency;
+ *  - sampled windows name a straggler shard and attribute class time;
+ *  - every deterministic export is byte-identical with profiling on or
+ *    off, at 1/2/4 threads and per-cycle or auto windows;
+ *  - the Chrome-trace host timeline loads and covers the run's windows;
+ *  - HostProfiler hardening: open/re-entered phases, stray endPhase,
+ *    phase seconds never exceeding wall seconds, extra-gauge overwrite;
+ *  - the window-aware --progress line (running rate + ETA);
+ *  - bench flag validation: --topk, --host-profile-sample, unwritable
+ *    timeline paths, timeline vs. multi-run sweeps, and the
+ *    OptionRegistry's --name=value syntax.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/machine.hpp"
+#include "sim/host_profile.hpp"
+#include "sim/rng.hpp"
+#include "sim/timeseries.hpp"
+#include "tiny_json.hpp"
+
+using namespace anton2;
+using anton2::testjson::TinyJsonParser;
+
+namespace {
+
+/** Feedback-free workload (pre-injected traffic, no drivers): the
+ * strongest determinism case - window size and thread count are both
+ * unobservable, so one baseline covers the whole profiling matrix. */
+Machine
+makeLoadedMachine(int threads, Cycle lookahead)
+{
+    MachineConfig cfg;
+    cfg.radix = { 2, 2, 2 };
+    cfg.chip.endpoints_per_node = 4;
+    cfg.use_packaging = false;
+    cfg.fixed_torus_latency = 12;
+    cfg.seed = 9;
+    cfg.threads = threads;
+    cfg.lookahead = lookahead;
+    return Machine(cfg);
+}
+
+void
+preInject(Machine &m, int packets = 160)
+{
+    Rng traffic(4242);
+    const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
+    for (int i = 0; i < packets; ++i) {
+        const EndpointAddr src{ static_cast<NodeId>(traffic.below(nodes)),
+                                static_cast<int>(traffic.below(4)) };
+        const EndpointAddr dst{ static_cast<NodeId>(traffic.below(nodes)),
+                                static_cast<int>(traffic.below(4)) };
+        if (src.node == dst.node)
+            continue;
+        m.send(m.makeWrite(src, dst, 0,
+                           1 + static_cast<int>(traffic.below(2))));
+    }
+}
+
+struct RunExports
+{
+    std::uint64_t delivered = 0;
+    std::string metrics;
+    std::string chrome;
+    std::string flights;
+    std::string timeseries;
+    std::string heatmap;
+    std::string audit;
+};
+
+RunExports
+runWorkload(int threads, Cycle lookahead, bool profile)
+{
+    Machine m = makeLoadedMachine(threads, lookahead);
+    Instrumentation inst;
+    inst.metrics = true;
+    TraceConfig tcfg;
+    tcfg.capacity = std::size_t{ 1 } << 14;
+    inst.trace = tcfg;
+    TimeseriesConfig scfg;
+    scfg.window = 64;
+    scfg.per_router = true;
+    inst.timeseries = scfg;
+    AuditConfig acfg;
+    acfg.audit_interval = 64;
+    acfg.watchdog_interval = 32;
+    inst.audit = acfg;
+    if (profile)
+        inst.host_profile = EngineProfileConfig{};
+    m.attachInstrumentation(inst);
+
+    preInject(m);
+    m.run(1024);
+
+    RunExports r;
+    r.delivered = m.totalDelivered();
+    r.metrics = m.metricsJson();
+    r.chrome = m.traceChromeJson();
+    r.flights = m.traceFlightCsv();
+    r.timeseries = m.timeseriesJson();
+    r.heatmap = m.heatmapCsv();
+    r.audit = m.audit()->reportJson();
+    return r;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Zero overhead when off
+// ---------------------------------------------------------------------
+
+TEST(HostProfileOff, NoProfilingClockReadsWithoutProfiler)
+{
+    // An unprofiled run - threaded and windowed, the full hot path -
+    // must not touch the profiling clock at all. The audit counter
+    // wraps every prof_detail::nowNs() call, so a zero delta is a
+    // zero-clock-read proof, not a sampling argument.
+    Machine m = makeLoadedMachine(4, 0);
+    preInject(m);
+    const std::uint64_t before = hostProfileClockReads();
+    m.run(1024);
+    EXPECT_EQ(hostProfileClockReads() - before, 0u)
+        << "engine hot path read the profiling clock with no profiler "
+           "attached";
+    EXPECT_GT(m.totalDelivered(), 0u);
+}
+
+TEST(HostProfileOff, AttachedProfilerDoesReadClocks)
+{
+    // Control for the test above: with the profiler attached the same
+    // workload must produce a nonzero delta, proving the counter is
+    // actually wired to the clock reads the off-test asserts away.
+    Machine m = makeLoadedMachine(4, 0);
+    m.enableHostProfile();
+    preInject(m);
+    const std::uint64_t before = hostProfileClockReads();
+    m.run(1024);
+    EXPECT_GT(hostProfileClockReads() - before, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Per-lane accounting identity
+// ---------------------------------------------------------------------
+
+TEST(EngineProfiler, LaneTickWaitSerialSumToProfiledSeconds)
+{
+    for (int threads : { 1, 2, 4 }) {
+        Machine m = makeLoadedMachine(threads, 0);
+        m.enableHostProfile();
+        preInject(m);
+        m.run(1024);
+
+        const EngineProfiler &p = *m.hostProfile();
+        ASSERT_GT(p.windows(), 0u) << "threads=" << threads;
+        EXPECT_GT(p.profiledSeconds(), 0.0);
+        EXPECT_EQ(p.profiledCycles(), Cycle{ 1024 });
+        ASSERT_GE(p.lanes(), 1u);
+        for (std::size_t l = 0; l < p.lanes(); ++l) {
+            // wait is defined as the lane's parallel-span remainder and
+            // serial replay blocks every lane, so each lane's books
+            // must balance to the profiled wall time exactly (modulo
+            // accumulation roundoff).
+            const double sum = p.laneTickSeconds(l)
+                               + p.laneWaitSeconds(l)
+                               + p.serialSeconds();
+            EXPECT_NEAR(sum, p.profiledSeconds(),
+                        1e-6 + 1e-9 * p.profiledSeconds())
+                << "threads=" << threads << " lane=" << l;
+            EXPECT_GE(p.laneTickSeconds(l), 0.0);
+            EXPECT_GE(p.laneWaitSeconds(l), 0.0);
+        }
+        EXPECT_GE(p.tickSecondsMax(),
+                  p.tickSecondsMean() - 1e-12);
+        if (p.tickSecondsMean() > 0.0)
+            EXPECT_GE(p.imbalance(), 1.0 - 1e-9);
+    }
+}
+
+TEST(EngineProfiler, SampledWindowsNameStragglerAndClasses)
+{
+    Machine m = makeLoadedMachine(2, 0);
+    EngineProfileConfig cfg;
+    cfg.sample_every = 1; // attribute every window
+    m.enableHostProfile(cfg);
+    preInject(m);
+    m.run(1024);
+
+    const EngineProfiler &p = *m.hostProfile();
+    EXPECT_EQ(p.sampledWindows(), p.windows());
+    EXPECT_EQ(p.shards(), 8u); // 2x2x2 chips, one shard each
+    ASSERT_NE(p.stragglerShard(), EngineProfiler::npos);
+    EXPECT_LT(p.stragglerShard(), p.shards());
+    EXPECT_GT(p.stragglerWindows(), 0u);
+    EXPECT_LE(p.stragglerWindows(), p.sampledWindows());
+    EXPECT_GE(p.shardMaxSeconds(), p.shardMeanSeconds());
+
+    // This workload ticks routers, channel adapters, and endpoints;
+    // there is no link-layer component class in the chip build.
+    EXPECT_GT(p.classSeconds(HostCompClass::Router), 0.0);
+    EXPECT_GT(p.classSeconds(HostCompClass::ChannelAdapter), 0.0);
+    EXPECT_GT(p.classSeconds(HostCompClass::Endpoint), 0.0);
+    double class_total = 0.0;
+    for (std::size_t c = 0; c < kNumHostCompClasses; ++c)
+        class_total += p.classSeconds(static_cast<HostCompClass>(c));
+    // Class time is a subset of tick time measured with extra clock
+    // reads - it must stay in the same ballpark, never above the
+    // total parallel time plus slack.
+    double tick_total = 0.0;
+    for (std::size_t l = 0; l < p.lanes(); ++l)
+        tick_total += p.laneTickSeconds(l);
+    EXPECT_LE(class_total, tick_total * 1.5 + 1e-3);
+}
+
+// ---------------------------------------------------------------------
+// Gauge schema
+// ---------------------------------------------------------------------
+
+TEST(EngineProfiler, GaugeSchemaAndHostJsonRoundTrip)
+{
+    Machine m = makeLoadedMachine(2, 0);
+    m.enableHostProfile();
+    preInject(m);
+    HostProfiler prof;
+    prof.beginPhase("run");
+    m.run(1024);
+    prof.endPhase();
+
+    // The shared bench path: recordHostMem folds the engine gauges into
+    // the HostProfiler, hostJson emits them as machine.host.engine.*.
+    bench::recordHostMem(prof, m);
+    const std::string json =
+        bench::hostJson(prof, m.now(), m.engine().componentCount());
+    const auto root = TinyJsonParser(json).parse();
+
+    for (const char *key : {
+             "machine.host.engine.windows",
+             "machine.host.engine.sampled_windows",
+             "machine.host.engine.lanes",
+             "machine.host.engine.shards",
+             "machine.host.engine.cycles",
+             "machine.host.engine.profiled_seconds",
+             "machine.host.engine.cycles_per_sec",
+             "machine.host.engine.serial_seconds",
+             "machine.host.engine.serial_fraction",
+             "machine.host.engine.tick_seconds_max",
+             "machine.host.engine.tick_seconds_mean",
+             "machine.host.engine.imbalance",
+             "machine.host.engine.straggler_shard",
+             "machine.host.engine.straggler_windows",
+             "machine.host.engine.straggler_share",
+             "machine.host.engine.shard_max_seconds",
+             "machine.host.engine.shard_mean_seconds",
+             "machine.host.engine.class.router_seconds",
+             "machine.host.engine.class.channel_adapter_seconds",
+             "machine.host.engine.class.endpoint_seconds",
+             "machine.host.engine.class.link_layer_seconds",
+             "machine.host.engine.class.other_seconds",
+             "machine.host.engine.lane.0.tick_seconds",
+             "machine.host.engine.lane.0.wait_seconds",
+             "machine.host.engine.lane.0.wait_fraction",
+             "machine.host.engine.detail_windows",
+             "machine.host.engine.detail_dropped",
+         }) {
+        EXPECT_TRUE(root->has(key)) << "missing gauge: " << key;
+    }
+
+    const EngineProfiler &p = *m.hostProfile();
+    EXPECT_DOUBLE_EQ(root->at("machine.host.engine.windows").number,
+                     static_cast<double>(p.windows()));
+    EXPECT_DOUBLE_EQ(root->at("machine.host.engine.lanes").number,
+                     static_cast<double>(p.lanes()));
+    EXPECT_DOUBLE_EQ(
+        root->at("machine.host.engine.profiled_seconds").number,
+        p.profiledSeconds());
+    // Profiled engine time is a subset of the phase wall time.
+    EXPECT_LE(root->at("machine.host.engine.profiled_seconds").number,
+              root->at("machine.host.wall_seconds").number + 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: profiling must be unobservable in deterministic exports
+// ---------------------------------------------------------------------
+
+TEST(HostProfileDeterminism, ExportsByteIdenticalProfilingOnOrOff)
+{
+    const RunExports base = runWorkload(1, 1, /*profile=*/false);
+    EXPECT_GT(base.delivered, 0u);
+    for (int threads : { 1, 2, 4 }) {
+        for (Cycle lookahead : { Cycle{ 1 }, Cycle{ 0 } }) {
+            const RunExports on =
+                runWorkload(threads, lookahead, /*profile=*/true);
+            const std::string what = "threads="
+                                     + std::to_string(threads)
+                                     + " lookahead="
+                                     + std::to_string(lookahead);
+            EXPECT_EQ(base.delivered, on.delivered) << what;
+            EXPECT_EQ(base.metrics, on.metrics)
+                << what << ": metrics JSON differs with profiling on";
+            EXPECT_EQ(base.chrome, on.chrome)
+                << what << ": Chrome trace differs with profiling on";
+            EXPECT_EQ(base.flights, on.flights)
+                << what << ": flight CSV differs with profiling on";
+            EXPECT_EQ(base.timeseries, on.timeseries)
+                << what << ": time series differs with profiling on";
+            EXPECT_EQ(base.heatmap, on.heatmap)
+                << what << ": heatmap differs with profiling on";
+            EXPECT_EQ(base.audit, on.audit)
+                << what << ": audit report differs with profiling on";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chrome-trace host timeline
+// ---------------------------------------------------------------------
+
+TEST(HostTimeline, ChromeJsonLoadsAndCoversWindows)
+{
+    Machine m = makeLoadedMachine(2, 0);
+    m.enableHostProfile();
+    preInject(m);
+    m.run(1024);
+
+    const std::string json = m.hostTimelineChromeJson();
+    const auto root = TinyJsonParser(json).parse();
+    ASSERT_TRUE(root->has("traceEvents"));
+    const auto &events = root->at("traceEvents");
+    ASSERT_FALSE(events.array.empty());
+
+    const EngineProfiler &p = *m.hostProfile();
+    EXPECT_DOUBLE_EQ(root->path("otherData.windows").number,
+                     static_cast<double>(p.windows()));
+    EXPECT_DOUBLE_EQ(root->path("otherData.detail_windows").number,
+                     static_cast<double>(p.detailWindows()));
+
+    std::size_t slices = 0, serial_slices = 0;
+    bool saw_process_name = false, saw_serial_thread = false;
+    const double serial_tid = static_cast<double>(p.lanes());
+    for (const auto &ev : events.array) {
+        const std::string ph = ev->at("ph").string;
+        if (ph == "M") {
+            if (ev->at("name").string == "process_name")
+                saw_process_name = true;
+            if (ev->at("name").string == "thread_name"
+                && ev->at("tid").number == serial_tid)
+                saw_serial_thread = true;
+            continue;
+        }
+        ASSERT_EQ(ph, "X");
+        EXPECT_GE(ev->at("ts").number, 0.0);
+        EXPECT_GE(ev->at("dur").number, 0.0);
+        ++slices;
+        if (ev->at("tid").number == serial_tid)
+            ++serial_slices;
+    }
+    EXPECT_TRUE(saw_process_name);
+    EXPECT_TRUE(saw_serial_thread);
+    EXPECT_GT(slices, 0u);
+    EXPECT_GT(serial_slices, 0u);
+    // Every detail window contributes its serial-replay slice (lane
+    // tick slices can be skipped when a lane recorded no span).
+    EXPECT_EQ(serial_slices, p.detailWindows());
+}
+
+// ---------------------------------------------------------------------
+// HostProfiler hardening
+// ---------------------------------------------------------------------
+
+TEST(HostProfilerHardening, OpenPhaseIsCountedWithoutEndPhase)
+{
+    HostProfiler prof;
+    prof.beginPhase("open");
+    EXPECT_EQ(prof.openPhase(), "open");
+    // A still-open phase reports its elapsed time - phaseSeconds must
+    // not require endPhase() first.
+    const double t0 = prof.phaseSeconds("open");
+    EXPECT_GE(t0, 0.0);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + 1.0;
+    EXPECT_GE(prof.phaseSeconds("open"), t0);
+    EXPECT_LE(prof.phaseSeconds("open"), prof.wallSeconds() + 1e-6);
+}
+
+TEST(HostProfilerHardening, ReenteredPhaseAccumulates)
+{
+    HostProfiler prof;
+    prof.beginPhase("a");
+    prof.endPhase();
+    const double first = prof.phaseSeconds("a");
+    prof.beginPhase("b");
+    // Re-entering "a" banks "b" and opens a new "a" slice; the name's
+    // total accumulates across both slices.
+    prof.beginPhase("a");
+    EXPECT_EQ(prof.openPhase(), "a");
+    EXPECT_GE(prof.phaseSeconds("a"), first);
+    EXPECT_GE(prof.phaseSeconds("b"), 0.0);
+    prof.endPhase();
+    EXPECT_EQ(prof.openPhase(), "");
+}
+
+TEST(HostProfilerHardening, StrayEndPhaseIsHarmless)
+{
+    HostProfiler prof;
+    prof.endPhase(); // nothing open - must be a no-op, not UB
+    prof.endPhase();
+    EXPECT_EQ(prof.openPhase(), "");
+    prof.beginPhase("x");
+    prof.endPhase();
+    prof.endPhase(); // second end after the close is also a no-op
+    EXPECT_GE(prof.phaseSeconds("x"), 0.0);
+}
+
+TEST(HostProfilerHardening, PhaseSecondsNeverExceedWallSeconds)
+{
+    HostProfiler prof;
+    prof.beginPhase("build");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 50000; ++i)
+        sink = sink + 1.0;
+    prof.beginPhase("run");
+    for (int i = 0; i < 50000; ++i)
+        sink = sink + 1.0;
+    // "run" intentionally left open: toJson must fold it in and the
+    // sum of phases must still bound below the wall clock.
+    const std::string json = prof.toJson(1000, 10);
+    const auto root = TinyJsonParser(json).parse();
+    const double wall = root->at("machine.host.wall_seconds").number;
+    double phase_sum = 0.0;
+    for (const auto &[key, value] : root->object) {
+        if (key.rfind("machine.host.phase.", 0) == 0)
+            phase_sum += value->number;
+    }
+    EXPECT_GT(phase_sum, 0.0);
+    EXPECT_LE(phase_sum, wall + 1e-6);
+}
+
+TEST(HostProfilerHardening, ExtraGaugesOverwriteByKeyKeepOrder)
+{
+    HostProfiler prof;
+    prof.setExtraGauge("engine.windows", 1.0);
+    prof.setExtraGauge("engine.lanes", 4.0);
+    prof.setExtraGauge("engine.windows", 7.0); // overwrite, not append
+    const std::string json = prof.toJson(0, 0);
+    const auto root = TinyJsonParser(json).parse();
+    EXPECT_DOUBLE_EQ(root->at("machine.host.engine.windows").number, 7.0);
+    EXPECT_DOUBLE_EQ(root->at("machine.host.engine.lanes").number, 4.0);
+    // Overwriting must not duplicate the key in the serialized JSON.
+    const auto first = json.find("machine.host.engine.windows");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(json.find("machine.host.engine.windows", first + 1),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Window-aware --progress line
+// ---------------------------------------------------------------------
+
+TEST(ProgressMeter, WindowRateAndEtaFromProfiler)
+{
+    std::FILE *out = std::tmpfile();
+    ASSERT_NE(out, nullptr);
+    ProgressMeter::Config cfg;
+    cfg.check_every = 1;
+    cfg.min_seconds = 0.0;
+    cfg.out = out;
+    ProgressMeter pm(cfg);
+    pm.setRateFn([] { return 2.0e6; });
+    pm.setTargetCycles(2'000'000);
+    pm.tick(0);       // primes the clock
+    pm.tick(1000);    // prints using the wired 2 Mcyc/s rate
+    pm.finish();
+    EXPECT_EQ(pm.linesPrinted(), 1u);
+
+    std::rewind(out);
+    char buf[512] = {};
+    const auto n = std::fread(buf, 1, sizeof(buf) - 1, out);
+    const std::string line(buf, n);
+    std::fclose(out);
+    EXPECT_NE(line.find("2.00 Mcyc/s (win)"), std::string::npos) << line;
+    EXPECT_NE(line.find("eta 1s"), std::string::npos) << line;
+}
+
+TEST(ProgressMeter, FallsBackToRawRateWithoutProfiler)
+{
+    std::FILE *out = std::tmpfile();
+    ASSERT_NE(out, nullptr);
+    ProgressMeter::Config cfg;
+    cfg.check_every = 1;
+    cfg.min_seconds = 0.0;
+    cfg.out = out;
+    ProgressMeter pm(cfg);
+    pm.tick(0);
+    pm.tick(1000);
+    pm.finish();
+
+    std::rewind(out);
+    char buf[512] = {};
+    const auto n = std::fread(buf, 1, sizeof(buf) - 1, out);
+    const std::string line(buf, n);
+    std::fclose(out);
+    EXPECT_NE(line.find("Mcyc/s"), std::string::npos) << line;
+    EXPECT_EQ(line.find("(win)"), std::string::npos) << line;
+    EXPECT_EQ(line.find("eta"), std::string::npos) << line;
+}
+
+// ---------------------------------------------------------------------
+// Bench flag validation
+// ---------------------------------------------------------------------
+
+TEST(BenchFlagValidation, TopkMustBePositive)
+{
+    bench::ReportOptions ro;
+    ro.topk = 0;
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(ro.validate());
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "error: --topk must be >= 1"),
+              std::string::npos);
+    ro.topk = -3;
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(ro.validate());
+    testing::internal::GetCapturedStderr();
+}
+
+TEST(BenchFlagValidation, HostProfileSampleMustBePositive)
+{
+    bench::HostProfileOptions hp;
+    hp.enabled = true;
+    hp.sample_every = 0;
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(hp.validate());
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "error: --host-profile-sample must be >= 1"),
+              std::string::npos);
+}
+
+TEST(BenchFlagValidation, HostProfileTimelinePathMustBeWritable)
+{
+    bench::HostProfileOptions hp;
+    hp.timeline = "/nonexistent-dir-for-test/timeline.json";
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(hp.validate());
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "error: cannot open /nonexistent-dir-for-test/"
+                  "timeline.json for writing"),
+              std::string::npos);
+    // The implication still resolves even when the path is bad.
+    EXPECT_TRUE(hp.enabled);
+}
+
+TEST(BenchFlagValidation, TimelinePathImpliesProfiling)
+{
+    bench::HostProfileOptions hp;
+    hp.timeline = "/dev/null";
+    EXPECT_FALSE(hp.enabled);
+    EXPECT_TRUE(hp.validate());
+    EXPECT_TRUE(hp.enabled);
+}
+
+TEST(BenchFlagValidation, TimelineRejectsMultiRunSweeps)
+{
+    bench::HostProfileOptions hp;
+    hp.timeline = "/dev/null";
+    ASSERT_TRUE(hp.validate());
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(bench::validateTimelineSingleRun(hp, 3));
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "error: --host-profile=PATH writes one run's "
+                  "timeline"),
+              std::string::npos);
+    EXPECT_TRUE(bench::validateTimelineSingleRun(hp, 1));
+    // No timeline requested: any sweep size is fine.
+    bench::HostProfileOptions plain;
+    plain.enabled = true;
+    EXPECT_TRUE(bench::validateTimelineSingleRun(plain, 8));
+}
+
+// ---------------------------------------------------------------------
+// OptionRegistry: --name=value and the optional-value flag kind
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** argv builder: keeps the strings alive and hands out char**. */
+struct Argv
+{
+    explicit Argv(std::vector<std::string> args) : strings(std::move(args))
+    {
+        ptrs.push_back(prog);
+        for (auto &s : strings)
+            ptrs.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+
+    char prog[5] = "test";
+    std::vector<std::string> strings;
+    std::vector<char *> ptrs;
+};
+
+} // namespace
+
+TEST(OptionRegistry, EqualsValueSyntaxForEveryKind)
+{
+    long n = 0;
+    double d = 0.0;
+    const char *s = nullptr;
+    bench::OptionRegistry reg("t");
+    reg.add("--n", "N", "h", &n);
+    reg.add("--d", "X", "h", &d);
+    reg.add("--s", "S", "h", &s);
+    Argv a({ "--n=42", "--d=2.5", "--s=hello" });
+    ASSERT_TRUE(reg.parse(a.argc(), a.argv()));
+    EXPECT_EQ(n, 42);
+    EXPECT_DOUBLE_EQ(d, 2.5);
+    EXPECT_STREQ(s, "hello");
+}
+
+TEST(OptionRegistry, PlainFlagRejectsAttachedValue)
+{
+    bool f = false;
+    bench::OptionRegistry reg("t");
+    reg.add("--f", "h", &f);
+    Argv a({ "--f=yes" });
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(reg.parse(a.argc(), a.argv()));
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "error: --f does not take a value"),
+              std::string::npos);
+}
+
+TEST(OptionRegistry, OptionalStringWithAndWithoutValue)
+{
+    {
+        bool present = false;
+        const char *path = nullptr;
+        bench::OptionRegistry reg("t");
+        reg.addOptional("--host-profile", "PATH", "h", &present, &path);
+        Argv a({ "--host-profile" });
+        ASSERT_TRUE(reg.parse(a.argc(), a.argv()));
+        EXPECT_TRUE(present);
+        EXPECT_EQ(path, nullptr);
+    }
+    {
+        bool present = false;
+        const char *path = nullptr;
+        bench::OptionRegistry reg("t");
+        reg.addOptional("--host-profile", "PATH", "h", &present, &path);
+        Argv a({ "--host-profile=/tmp/t.json" });
+        ASSERT_TRUE(reg.parse(a.argc(), a.argv()));
+        EXPECT_TRUE(present);
+        EXPECT_STREQ(path, "/tmp/t.json");
+    }
+    {
+        // Without '=', a following bare token is NOT consumed as the
+        // value - it must parse as the next argument.
+        bool present = false;
+        const char *path = nullptr;
+        const char *pos = nullptr;
+        bench::OptionRegistry reg("t");
+        reg.addOptional("--host-profile", "PATH", "h", &present, &path);
+        reg.addPositional("OUT", "h", &pos);
+        Argv a({ "--host-profile", "report.json" });
+        ASSERT_TRUE(reg.parse(a.argc(), a.argv()));
+        EXPECT_TRUE(present);
+        EXPECT_EQ(path, nullptr);
+        EXPECT_STREQ(pos, "report.json");
+    }
+}
+
+TEST(OptionRegistry, UnknownEqualsOptionReportsBareName)
+{
+    long n = 0;
+    bench::OptionRegistry reg("t");
+    reg.add("--n", "N", "h", &n);
+    Argv a({ "--bogus=1" });
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(reg.parse(a.argc(), a.argv()));
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "error: unknown option '--bogus'"),
+              std::string::npos);
+}
