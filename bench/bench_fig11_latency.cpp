@@ -168,6 +168,7 @@ main(int argc, char **argv)
     }
     bench::printRule(40);
     prof.endPhase();
+    run.flows.write(m);
     ts.write(m);
     audit.write(m);
     run.host_profile.write(m);

@@ -127,6 +127,7 @@ main(int argc, char **argv)
         if (trace.csv != nullptr)
             std::printf("Flight record written to %s\n", trace.csv);
     }
+    run.flows.write(m);
     ts.write(m);
     audit.write(m);
     run.host_profile.write(m);

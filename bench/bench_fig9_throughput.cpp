@@ -66,6 +66,7 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
     inst.metrics = with_metrics;
     if (probe) {
         run.trace.addTo(inst);
+        run.flows.addTo(inst);
         run.ts.addTo(inst);
         run.audit.addTo(inst, m.geom());
         run.host_profile.addTo(inst);
@@ -112,8 +113,10 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
         std::fprintf(stderr, "WARNING: batch timed out\n");
     prof.endPhase();
 
-    if (probe)
+    if (probe) {
         run.trace.write(m);
+        run.flows.write(m);
+    }
     run.ts.write(m);
     RunResult res;
     res.normalized = driver.throughputPerCore() / ideal;
@@ -187,8 +190,9 @@ main(int argc, char **argv)
             // the last pattern's probe run wins the output files.
             const bool probe =
                 (json_path != nullptr || run.trace.enabled()
-                 || run.ts.enabled() || run.audit.enabled()
-                 || run.host_profile.enabled || run.report.enabled())
+                 || run.flows.enabled() || run.ts.enabled()
+                 || run.audit.enabled() || run.host_profile.enabled
+                 || run.report.enabled())
                 && batch * 4 > max_batch;
             const auto rr = runBatch(radix, static_cast<int>(cores),
                                      ArbPolicy::RoundRobin, pattern, batch,

@@ -193,6 +193,80 @@ struct TraceOptions
 };
 
 /**
+ * Shared flow-observability flags for the figure benches:
+ *   --flows[=PATH]     attach the flow probe: per-(src, dst, class)
+ *                      flow matrix, per-hop span attribution, and the
+ *                      congestion-blame digest in the run report. With
+ *                      =PATH, also write the flow-matrix CSV.
+ *   --flow-sample <N>  retain Chrome-trace span rows for every Nth
+ *                      packet id (implies --flows; the rows ride in the
+ *                      --trace export)
+ * Paths are validated before any simulation time is spent. A probe-less
+ * run takes zero additional clock reads, so leaving these off keeps
+ * every pre-existing export byte-identical.
+ */
+struct FlowOptions
+{
+    bool flows = false;
+    const char *csv = nullptr;
+    long sample = 0;
+
+    /** Declare the shared flow flags on @p reg. */
+    void
+    registerInto(OptionRegistry &reg)
+    {
+        reg.addOptional("--flows", "PATH",
+                        "attach the flow probe (flow matrix + congestion "
+                        "blame); =PATH also writes the flow-matrix CSV",
+                        &flows, &csv);
+        reg.add("--flow-sample", "N",
+                "retain Chrome-trace flow spans for every Nth packet id "
+                "(implies --flows)",
+                &sample);
+    }
+
+    bool
+    enabled() const
+    {
+        return flows || csv != nullptr || sample > 0;
+    }
+
+    /** Resolve implications; fail fast on bad strides / unwritable
+     * paths. Call once, after parse(). */
+    bool
+    validate()
+    {
+        flows = enabled();
+        if (sample < 0) {
+            std::fprintf(stderr, "error: --flow-sample must be >= 0\n");
+            return false;
+        }
+        return validateOutputPaths({ csv });
+    }
+
+    /** Add the requested flow probe to an instrumentation bundle. */
+    void
+    addTo(Instrumentation &inst) const
+    {
+        if (!enabled())
+            return;
+        FlowProbeConfig cfg;
+        cfg.sample = static_cast<std::uint64_t>(sample);
+        inst.flows = cfg;
+    }
+
+    /** Write the flow-matrix CSV when a path was given. */
+    void
+    write(Machine &m) const
+    {
+        if (csv != nullptr && m.flows() != nullptr) {
+            writeFile(csv, m.flowMatrixCsv());
+            std::printf("Flow matrix CSV written to %s\n", csv);
+        }
+    }
+};
+
+/**
  * Shared windowed time-series flags for the figure benches:
  *   --timeseries          enable the interval sampler
  *   --window <N>          sampling window in cycles (default 1024)
@@ -640,6 +714,7 @@ struct RunOptions
     long threads = 1;
     long lookahead = 1;
     TraceOptions trace;
+    FlowOptions flows;
     TimeseriesOptions ts;
     AuditOptions audit;
     HostProfileOptions host_profile;
@@ -657,6 +732,7 @@ struct RunOptions
                 "latency), 1 = per-cycle barriers (default)",
                 &lookahead);
         trace.registerInto(reg);
+        flows.registerInto(reg);
         ts.registerInto(reg);
         audit.registerInto(reg);
         host_profile.registerInto(reg);
@@ -675,8 +751,9 @@ struct RunOptions
             std::fprintf(stderr, "error: --lookahead must be >= 0\n");
             return false;
         }
-        return trace.validate() && ts.validate() && audit.validate()
-               && host_profile.validate() && report.validate();
+        return trace.validate() && flows.validate() && ts.validate()
+               && audit.validate() && host_profile.validate()
+               && report.validate();
     }
 
     /** The bundle every requested option group contributes to. */
@@ -686,6 +763,7 @@ struct RunOptions
         Instrumentation inst;
         inst.metrics = metrics;
         trace.addTo(inst);
+        flows.addTo(inst);
         ts.addTo(inst);
         audit.addTo(inst, m.geom());
         host_profile.addTo(inst);
@@ -709,6 +787,7 @@ struct RunOptions
     writeOutputs(Machine &m) const
     {
         trace.write(m);
+        flows.write(m);
         ts.write(m);
         audit.write(m);
         host_profile.write(m);

@@ -27,6 +27,7 @@ main(int argc, char **argv)
     long threads = 1;
     long lookahead = 1;
     bench::AuditOptions audit;
+    bench::FlowOptions flows;
     bench::HostProfileOptions host_profile;
     bench::OptionRegistry reg(
         "Saturation study: open-loop injection sweep toward the analytic "
@@ -40,6 +41,7 @@ main(int argc, char **argv)
             "latency), 1 = per-cycle barriers (default)",
             &lookahead);
     audit.registerInto(reg);
+    flows.registerInto(reg);
     host_profile.registerInto(reg);
     reg.addPositional("HEATMAP_CSV",
                       "path for the near-saturation congestion heatmap "
@@ -52,7 +54,7 @@ main(int argc, char **argv)
                              "--lookahead >= 0\n");
         return 1;
     }
-    if (!audit.validate() || !host_profile.validate())
+    if (!audit.validate() || !flows.validate() || !host_profile.validate())
         return 1;
 
     const std::vector<int> radix{ 4, 4, 4 };
@@ -94,6 +96,7 @@ main(int argc, char **argv)
         tcfg.auto_steady = true;
         inst.timeseries = tcfg;
         audit.addTo(inst, m.geom());
+        flows.addTo(inst);
         host_profile.addTo(inst);
         m.attachInstrumentation(inst);
         IntervalSampler &sampler = *m.timeseries();
@@ -136,6 +139,7 @@ main(int argc, char **argv)
         }
         if (frac == 1.0) {
             audit.write(m);
+            flows.write(m); // highest-load sweep point's flow matrix
             host_profile.write(m); // highest-load sweep point's timeline
             if (m.audit() != nullptr) {
                 std::printf("audit: %llu passes, %llu violations\n",

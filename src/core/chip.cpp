@@ -160,7 +160,7 @@ Chip::registerWith(Engine &engine)
 }
 
 void
-Chip::bindMetrics(MetricsRegistry &reg)
+Chip::bindMetrics(MetricsRegistry &reg, double lat_bin_width)
 {
     const std::string prefix = "chip." + std::to_string(node_);
     // Below Router level every component of this chip shares one metric
@@ -189,7 +189,7 @@ Chip::bindMetrics(MetricsRegistry &reg)
             reg,
             per_component ? prefix + ".ep." + std::to_string(e)
                           : prefix + ".ep",
-            "machine");
+            "machine", lat_bin_width);
     }
 }
 
@@ -207,6 +207,35 @@ Chip::bindTrace(TraceSink &sink)
     }
     for (EndpointId e = 0; e < layout_.numEndpoints(); ++e)
         endpoints_[static_cast<std::size_t>(e)]->bindTrace(sink);
+}
+
+void
+Chip::bindFlow(FlowProbe &probe)
+{
+    const MeshGeom &mesh = layout_.mesh();
+    for (RouterId r = 0; r < layout_.numRouters(); ++r) {
+        probe.registerUnit(static_cast<std::int32_t>(node_),
+                           FlowUnitKind::Router, r,
+                           "r" + std::to_string(mesh.u(r)) + "."
+                               + std::to_string(mesh.v(r)));
+        routers_[static_cast<std::size_t>(r)]->bindFlow(
+            probe, static_cast<std::int32_t>(node_),
+            static_cast<std::int16_t>(r));
+    }
+    for (int ca = 0; ca < layout_.numChannelAdapters(); ++ca) {
+        probe.registerUnit(static_cast<std::int32_t>(node_),
+                           FlowUnitKind::Link, ca,
+                           layout_.channelShortName(ca));
+        channel_adapters_[static_cast<std::size_t>(ca)]->bindFlow(
+            probe, static_cast<std::int32_t>(node_),
+            static_cast<std::int16_t>(ca));
+    }
+    for (EndpointId e = 0; e < layout_.numEndpoints(); ++e) {
+        probe.registerUnit(static_cast<std::int32_t>(node_),
+                           FlowUnitKind::Endpoint, e,
+                           "ep" + std::to_string(e));
+        endpoints_[static_cast<std::size_t>(e)]->bindFlow(probe);
+    }
 }
 
 RouterEnergyMeter *

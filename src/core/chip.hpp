@@ -73,9 +73,11 @@ class Chip
      * Bind every component of this chip to @p reg under
      * `chip.<node>.router.<u>.<v>`, `chip.<node>.ca.<chan>`, and
      * `chip.<node>.ep.<e>`; the endpoints' latency breakdown aggregates
-     * machine-wide under `machine.latency.*`.
+     * machine-wide under `machine.latency.*`. @p lat_bin_width sizes
+     * the endpoints' total-latency histogram bins (see
+     * EndpointAdapter::bindMetrics).
      */
-    void bindMetrics(MetricsRegistry &reg);
+    void bindMetrics(MetricsRegistry &reg, double lat_bin_width = 32.0);
 
     /**
      * Bind every component of this chip to @p sink: routers emit
@@ -83,6 +85,14 @@ class Chip
      * link-traverse events, endpoints emit inject/eject events.
      */
     void bindTrace(TraceSink &sink);
+
+    /**
+     * Bind every component of this chip to @p probe and register their
+     * unit names with it: routers emit switch-traversal hop spans,
+     * channel adapters emit torus-link egress spans, endpoints emit
+     * injection spans and the flight-closing delivery records.
+     */
+    void bindFlow(FlowProbe &probe);
 
     NodeId node() const { return node_; }
     const ChipLayout &layout() const { return layout_; }

@@ -1,6 +1,8 @@
 #include "core/machine.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "trace/chrome_trace.hpp"
@@ -30,6 +32,7 @@ Machine::Machine(const MachineConfig &cfg)
     // data and credit directions run at the link latency). So the bound
     // is the minimum link latency across the machine.
     lookahead_cap_ = kNoCycle;
+    Cycle max_link_latency = 1;
     for (NodeId n = 0; n < geom_.numNodes(); ++n) {
         for (int dim = 0; dim < 3; ++dim) {
             for (Dir dir : kDirs) {
@@ -39,11 +42,30 @@ Machine::Machine(const MachineConfig &cfg)
                         : cfg_.fixed_torus_latency;
                 if (latency < lookahead_cap_)
                     lookahead_cap_ = latency;
+                if (latency != kNoCycle && latency > max_link_latency)
+                    max_link_latency = latency;
             }
         }
     }
     if (lookahead_cap_ == kNoCycle || lookahead_cap_ < 1)
         lookahead_cap_ = 1;
+
+    // Size the endpoints' total-latency histogram bins with the machine
+    // diameter: the worst zero-load path crosses half of every ring at
+    // the slowest link (plus per-hop adapter serialization and the
+    // on-chip mesh at each end), and congested runs stretch several
+    // times past that. A fixed 32-cycle width tops the 64 bins out at
+    // 2048 cycles - an 8x8x8 torus with slow links pushes worst-path
+    // latencies well beyond it, piling everything into the overflow
+    // bin. Width stays a multiple of 32 so small machines keep the
+    // legacy binning byte-for-byte.
+    double worst_path = 64.0; // injection + both chips' mesh + ejection
+    for (std::size_t dim = 0; dim < cfg_.radix.size(); ++dim) {
+        worst_path += static_cast<double>(cfg_.radix[dim] / 2)
+                      * static_cast<double>(max_link_latency + 24);
+    }
+    lat_bin_width_ =
+        32.0 * std::max(1.0, std::ceil(4.0 * worst_path / (64.0 * 32.0)));
 
     // Wire the torus: for every (node, dim, dir, slice), one channel from
     // that adapter's egress to the peer node's opposite adapter's ingress.
@@ -154,6 +176,11 @@ Machine::serialPhase(Cycle now)
 {
     if (trace_ != nullptr)
         trace_->mergeStaged(now);
+    // Flow hop records merge before the delivery flush: every hop of a
+    // packet delivered this cycle must be applied before the delivery
+    // closes its flight into the flow matrix.
+    if (flow_ != nullptr)
+        flow_->mergeStaged(now);
     for (EndpointAdapter *ep : flush_order_)
         ep->flushDeliveries(now);
 }
@@ -165,6 +192,9 @@ Machine::setThreads(int n)
     if (trace_ != nullptr)
         trace_->configureLanes(engine_.laneCount(),
                                static_cast<std::size_t>(lookahead_cap_));
+    if (flow_ != nullptr)
+        flow_->configureLanes(engine_.laneCount(),
+                              static_cast<std::size_t>(lookahead_cap_));
 }
 
 void
@@ -176,6 +206,9 @@ Machine::setLookahead(Cycle w)
     if (trace_ != nullptr)
         trace_->configureLanes(engine_.laneCount(),
                                static_cast<std::size_t>(lookahead_cap_));
+    if (flow_ != nullptr)
+        flow_->configureLanes(engine_.laneCount(),
+                              static_cast<std::size_t>(lookahead_cap_));
 }
 
 void
@@ -187,6 +220,8 @@ Machine::attachInstrumentation(const Instrumentation &inst)
         doEnableMetrics(inst.metrics_level);
     if (inst.trace.has_value())
         doEnableTracing(*inst.trace);
+    if (inst.flows.has_value())
+        doEnableFlows(*inst.flows);
     if (inst.timeseries.has_value())
         doEnableTimeseries(*inst.timeseries);
     if (inst.progress.has_value())
@@ -205,7 +240,7 @@ Machine::doEnableMetrics(MetricsLevel level)
     metrics_ = std::make_unique<MetricsRegistry>();
     metrics_->setLevel(level);
     for (auto &c : chips_)
-        c->bindMetrics(*metrics_);
+        c->bindMetrics(*metrics_, lat_bin_width_);
     m_delivered_ = &metrics_->counter("machine.delivered");
     m_hops_ = &metrics_->scalar("machine.hops");
     return *metrics_;
@@ -436,6 +471,15 @@ Machine::runReportJson(std::size_t topk)
     out.insert(out.size() - 1, ",");
     out += "  \"digest\": " + hotspotDigestJson(hotspotDigest(topk), 2, 1)
            + ",\n";
+    if (flow_ != nullptr) {
+        // Digest-only at the coarse levels; the dense node^2 matrix
+        // joins it at Full. Absent entirely when the probe is detached,
+        // so pre-existing reports stay byte-identical.
+        out += "  \"flows\": "
+               + flow_->reportJson(metrics_->level() >= MetricsLevel::Full,
+                                   geom_.numNodes(), 2, 1)
+               + ",\n";
+    }
     out += "  \"steady_state\": "
            + (sampler_ != nullptr ? sampler_->steadyStateJson(2, 1)
                                   : std::string("null"))
@@ -733,6 +777,28 @@ Machine::hostTimelineChromeJson()
     return hostTimelineJson(in);
 }
 
+FlowProbe &
+Machine::doEnableFlows(const FlowProbeConfig &cfg)
+{
+    if (flow_ != nullptr)
+        return *flow_;
+    flow_ = std::make_unique<FlowProbe>(cfg);
+    flow_->configureLanes(engine_.laneCount(),
+                          static_cast<std::size_t>(lookahead_cap_));
+    for (auto &c : chips_)
+        c->bindFlow(*flow_);
+    // Unlike tracing's stall samplers, hop records are emitted only
+    // when flits actually move, so idle shards may still be skipped.
+    return *flow_;
+}
+
+std::string
+Machine::flowMatrixCsv()
+{
+    assert(flow_ != nullptr && "call enableFlows() first");
+    return flow_->matrixCsv();
+}
+
 RingTraceSink &
 Machine::doEnableTracing(const TraceConfig &cfg)
 {
@@ -807,6 +873,41 @@ Machine::traceChromeJson()
                 track.points.push_back({ s.windowEnd(w), v });
             }
             in.counters.push_back(std::move(track));
+        }
+    }
+
+    // Sampled flow packets (enableFlows with a sample stride): each
+    // becomes its own track of per-hop duration slices in a synthetic
+    // "flows" process, named by the unit the packet occupied.
+    if (flow_ != nullptr) {
+        const auto &spans = flow_->sampledSpans();
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            const FlowProbe::Span &sp = spans[i];
+            const FlowDeliveryRecord &m = sp.meta;
+            const int tid = static_cast<int>(i);
+            in.flow_threads.emplace_back(
+                tid, "pkt " + std::to_string(m.packet) + " n"
+                         + std::to_string(m.src_node) + "."
+                         + std::to_string(m.src_ep) + " -> n"
+                         + std::to_string(m.dst_node) + "."
+                         + std::to_string(m.dst_ep)
+                         + (m.tc == 0 ? " req" : " rep"));
+            for (const FlowHopRecord &hop : sp.path) {
+                FlowSpanSlice fs;
+                fs.tid = tid;
+                fs.name =
+                    std::string(flowUnitKindName(hop.kind)) + " n"
+                    + std::to_string(hop.node) + "."
+                    + flow_->unitName(hop.node, hop.kind, hop.unit);
+                fs.begin = hop.arrival;
+                fs.end = hop.cycle;
+                fs.packet = hop.packet;
+                fs.queue =
+                    hop.grant > hop.arrival ? hop.grant - hop.arrival : 0;
+                fs.xfer = hop.cycle > hop.grant ? hop.cycle - hop.grant
+                                                : 0;
+                in.flow_spans.push_back(std::move(fs));
+            }
         }
     }
 

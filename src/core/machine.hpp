@@ -20,6 +20,7 @@
 #include "core/packaging.hpp"
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
+#include "sim/flow.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/rollup.hpp"
@@ -102,6 +103,9 @@ struct Instrumentation
     MetricsLevel metrics_level = MetricsLevel::Full;
     /** Create the trace ring and bind every component. */
     std::optional<TraceConfig> trace;
+    /** Create the flow probe: per-hop latency span attribution, the
+     * per-(src, dst, class) flow matrix, and congestion blame. */
+    std::optional<FlowProbeConfig> flows;
     /** Create the interval sampler with the standard series set. */
     std::optional<TimeseriesConfig> timeseries;
     /** Add the live stderr progress meter. */
@@ -320,6 +324,35 @@ class Machine
     std::string traceFlightCsv();
 
     // ------------------------------------------------------------------
+    // Flow-level observability
+    // ------------------------------------------------------------------
+
+    /**
+     * Convenience forwarder for attachInstrumentation(): create the
+     * flow probe (if absent) and bind every component. Routers, channel
+     * adapters, and endpoints then emit per-hop latency spans that
+     * aggregate into the per-(src, dst, class) flow matrix and the
+     * per-unit congestion-blame counters; a detached Machine takes zero
+     * additional clock reads (one pointer test per emission site).
+     * Idempotent; returns the probe.
+     */
+    FlowProbe &
+    enableFlows(const FlowProbeConfig &cfg = {})
+    {
+        Instrumentation inst;
+        inst.flows = cfg;
+        attachInstrumentation(inst);
+        return *flow_;
+    }
+
+    /** The bound flow probe, or null when flow observability is off. */
+    FlowProbe *flows() { return flow_.get(); }
+
+    /** Export the sparse flow matrix as CSV (one row per active
+     * (src, dst, class) triple). Requires enableFlows(). */
+    std::string flowMatrixCsv();
+
+    // ------------------------------------------------------------------
     // Windowed time series
     // ------------------------------------------------------------------
 
@@ -443,6 +476,7 @@ class Machine
   private:
     MetricsRegistry &doEnableMetrics(MetricsLevel level);
     RingTraceSink &doEnableTracing(const TraceConfig &cfg);
+    FlowProbe &doEnableFlows(const FlowProbeConfig &cfg);
     IntervalSampler &doEnableTimeseries(const TimeseriesConfig &cfg);
     ProgressMeter &doEnableProgress(const ProgressMeter::Config &cfg);
     EngineProfiler &doEnableHostProfile(const EngineProfileConfig &cfg);
@@ -451,8 +485,10 @@ class Machine
     void wireProgressRate();
     Auditor &doEnableAudit(const AuditConfig &cfg); // machine_audit.cpp
     void applyFault(const NetworkFault &f);         // machine_audit.cpp
-    /** Per-cycle post-barrier work: merge staged trace lanes, then run
-     * deferred delivery side effects in endpoint registration order. */
+    /** Per-cycle post-barrier work: merge staged trace and flow lanes,
+     * then run deferred delivery side effects in endpoint registration
+     * order (so a cycle's hop records land before the deliveries that
+     * close those packets' flights). */
     void serialPhase(Cycle now);
     void prepareUnicast(Packet &pkt);
     /** Pooled packet allocation: recycles Packet objects (and their
@@ -479,6 +515,9 @@ class Machine
     Engine engine_;
     Rng rng_;
     Cycle lookahead_cap_ = 1;
+    /** Endpoint total-latency histogram bin width, scaled with the
+     * machine diameter at construction (see the ctor). */
+    double lat_bin_width_ = 32.0;
     std::shared_ptr<PacketPool> pool_ = std::make_shared<PacketPool>();
 
     std::vector<std::unique_ptr<Chip>> chips_;
@@ -500,6 +539,7 @@ class Machine
     Counter *m_delivered_ = nullptr; ///< machine.delivered
     ScalarStat *m_hops_ = nullptr;   ///< machine.hops per delivery
     std::unique_ptr<RingTraceSink> trace_;
+    std::unique_ptr<FlowProbe> flow_;
     std::unique_ptr<IntervalSampler> sampler_;
     std::unique_ptr<ProgressMeter> progress_;
     std::unique_ptr<EngineProfiler> host_profile_;

@@ -138,6 +138,7 @@ class VcBuffer
         Cycle routed_at = 0;
         Cycle va_at = 0;
         bool granted = false;
+        Cycle granted_at = 0;
     };
 
     void

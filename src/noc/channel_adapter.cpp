@@ -86,6 +86,15 @@ ChannelAdapter::bindTrace(TraceSink &sink, std::int32_t node,
 }
 
 void
+ChannelAdapter::bindFlow(FlowProbe &probe, std::int32_t node,
+                         std::int16_t unit)
+{
+    flow_.probe = &probe;
+    flow_.node = node;
+    flow_.unit = unit;
+}
+
+void
 ChannelAdapter::tickEgress(Cycle now)
 {
     if (router_in_ == nullptr || torus_out_ == nullptr)
@@ -148,6 +157,7 @@ ChannelAdapter::tickEgress(Cycle now)
             torus_credits_.consume(egress_link_vc_, head.pkt->size_flits);
             egress_busy_ = true;
             egress_vc_ = v;
+            egress_grant_at_ = now;
         }
     }
 
@@ -177,6 +187,12 @@ ChannelAdapter::tickEgress(Cycle now)
             if (metrics_ != nullptr)
                 metrics_->flits_sent->inc();
             if (phit.tail) {
+                // Emit the link hop span while the entry is live (all
+                // cycles are existing state - no clock reads).
+                flowHopEvent(flow_, FlowUnitKind::Link, head.pkt->id,
+                             head.pkt->mcast_group, head.pkt->size_flits,
+                             head.head_at, egress_grant_at_, now, -1,
+                             egress_link_vc_);
                 buf.popHead(now);
                 --egress_packets_;
                 egress_busy_ = false;

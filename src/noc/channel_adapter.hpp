@@ -21,6 +21,7 @@
 #include "noc/channel.hpp"
 #include "noc/packet.hpp"
 #include "sim/component.hpp"
+#include "sim/flow.hpp"
 #include "sim/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -115,6 +116,13 @@ class ChannelAdapter final : public Component
      * (@p node, @p unit = adapter index on the chip).
      */
     void bindTrace(TraceSink &sink, std::int32_t node, std::int16_t unit);
+
+    /**
+     * Start emitting one per-packet egress hop span (arrival, link
+     * grant, tail-serialized departure) into @p probe, stamped with
+     * this adapter's coordinates.
+     */
+    void bindFlow(FlowProbe &probe, std::int32_t node, std::int16_t unit);
 
     const ChannelAdapterConfig &config() const { return cfg_; }
     std::uint64_t flitsSent() const { return flits_sent_; }
@@ -228,6 +236,7 @@ class ChannelAdapter final : public Component
     bool egress_busy_ = false;
     int egress_vc_ = -1;           ///< source VC buffer of active packet
     std::uint8_t egress_link_vc_ = 0;
+    Cycle egress_grant_at_ = 0;    ///< cycle the active packet won the link
 
     // Ingress side: torus -> router.
     Channel *torus_in_ = nullptr;
@@ -251,6 +260,7 @@ class ChannelAdapter final : public Component
     int ingress_packets_ = 0;
     std::unique_ptr<ChannelAdapterMetrics> metrics_;
     TraceBinding trace_;
+    FlowBinding flow_;
 };
 
 } // namespace anton2

@@ -50,7 +50,8 @@ EndpointAdapter::armCounter(std::int32_t counter, int count)
 void
 EndpointAdapter::bindMetrics(MetricsRegistry &reg,
                              const std::string &prefix,
-                             const std::string &agg_prefix)
+                             const std::string &agg_prefix,
+                             double lat_bin_width)
 {
     metrics_ = std::make_unique<EndpointMetrics>();
     metrics_->injected = &reg.counter(prefix + ".injected");
@@ -60,10 +61,11 @@ EndpointAdapter::bindMetrics(MetricsRegistry &reg,
     metrics_->lat_network = &reg.scalar(agg_prefix + ".latency.network");
     metrics_->lat_destination =
         &reg.scalar(agg_prefix + ".latency.destination");
-    // 64 bins of 32 cycles cover ~1.4 us end-to-end; the tail lands in
-    // the overflow bin but still contributes exact moments via stat().
+    // 64 bins whose width scales with the machine diameter (32 cycles
+    // on small tori); outliers beyond the last bin still contribute
+    // exact moments via stat().
     metrics_->lat_total =
-        &reg.histogram(agg_prefix + ".latency.total", 64, 32.0);
+        &reg.histogram(agg_prefix + ".latency.total", 64, lat_bin_width);
 }
 
 void
@@ -72,6 +74,14 @@ EndpointAdapter::bindTrace(TraceSink &sink)
     trace_.sink = &sink;
     trace_.node = addr_.node;
     trace_.unit = static_cast<std::int16_t>(addr_.ep);
+}
+
+void
+EndpointAdapter::bindFlow(FlowProbe &probe)
+{
+    flow_.probe = &probe;
+    flow_.node = static_cast<std::int32_t>(addr_.node);
+    flow_.unit = static_cast<std::int16_t>(addr_.ep);
 }
 
 void
@@ -105,6 +115,12 @@ EndpointAdapter::tickInject(Cycle now)
             tracePacketEvent(trace_, TraceUnitKind::Endpoint,
                              TraceEventType::Inject, now, inj_active_->id,
                              -1, vc);
+            // Source-queueing span: birth -> injection grant. Both
+            // cycles already exist; the probe reads no clock.
+            flowHopEvent(flow_, FlowUnitKind::Endpoint, inj_active_->id,
+                         inj_active_->mcast_group,
+                         inj_active_->size_flits, inj_active_->birth,
+                         now, now, -1, vc);
             break;
         }
     }
@@ -167,8 +183,10 @@ EndpointAdapter::tickEject(Cycle now)
     pkt->eject_time = now;
     ++delivered_;
     last_delivery_ = now;
+    // The Eject record's port slot carries the packet's inter-node hop
+    // count, surfaced as the flight record's `hops` column.
     tracePacketEvent(trace_, TraceUnitKind::Endpoint, TraceEventType::Eject,
-                     now, pkt->id, -1, phit->vc);
+                     now, pkt->id, pkt->hops, phit->vc);
     if (defer_deliveries_)
         pending_.push_back({ std::move(pkt), head_at, now });
     else
@@ -187,6 +205,24 @@ EndpointAdapter::deliverSideEffects(const PacketPtr &pkt, Cycle head_at,
             static_cast<double>(head_at - pkt->inject_time));
         metrics_->lat_destination->add(static_cast<double>(now - head_at));
         metrics_->lat_total->add(static_cast<double>(now - pkt->birth));
+    }
+
+    // Close the packet's flight in the flow matrix. Under a Machine
+    // this runs in the serial delivery flush (canonical order), after
+    // the cycle's staged hop records were merged.
+    if (flow_.probe != nullptr && pkt->mcast_group < 0) {
+        FlowDeliveryRecord d;
+        d.packet = pkt->id;
+        d.src_node = static_cast<std::int64_t>(pkt->src.node);
+        d.src_ep = pkt->src.ep;
+        d.dst_node = static_cast<std::int64_t>(pkt->dst.node);
+        d.dst_ep = pkt->dst.ep;
+        d.tc = static_cast<int>(pkt->tc);
+        d.size_flits = pkt->size_flits;
+        d.hops = pkt->hops;
+        d.birth = pkt->birth;
+        d.delivered = now;
+        flow_.probe->recordDelivery(d);
     }
 
     if (deliver_fn_)

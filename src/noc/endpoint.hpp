@@ -23,6 +23,7 @@
 #include "noc/channel.hpp"
 #include "noc/packet.hpp"
 #include "sim/component.hpp"
+#include "sim/flow.hpp"
 #include "sim/metrics.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
@@ -118,10 +119,14 @@ class EndpointAdapter final : public Component
     /**
      * Register per-endpoint counters under @p prefix and the latency
      * breakdown under @p agg_prefix (shared across endpoints so the
-     * registry holds one machine-wide aggregate).
+     * registry holds one machine-wide aggregate). @p lat_bin_width is
+     * the total-latency histogram's bin width in cycles; the Machine
+     * scales it with the machine diameter so long-path latencies on
+     * large tori land in real bins instead of the overflow bin.
      */
     void bindMetrics(MetricsRegistry &reg, const std::string &prefix,
-                     const std::string &agg_prefix);
+                     const std::string &agg_prefix,
+                     double lat_bin_width = 32.0);
 
     /**
      * Start emitting packet lifecycle events (inject at injection grant,
@@ -129,6 +134,14 @@ class EndpointAdapter final : public Component
      * endpoint's address.
      */
     void bindTrace(TraceSink &sink);
+
+    /**
+     * Start emitting flow records into @p probe: a source-queueing span
+     * at each injection grant, and the flight-closing delivery record
+     * (from the serial delivery flush) that lands the packet in its
+     * flow-matrix cell.
+     */
+    void bindFlow(FlowProbe &probe);
 
     void setDeliverFn(DeliverFn fn) { deliver_fn_ = std::move(fn); }
     void setHandlerFn(HandlerFn fn) { handler_fn_ = std::move(fn); }
@@ -216,6 +229,7 @@ class EndpointAdapter final : public Component
     Cycle last_delivery_ = 0;
     std::unique_ptr<EndpointMetrics> metrics_;
     TraceBinding trace_;
+    FlowBinding flow_;
 };
 
 } // namespace anton2

@@ -90,6 +90,14 @@ Router::bindTrace(TraceSink &sink, std::int32_t node, std::int16_t unit)
 }
 
 void
+Router::bindFlow(FlowProbe &probe, std::int32_t node, std::int16_t unit)
+{
+    flow_.probe = &probe;
+    flow_.node = node;
+    flow_.unit = unit;
+}
+
+void
 Router::enableStallSampling()
 {
     if (stalls_ == nullptr)
@@ -281,6 +289,7 @@ Router::stageSa2(Cycle now)
                                     winner)])]
                          .head();
         head.granted = true;
+        head.granted_at = now;
         tracePacketEvent(trace_, TraceUnitKind::Router,
                          TraceEventType::SwitchGrant, now, head.pkt->id,
                          static_cast<int>(o), head.out_vc);
@@ -323,6 +332,13 @@ Router::stageSt(Cycle now)
         vcbuf.sendFlit();
 
         if (phit.tail) {
+            // Emit the hop span while the entry's pipeline timestamps
+            // are still live (every cycle below is existing state - no
+            // clock is read for the probe).
+            flowHopEvent(flow_, FlowUnitKind::Router, head.pkt->id,
+                         head.pkt->mcast_group, head.pkt->size_flits,
+                         head.head_at, head.granted_at, now,
+                         static_cast<int>(o), op.out_vc);
             vcbuf.popHead(now);
             if (vcbuf.empty())
                 ip.nonempty &= ~(1u << op.src_vc);

@@ -20,6 +20,7 @@
 #include "noc/packet.hpp"
 #include "power/energy.hpp"
 #include "sim/component.hpp"
+#include "sim/flow.hpp"
 #include "sim/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -101,6 +102,13 @@ class Router final : public Component
      * router's coordinates (@p node, @p unit).
      */
     void bindTrace(TraceSink &sink, std::int32_t node, std::int16_t unit);
+
+    /**
+     * Start emitting one per-packet hop span (arrival, SA2 grant,
+     * switch-traversal departure) into @p probe, stamped with this
+     * router's coordinates.
+     */
+    void bindFlow(FlowProbe &probe, std::int32_t node, std::int16_t unit);
 
     /**
      * Start classifying every connected output port's cycles into stall
@@ -196,6 +204,7 @@ class Router final : public Component
     RouterEnergyMeter *energy_ = nullptr;
     std::unique_ptr<RouterMetrics> metrics_;
     TraceBinding trace_;
+    FlowBinding flow_;
     std::unique_ptr<RouterStallSampler> stalls_;
     std::uint32_t st_sent_mask_ = 0; ///< bit o: port o sent a flit this cycle
     std::uint64_t flits_routed_ = 0;

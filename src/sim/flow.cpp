@@ -1,0 +1,456 @@
+#include "sim/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/metrics.hpp" // jsonNumber / jsonEscape
+#include "sim/thread_pool.hpp"
+
+namespace anton2 {
+
+namespace {
+
+/** Stable traffic-class vocabulary for the flow exports. */
+const char *
+flowTcName(int tc)
+{
+    switch (tc) {
+      case 0: return "request";
+      case 1: return "reply";
+      default: return "unknown";
+    }
+}
+
+} // namespace
+
+const char *
+flowUnitKindName(FlowUnitKind k)
+{
+    switch (k) {
+      case FlowUnitKind::Endpoint: return "endpoint";
+      case FlowUnitKind::Router: return "router";
+      case FlowUnitKind::Link: return "link";
+    }
+    return "unknown";
+}
+
+double
+FlowCell::p99Estimate() const
+{
+    if (packets == 0)
+        return 0.0;
+    // ceil(0.99 * packets): the rank of the 99th-percentile delivery.
+    const std::uint64_t target = (packets * 99 + 99) / 100;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kFlowLatencyBuckets; ++b) {
+        cum += lat_log2[static_cast<std::size_t>(b)];
+        if (cum >= target) {
+            // Bucket b holds latencies of bit-width b: [2^(b-1), 2^b).
+            return b == 0 ? 0.0
+                          : static_cast<double>(
+                                (std::uint64_t{ 1 } << b) - 1);
+        }
+    }
+    return static_cast<double>(lat_max);
+}
+
+FlowProbe::FlowProbe(const FlowProbeConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.topk < 1)
+        cfg_.topk = 1;
+}
+
+void
+FlowProbe::registerUnit(std::int32_t node, FlowUnitKind kind, int unit,
+                        std::string name)
+{
+    FlowUnitBlame &b = blame_[FlowUnitKey{ node, kind, unit }];
+    b.name = std::move(name);
+}
+
+void
+FlowProbe::configureLanes(std::size_t lanes, std::size_t window_depth)
+{
+    depth_ = window_depth < 1 ? 1 : window_depth;
+    staged_.assign(lanes,
+                   std::vector<std::vector<FlowHopRecord>>(depth_));
+}
+
+void
+FlowProbe::stage(int lane, const FlowHopRecord &r)
+{
+    assert(static_cast<std::size_t>(lane) < staged_.size()
+           && "flow probe not configured for this many lanes");
+    staged_[static_cast<std::size_t>(lane)]
+           [static_cast<std::size_t>(r.cycle % depth_)]
+               .push_back(r);
+}
+
+void
+FlowProbe::mergeStaged(Cycle cycle)
+{
+    const auto bucket = static_cast<std::size_t>(cycle % depth_);
+    for (auto &lane : staged_) {
+        auto &records = lane[bucket];
+        for (const FlowHopRecord &r : records)
+            apply(r);
+        records.clear();
+    }
+}
+
+bool
+FlowProbe::keepPaths(std::uint64_t packet) const
+{
+    if (!cfg_.digest_only)
+        return true;
+    return cfg_.sample > 0 && packet % cfg_.sample == 0;
+}
+
+void
+FlowProbe::apply(const FlowHopRecord &r)
+{
+    auto it = blame_.find(FlowUnitKey{ r.node, r.kind, r.unit });
+    if (it == blame_.end()) {
+        it = blame_.emplace(FlowUnitKey{ r.node, r.kind, r.unit },
+                            FlowUnitBlame{ "?", 0, 0, 0, 0 })
+                 .first;
+    }
+    FlowUnitBlame &b = it->second;
+    ++b.packets;
+    b.flits += static_cast<std::uint64_t>(r.size_flits);
+    b.queue_wait += r.grant >= r.arrival ? r.grant - r.arrival : 0;
+    b.xfer_cycles += r.cycle >= r.grant ? r.cycle - r.grant : 0;
+    if (keepPaths(r.packet))
+        inflight_[r.packet].push_back(r);
+}
+
+void
+FlowProbe::recordDelivery(const FlowDeliveryRecord &d)
+{
+    ++deliveries_;
+    const Cycle lat =
+        d.delivered >= d.birth ? d.delivered - d.birth : 0;
+    FlowCell &c = cells_[FlowKey{ d.src_node, d.dst_node, d.tc }];
+    if (c.packets == 0) {
+        c.lat_min = lat;
+        c.lat_max = lat;
+        c.hop_min = d.hops;
+        c.hop_max = d.hops;
+    } else {
+        c.lat_min = std::min(c.lat_min, lat);
+        c.lat_max = std::max(c.lat_max, lat);
+        c.hop_min = std::min(c.hop_min, d.hops);
+        c.hop_max = std::max(c.hop_max, d.hops);
+    }
+    ++c.packets;
+    c.flits += static_cast<std::uint64_t>(d.size_flits);
+    c.lat_sum += lat;
+    c.hop_sum += static_cast<std::uint64_t>(d.hops);
+    int bucket = 0;
+    for (Cycle v = lat; v != 0; v >>= 1)
+        ++bucket;
+    bucket = std::min(bucket, kFlowLatencyBuckets - 1);
+    ++c.lat_log2[static_cast<std::size_t>(bucket)];
+
+    auto path = inflight_.find(d.packet);
+    // Strictly-greater keeps the first-delivered worst packet, and
+    // deliveries happen in the canonical serial flush order, so the
+    // exemplar is thread-count independent.
+    if (c.packets == 1 || lat > c.worst_latency) {
+        c.worst_packet = d.packet;
+        c.worst_latency = lat;
+        if (!cfg_.digest_only) {
+            c.worst_path = path != inflight_.end()
+                               ? path->second
+                               : std::vector<FlowHopRecord>{};
+        }
+    }
+    if (cfg_.sample > 0 && d.packet % cfg_.sample == 0) {
+        if (spans_.size() < cfg_.max_spans) {
+            Span s;
+            s.meta = d;
+            if (path != inflight_.end())
+                s.path = path->second;
+            spans_.push_back(std::move(s));
+        } else {
+            ++dropped_spans_;
+        }
+    }
+    if (path != inflight_.end())
+        inflight_.erase(path);
+}
+
+const std::string &
+FlowProbe::unitName(std::int64_t node, FlowUnitKind kind, int unit) const
+{
+    static const std::string unknown = "?";
+    const auto it = blame_.find(FlowUnitKey{ node, kind, unit });
+    return it == blame_.end() ? unknown : it->second.name;
+}
+
+namespace {
+
+/** Mean latency comparison without float rounding: cross-multiplied
+ * sums (exact in 128-bit), descending; ties break on the key ascending
+ * so the ordering is fully deterministic. */
+bool
+worseFlow(const std::pair<FlowKey, const FlowCell *> &a,
+          const std::pair<FlowKey, const FlowCell *> &b)
+{
+    const auto lhs = static_cast<unsigned __int128>(a.second->lat_sum)
+                     * b.second->packets;
+    const auto rhs = static_cast<unsigned __int128>(b.second->lat_sum)
+                     * a.second->packets;
+    if (lhs != rhs)
+        return lhs > rhs;
+    return a.first < b.first;
+}
+
+std::string
+hopPathJson(const FlowProbe &probe,
+            const std::vector<FlowHopRecord> &path)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        const FlowHopRecord &h = path[i];
+        if (i != 0)
+            out += ", ";
+        out += "{\"node\": " + jsonNumber(static_cast<double>(h.node))
+               + ", \"kind\": \"" + flowUnitKindName(h.kind)
+               + "\", \"unit\": \""
+               + jsonEscape(probe.unitName(h.node, h.kind, h.unit))
+               + "\", \"at\": "
+               + jsonNumber(static_cast<double>(h.arrival))
+               + ", \"queue\": "
+               + jsonNumber(static_cast<double>(
+                     h.grant >= h.arrival ? h.grant - h.arrival : 0))
+               + ", \"xfer\": "
+               + jsonNumber(static_cast<double>(
+                     h.cycle >= h.grant ? h.cycle - h.grant : 0))
+               + "}";
+    }
+    out += "]";
+    return out;
+}
+
+std::string
+flowEntryJson(const FlowProbe &probe, const FlowKey &key,
+              const FlowCell &c)
+{
+    const auto n = static_cast<double>(c.packets);
+    std::string out =
+        "{\"src\": " + jsonNumber(static_cast<double>(key.src))
+        + ", \"dst\": " + jsonNumber(static_cast<double>(key.dst))
+        + ", \"tc\": \"" + flowTcName(key.tc) + "\", \"packets\": "
+        + jsonNumber(n) + ", \"flits\": "
+        + jsonNumber(static_cast<double>(c.flits)) + ", \"latency\": {"
+        + "\"sum\": " + jsonNumber(static_cast<double>(c.lat_sum))
+        + ", \"min\": " + jsonNumber(static_cast<double>(c.lat_min))
+        + ", \"max\": " + jsonNumber(static_cast<double>(c.lat_max))
+        + ", \"mean\": "
+        + jsonNumber(static_cast<double>(c.lat_sum) / n)
+        + ", \"p99_est\": " + jsonNumber(c.p99Estimate()) + "}"
+        + ", \"hops\": {\"min\": "
+        + jsonNumber(static_cast<double>(c.hop_min)) + ", \"max\": "
+        + jsonNumber(static_cast<double>(c.hop_max)) + ", \"mean\": "
+        + jsonNumber(static_cast<double>(c.hop_sum) / n) + "}"
+        + ", \"worst_packet\": {\"id\": "
+        + jsonNumber(static_cast<double>(c.worst_packet))
+        + ", \"latency\": "
+        + jsonNumber(static_cast<double>(c.worst_latency))
+        + ", \"path\": " + hopPathJson(probe, c.worst_path) + "}}";
+    return out;
+}
+
+std::string
+blameEntryJson(const FlowUnitKey &key, const FlowUnitBlame &b)
+{
+    return "{\"node\": " + jsonNumber(static_cast<double>(key.node))
+           + ", \"unit\": \"" + jsonEscape(b.name) + "\", \"packets\": "
+           + jsonNumber(static_cast<double>(b.packets))
+           + ", \"flits\": " + jsonNumber(static_cast<double>(b.flits))
+           + ", \"queue_wait\": "
+           + jsonNumber(static_cast<double>(b.queue_wait))
+           + ", \"xfer_cycles\": "
+           + jsonNumber(static_cast<double>(b.xfer_cycles)) + "}";
+}
+
+/** Top-K blamed units of one kind: queue wait descending, then the
+ * (node, unit) key ascending. */
+std::vector<std::pair<FlowUnitKey, const FlowUnitBlame *>>
+topBlamed(const std::map<FlowUnitKey, FlowUnitBlame> &blame,
+          FlowUnitKind kind, std::size_t k)
+{
+    std::vector<std::pair<FlowUnitKey, const FlowUnitBlame *>> v;
+    for (const auto &[key, b] : blame) {
+        if (key.kind == kind && b.packets > 0)
+            v.emplace_back(key, &b);
+    }
+    std::sort(v.begin(), v.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second->queue_wait != b.second->queue_wait)
+                      return a.second->queue_wait > b.second->queue_wait;
+                  return a.first < b.first;
+              });
+    if (v.size() > k)
+        v.resize(k);
+    return v;
+}
+
+} // namespace
+
+std::string
+FlowProbe::reportJson(bool full_matrix, std::size_t num_nodes,
+                      int indent, int depth) const
+{
+    const std::string p0(static_cast<std::size_t>(indent * depth), ' ');
+    const std::string p1(
+        static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    const std::string p2(
+        static_cast<std::size_t>(indent * (depth + 2)), ' ');
+    const std::string p3(
+        static_cast<std::size_t>(indent * (depth + 3)), ' ');
+
+    std::vector<std::pair<FlowKey, const FlowCell *>> worst;
+    worst.reserve(cells_.size());
+    for (const auto &[key, cell] : cells_)
+        worst.emplace_back(key, &cell);
+    std::sort(worst.begin(), worst.end(), worseFlow);
+    if (worst.size() > cfg_.topk)
+        worst.resize(cfg_.topk);
+
+    std::string out = "{\n";
+    out += p1 + "\"digest\": {\n";
+    out += p2 + "\"k\": "
+           + jsonNumber(static_cast<double>(cfg_.topk)) + ",\n";
+    out += p2 + "\"deliveries\": "
+           + jsonNumber(static_cast<double>(deliveries_)) + ",\n";
+    out += p2 + "\"flows\": "
+           + jsonNumber(static_cast<double>(cells_.size())) + ",\n";
+    out += p2 + "\"worst_flows\": [";
+    for (std::size_t i = 0; i < worst.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += p3 + flowEntryJson(*this, worst[i].first,
+                                  *worst[i].second);
+    }
+    out += worst.empty() ? "],\n" : "\n" + p2 + "],\n";
+    const auto links = topBlamed(blame_, FlowUnitKind::Link, cfg_.topk);
+    out += p2 + "\"blamed_links\": [";
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += p3 + blameEntryJson(links[i].first, *links[i].second);
+    }
+    out += links.empty() ? "],\n" : "\n" + p2 + "],\n";
+    const auto routers =
+        topBlamed(blame_, FlowUnitKind::Router, cfg_.topk);
+    out += p2 + "\"blamed_routers\": [";
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += p3 + blameEntryJson(routers[i].first, *routers[i].second);
+    }
+    out += routers.empty() ? "]\n" : "\n" + p2 + "]\n";
+    out += p1 + "}";
+
+    if (full_matrix) {
+        // Classes merged per (src, dst) pair; rows synthesized for
+        // every pair so the matrix is always dense (num_nodes^2 rows)
+        // regardless of which flows were active.
+        struct PairAgg
+        {
+            std::uint64_t packets = 0;
+            std::uint64_t flits = 0;
+            std::uint64_t lat_sum = 0;
+            Cycle lat_min = kNoCycle;
+            Cycle lat_max = 0;
+            std::uint64_t hop_sum = 0;
+        };
+        std::map<std::pair<std::int64_t, std::int64_t>, PairAgg> pairs;
+        for (const auto &[key, c] : cells_) {
+            PairAgg &a = pairs[{ key.src, key.dst }];
+            if (a.packets == 0) {
+                a.lat_min = c.lat_min;
+                a.lat_max = c.lat_max;
+            } else {
+                a.lat_min = std::min(a.lat_min, c.lat_min);
+                a.lat_max = std::max(a.lat_max, c.lat_max);
+            }
+            a.packets += c.packets;
+            a.flits += c.flits;
+            a.lat_sum += c.lat_sum;
+            a.hop_sum += c.hop_sum;
+        }
+        out += ",\n" + p1 + "\"matrix\": [";
+        bool first = true;
+        for (std::size_t s = 0; s < num_nodes; ++s) {
+            for (std::size_t d = 0; d < num_nodes; ++d) {
+                out += first ? "\n" : ",\n";
+                first = false;
+                out += p2 + "{\"src\": "
+                       + jsonNumber(static_cast<double>(s))
+                       + ", \"dst\": "
+                       + jsonNumber(static_cast<double>(d));
+                const auto it =
+                    pairs.find({ static_cast<std::int64_t>(s),
+                                 static_cast<std::int64_t>(d) });
+                if (it == pairs.end() || it->second.packets == 0) {
+                    out += ", \"packets\": 0}";
+                    continue;
+                }
+                const PairAgg &a = it->second;
+                const auto n = static_cast<double>(a.packets);
+                out += ", \"packets\": " + jsonNumber(n)
+                       + ", \"flits\": "
+                       + jsonNumber(static_cast<double>(a.flits))
+                       + ", \"lat_sum\": "
+                       + jsonNumber(static_cast<double>(a.lat_sum))
+                       + ", \"lat_min\": "
+                       + jsonNumber(static_cast<double>(a.lat_min))
+                       + ", \"lat_max\": "
+                       + jsonNumber(static_cast<double>(a.lat_max))
+                       + ", \"lat_mean\": "
+                       + jsonNumber(static_cast<double>(a.lat_sum) / n)
+                       + ", \"hops_mean\": "
+                       + jsonNumber(static_cast<double>(a.hop_sum) / n)
+                       + "}";
+            }
+        }
+        out += first ? "]\n" : "\n" + p1 + "]\n";
+    } else {
+        out += "\n";
+    }
+    out += p0 + "}";
+    return out;
+}
+
+std::string
+FlowProbe::matrixCsv() const
+{
+    std::string out =
+        "src_node,dst_node,tc,packets,flits,latency_sum,latency_min,"
+        "latency_max,latency_mean,latency_p99_est,hops_min,hops_max,"
+        "hops_mean,worst_packet,worst_latency\n";
+    for (const auto &[key, c] : cells_) {
+        if (c.packets == 0)
+            continue;
+        const auto n = static_cast<double>(c.packets);
+        out += std::to_string(key.src) + ',' + std::to_string(key.dst)
+               + ',' + flowTcName(key.tc) + ','
+               + std::to_string(c.packets) + ','
+               + std::to_string(c.flits) + ','
+               + std::to_string(c.lat_sum) + ','
+               + std::to_string(c.lat_min) + ','
+               + std::to_string(c.lat_max) + ','
+               + jsonNumber(static_cast<double>(c.lat_sum) / n) + ','
+               + jsonNumber(c.p99Estimate()) + ','
+               + std::to_string(c.hop_min) + ','
+               + std::to_string(c.hop_max) + ','
+               + jsonNumber(static_cast<double>(c.hop_sum) / n) + ','
+               + std::to_string(c.worst_packet) + ','
+               + std::to_string(c.worst_latency) + '\n';
+    }
+    return out;
+}
+
+} // namespace anton2

@@ -79,6 +79,10 @@ chromeTraceJson(const ChromeTraceInput &in)
         noteTrack(ev.unit_kind, ev.node, ev.unit, ev.port);
     for (const auto &st : in.stalls)
         noteTrack(TraceUnitKind::Router, st.node, st.unit, st.port);
+    // Sampled flow packets: one pre-named track each in the synthetic
+    // flows process.
+    for (const auto &[tid, name] : in.flow_threads)
+        tracks[{ kFlowsPid, tid }] = name;
 
     // Counter tracks may reference processes with no event tracks (most
     // notably the synthetic machine-wide pid -1); collect every pid that
@@ -136,8 +140,9 @@ chromeTraceJson(const ChromeTraceInput &in)
         (void)unused;
         emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
              + std::to_string(pid) + ", \"args\": {\"name\": \""
-             + (pid < 0 ? std::string("machine")
-                        : "chip " + std::to_string(pid))
+             + (pid == kFlowsPid ? std::string("flows")
+                : pid < 0        ? std::string("machine")
+                                 : "chip " + std::to_string(pid))
              + "\"}}");
         for (auto it = tracks.lower_bound({ pid, 0 });
              it != tracks.end() && it->first.first == pid; ++it) {
@@ -204,6 +209,23 @@ chromeTraceJson(const ChromeTraceInput &in)
                  + jsonNumber(pt.value) + "}}";
             emit(e);
         }
+    }
+
+    // Sampled flow packets: one complete ('X') slice per hop, on the
+    // packet's own track, spanning head arrival to tail departure.
+    for (const auto &fs : in.flow_spans) {
+        std::string e = "{\"name\": \"" + jsonEscape(fs.name);
+        e += "\", \"ph\": \"X\", \"ts\": " + traceTs(fs.begin);
+        e += ", \"dur\": "
+             + jsonNumber(cyclesToNs(fs.end - fs.begin) / 1000.0);
+        e += ", \"pid\": " + std::to_string(kFlowsPid);
+        e += ", \"tid\": " + std::to_string(fs.tid);
+        e += ", \"args\": {\"packet\": " + std::to_string(fs.packet);
+        e += ", \"cycle\": " + std::to_string(fs.begin);
+        e += ", \"queue_cycles\": " + std::to_string(fs.queue);
+        e += ", \"xfer_cycles\": " + std::to_string(fs.xfer);
+        e += "}}";
+        emit(e);
     }
 
     out += "\n  ]\n}\n";

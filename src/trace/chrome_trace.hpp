@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -67,12 +68,37 @@ struct CounterTrack
     std::vector<CounterSample> points;
 };
 
+/** Process id of the synthetic flow-span process ("flows"). */
+inline constexpr std::int32_t kFlowsPid = -2;
+
+/**
+ * One per-hop duration slice of a sampled flow packet (FlowProbe): the
+ * interval from the head flit's arrival at a unit to the tail's
+ * departure, rendered as a complete ('X') event on the packet's track
+ * in the synthetic flows process. Queue/transfer attribution rides in
+ * `args` so a slice answers "where did this packet wait" on hover.
+ */
+struct FlowSpanSlice
+{
+    int tid = 0;              ///< track within the flows process
+    std::string name;         ///< hop display name (unit at this hop)
+    Cycle begin = 0;          ///< head-flit arrival at the unit
+    Cycle end = 0;            ///< departure (tail left the unit)
+    std::uint64_t packet = 0;
+    Cycle queue = 0;          ///< arrival -> grant wait
+    Cycle xfer = 0;           ///< grant -> departure
+};
+
 /** Everything the exporter needs, decoupled from the recorder. */
 struct ChromeTraceInput
 {
     std::vector<TraceEvent> events;       ///< chronological (ring order)
     std::vector<StallTrackReport> stalls; ///< per router output port
     std::vector<CounterTrack> counters;   ///< windowed time-series curves
+    /** (tid, display name) per sampled-flow track in the kFlowsPid
+     * process, one per sampled packet. */
+    std::vector<std::pair<int, std::string>> flow_threads;
+    std::vector<FlowSpanSlice> flow_spans; ///< per-hop duration slices
     TraceTrackNameFn track_name;          ///< optional display names
     std::uint64_t recorded = 0;           ///< total offered to the sink
     std::uint64_t dropped = 0;            ///< lost to ring overflow

@@ -18,6 +18,7 @@ struct Flight
     std::uint64_t grants = 0;     ///< SwitchGrant records
     std::uint64_t link_hops = 0;  ///< LinkTraverse records
     std::uint64_t ejects = 0;
+    std::int16_t hops = -1;       ///< Packet::hops (Eject record's port)
 };
 
 } // namespace
@@ -41,6 +42,7 @@ flightRecordCsv(const std::vector<TraceEvent> &events)
             f.eject_cycle = ev.cycle;
             f.dst_node = ev.node;
             f.dst_ep = ev.unit;
+            f.hops = ev.port; // the Eject record carries Packet::hops
             ++f.ejects;
             break;
           case TraceEventType::RouteComputed: ++f.routers; break;
@@ -54,7 +56,7 @@ flightRecordCsv(const std::vector<TraceEvent> &events)
 
     std::string out = "packet,inject_cycle,src_node,src_ep,eject_cycle,"
                       "dst_node,dst_ep,latency_cycles,routers,grants,"
-                      "link_hops,ejects\n";
+                      "link_hops,ejects,hops\n";
     auto cell = [](auto v, bool valid) {
         return valid ? std::to_string(v) : std::string();
     };
@@ -74,6 +76,7 @@ flightRecordCsv(const std::vector<TraceEvent> &events)
         out += "," + std::to_string(f.grants);
         out += "," + std::to_string(f.link_hops);
         out += "," + std::to_string(f.ejects);
+        out += "," + cell(f.hops, ejected);
         out += "\n";
     }
     return out;

@@ -22,7 +22,14 @@ namespace anton2 {
  * exceeds 1 for multicast deliveries that share one id.
  *
  * Columns: packet,inject_cycle,src_node,src_ep,eject_cycle,dst_node,
- * dst_ep,latency_cycles,routers,grants,link_hops,ejects
+ * dst_ep,latency_cycles,routers,grants,link_hops,ejects,hops
+ *
+ * `link_hops` counts LinkTraverse records independently observed at the
+ * adapters; `hops` is the packet's own Packet::hops counter as carried
+ * by the Eject record. For unicast packets the two agree exactly (the
+ * parity is asserted in test_trace); multicast replicas share an id, so
+ * there `link_hops` sums over every copy while `hops` reports the last
+ * delivered copy's count.
  */
 std::string flightRecordCsv(const std::vector<TraceEvent> &events);
 

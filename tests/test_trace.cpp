@@ -302,7 +302,8 @@ TEST(Tracing, FlightRecordCoversEveryPacketWithConsistentLatency)
     ASSERT_TRUE(std::getline(csv, line));
     EXPECT_EQ(line,
               "packet,inject_cycle,src_node,src_ep,eject_cycle,dst_node,"
-              "dst_ep,latency_cycles,routers,grants,link_hops,ejects");
+              "dst_ep,latency_cycles,routers,grants,link_hops,ejects,"
+              "hops");
 
     std::uint64_t rows = 0, last_id = 0;
     while (std::getline(csv, line)) {
@@ -318,7 +319,7 @@ TEST(Tracing, FlightRecordCoversEveryPacketWithConsistentLatency)
                 break;
             start = comma + 1;
         }
-        ASSERT_EQ(cells.size(), 12u) << line;
+        ASSERT_EQ(cells.size(), 13u) << line;
         const auto id = std::stoull(cells[0]);
         EXPECT_GT(id, last_id) << "rows must be sorted by packet id";
         last_id = id;
@@ -328,6 +329,12 @@ TEST(Tracing, FlightRecordCoversEveryPacketWithConsistentLatency)
         EXPECT_EQ(std::stoull(cells[7]), eject - inject);
         EXPECT_GE(std::stoull(cells[8]), 1u) << "at least one router";
         EXPECT_EQ(cells[11], "1");
+        // The packet's own hop counter must agree with the link
+        // traversals independently observed at the adapters (unicast:
+        // exactly one LinkTraverse per inter-node hop).
+        EXPECT_EQ(cells[12], cells[10]) << line;
+        EXPECT_GE(std::stoull(cells[12]), 1u)
+            << "cross-node traffic takes at least one torus hop";
     }
     EXPECT_EQ(rows, run.sent);
 }
