@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Batch experiment runner CLI: fan a queue of config points for another
+ * bench across worker processes, optionally warm-starting every point
+ * from a steady-state checkpoint, and merge the per-run reports into
+ * one deterministic batch artifact.
+ *
+ *     bench_batch --bench build/bench_fig9_throughput \
+ *         --point "--pattern uniform --batch 1" \
+ *         --point "--pattern uniform --batch 4" \
+ *         --forks 2 --warm-args "--auto-steady" \
+ *         --jobs 4 --workdir /tmp/sweep --out sweep.json
+ *
+ * Every point runs as `<bench> <point args> [...]`; the runner owns the
+ * --report and --checkpoint-in/out flags, so point args must not carry
+ * them. The artifact strips each report's host section and is emitted
+ * in point/fork order: byte-identical at any --jobs value.
+ */
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "sim/batch.hpp"
+
+using namespace anton2;
+using namespace anton2::bench;
+
+int
+main(int argc, char **argv)
+{
+    const char *bench_path = nullptr;
+    std::vector<std::string> points;
+    long jobs = 1;
+    long forks = 0;
+    const char *warm_args = nullptr;
+    const char *workdir = ".";
+    const char *out = nullptr;
+
+    OptionRegistry reg(
+        "Batch runner: fan config points of another bench across worker "
+        "processes, with optional warm-start forking from a steady-state "
+        "checkpoint, merging the run reports into one sorted artifact.");
+    reg.add("--bench", "PATH", "the bench executable to run every point "
+                               "through (required)",
+            &bench_path);
+    reg.add("--point", "ARGS",
+            "one config point: the bench's args as a single string "
+            "(repeatable; no --report/--checkpoint flags)",
+            &points);
+    reg.add("--jobs", "N", "max concurrent worker processes (default 1)",
+            &jobs);
+    reg.add("--forks", "N",
+            "measurement forks per point from its steady-state "
+            "checkpoint (default 0 = cold runs)",
+            &forks);
+    reg.add("--warm-args", "ARGS",
+            "extra args for the converge run only (default "
+            "\"--auto-steady\" when --forks > 0)",
+            &warm_args);
+    reg.add("--workdir", "DIR",
+            "where checkpoints, reports, and logs land (default .)",
+            &workdir);
+    reg.add("--out", "PATH", "write the merged batch artifact JSON here",
+            &out);
+    if (!reg.parse(argc, argv))
+        return 1;
+
+    if (bench_path == nullptr) {
+        std::fprintf(stderr, "error: --bench is required\n");
+        return 1;
+    }
+    if (points.empty()) {
+        std::fprintf(stderr, "error: at least one --point is required\n");
+        return 1;
+    }
+    if (jobs < 1 || forks < 0) {
+        std::fprintf(stderr,
+                     "error: --jobs must be >= 1 and --forks >= 0\n");
+        return 1;
+    }
+    if (!validateOutputPaths({ out }))
+        return 1;
+
+    BatchConfig cfg;
+    cfg.bench = bench_path;
+    for (const std::string &p : points)
+        cfg.points.push_back(splitArgs(p));
+    cfg.jobs = static_cast<int>(jobs);
+    cfg.forks = static_cast<int>(forks);
+    cfg.warm_args = splitArgs(
+        warm_args != nullptr ? warm_args
+        : forks > 0          ? "--auto-steady"
+                             : "");
+    cfg.workdir = workdir;
+    if (out != nullptr)
+        cfg.out = out;
+
+    printHeader("Batch run");
+    std::printf("bench: %s\n", bench_path);
+    std::printf("points: %zu   forks/point: %ld   jobs: %ld\n",
+                cfg.points.size(), forks, jobs);
+
+    BatchResult res;
+    try {
+        res = runBatch(cfg);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    std::printf("runs: %zu   failures: %d\n",
+                cfg.points.size()
+                    * (1 + static_cast<std::size_t>(cfg.forks)),
+                res.failures);
+    if (out != nullptr)
+        std::printf("Batch artifact written to %s\n", out);
+    return res.ok() ? 0 : 1;
+}

@@ -69,7 +69,10 @@ pingPong(Machine &m, EndpointAddr a, EndpointAddr b, int rounds)
 
     start = m.now();
     send_ping();
-    m.engine().runUntil([&] { return done; }, 4000000);
+    RunSpec spec;
+    spec.max_cycles = 4000000;
+    spec.stop = [&] { return done; };
+    m.run(spec);
     // Detach the handlers (they capture this frame's locals).
     m.endpoint(a).setHandlerFn(nullptr);
     m.endpoint(b).setHandlerFn(nullptr);
@@ -122,6 +125,12 @@ main(int argc, char **argv)
     cfg.seed = 31;
     Machine m(cfg);
     run.apply(m, /*metrics=*/json_path != nullptr);
+    // The network is quiescent between ping-pongs, so a checkpoint
+    // brackets the whole sweep: --checkpoint-in resumes a prior
+    // machine's clock/RNG state, --checkpoint-out (below) preserves
+    // this one's.
+    if (run.ckpt.in != nullptr)
+        m.restoreCheckpoint(run.ckpt.in);
     prof.beginPhase("run");
 
     bench::printHeader(
@@ -168,6 +177,8 @@ main(int argc, char **argv)
     }
     bench::printRule(40);
     prof.endPhase();
+    if (run.ckpt.out != nullptr)
+        m.saveCheckpoint(run.ckpt.out);
     run.flows.write(m);
     ts.write(m);
     audit.write(m);

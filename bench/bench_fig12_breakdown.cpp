@@ -76,7 +76,8 @@ main(int argc, char **argv)
     pkt->vc = VcState(cfg.chip.vc_policy);
     m.chip(a).setExit(*pkt, 1);
     m.send(pkt);
-    if (!m.runUntilDelivered(1, 100000)) {
+    if (m.run(RunSpec::untilDelivered(1, 100000)).reason
+        != StopReason::Delivered) {
         std::fprintf(stderr, "delivery failed\n");
         audit.write(m); // forensic snapshot of the wedge, if requested
         return 1;

@@ -160,12 +160,12 @@ main(int argc, char **argv)
     const auto group = m.installTree(tree);
     const auto before = torusFlits();
     m.sendMulticast({ msrc, 0 }, group);
-    m.runUntilDelivered(mdests.size(), 100000);
+    m.run(RunSpec::untilDelivered(mdests.size(), 100000));
     const auto mcast_flits = torusFlits() - before;
 
     for (const auto &[node, ep] : mdests)
         m.send(m.makeWrite({ msrc, 0 }, { node, ep }));
-    m.runUntilDelivered(2 * mdests.size(), 100000);
+    m.run(RunSpec::untilDelivered(2 * mdests.size(), 100000));
     const auto unicast_flits = torusFlits() - before - mcast_flits;
 
     std::printf("\nMeasured in the cycle simulator (4x4x4, one plane):\n");

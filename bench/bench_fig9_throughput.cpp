@@ -31,7 +31,7 @@ using namespace anton2;
 
 namespace {
 
-struct RunResult
+struct SweepPoint
 {
     double normalized;
     Cycle cycles;
@@ -42,7 +42,7 @@ struct RunResult
     std::string report_json;     ///< run-report body (probe runs)
 };
 
-RunResult
+SweepPoint
 runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
          const char *pattern_name, std::uint64_t batch,
          std::uint64_t seed, const bench::RunOptions &run,
@@ -109,7 +109,16 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
     const Cycle max_cycles =
         static_cast<Cycle>(batch) * 2000 + 200000;
     prof.beginPhase("run");
-    if (!driver.run(max_cycles))
+    // The last probe run (uniform, largest batch) is the one whose
+    // report ships, so it alone gets the warm-start checkpoint I/O:
+    // --checkpoint-out writes its steady-state image, --checkpoint-in
+    // restores into it. The 2-hop probe would otherwise overwrite the
+    // image / restore another pattern's traffic.
+    RunSpec spec = RunSpec::untilDelivered(driver.deliveredTarget(),
+                                           max_cycles);
+    if (probe && std::string(pattern_name) == "uniform")
+        run.ckpt.addTo(spec);
+    if (m.run(spec).reason != StopReason::Delivered)
         std::fprintf(stderr, "WARNING: batch timed out\n");
     prof.endPhase();
 
@@ -118,7 +127,7 @@ runBatch(const std::vector<int> &radix, int cores, ArbPolicy policy,
         run.flows.write(m);
     }
     run.ts.write(m);
-    RunResult res;
+    SweepPoint res;
     res.normalized = driver.throughputPerCore() / ideal;
     res.cycles = driver.completionTime();
     if (with_metrics)
@@ -192,7 +201,7 @@ main(int argc, char **argv)
                 (json_path != nullptr || run.trace.enabled()
                  || run.flows.enabled() || run.ts.enabled()
                  || run.audit.enabled() || run.host_profile.enabled
-                 || run.report.enabled())
+                 || run.report.enabled() || run.ckpt.enabled())
                 && batch * 4 > max_batch;
             const auto rr = runBatch(radix, static_cast<int>(cores),
                                      ArbPolicy::RoundRobin, pattern, batch,

@@ -93,7 +93,9 @@ runLoad(const std::vector<int> &radix, int cores, double rate,
     // pass, which is noise next to the ticks being measured.
     EngineProfileConfig pcfg;
     pcfg.sample_every = static_cast<Cycle>(host_profile.sample_every);
-    m.enableHostProfile(pcfg);
+    Instrumentation pinst;
+    pinst.host_profile = pcfg;
+    m.attachInstrumentation(pinst);
 
     UniformPattern pat(m.geom());
     OpenLoopDriver::Config dcfg;
@@ -105,7 +107,7 @@ runLoad(const std::vector<int> &radix, int cores, double rate,
 
     HostProfiler prof;
     prof.beginPhase("run");
-    m.run(cycles);
+    m.run(RunSpec::forCycles(cycles));
     prof.endPhase();
     host_profile.write(m); // timeline (single-thread-count runs only)
 

@@ -596,6 +596,53 @@ validateTimelineSingleRun(const HostProfileOptions &hp,
 }
 
 /**
+ * Shared checkpoint flags for the Machine-driving benches:
+ *   --checkpoint-out PATH  write a machine checkpoint: at steady-state
+ *                          convergence when --auto-steady is on (the
+ *                          warm-start image the batch runner forks
+ *                          from), else at the end of the run
+ *   --checkpoint-in PATH   restore the machine from a checkpoint before
+ *                          simulating; the run report's
+ *                          `run.checkpoint` section records the source
+ *                          path and fork cycle
+ * Benches thread these into the RunSpec of their final measured run.
+ * Output paths are validated before any simulation time is spent.
+ */
+struct CheckpointOptions
+{
+    const char *in = nullptr;
+    const char *out = nullptr;
+
+    /** Declare the shared checkpoint flags on @p reg. */
+    void
+    registerInto(OptionRegistry &reg)
+    {
+        reg.add("--checkpoint-in", "PATH",
+                "restore the machine from a checkpoint before simulating",
+                &in);
+        reg.add("--checkpoint-out", "PATH",
+                "write a checkpoint (at --auto-steady convergence, else "
+                "at end of run)",
+                &out);
+    }
+
+    bool enabled() const { return in != nullptr || out != nullptr; }
+
+    /** Fail fast on unwritable output paths. */
+    bool validate() const { return validateOutputPaths({ out }); }
+
+    /** Thread the requested checkpoint I/O into a run spec. */
+    void
+    addTo(RunSpec &spec) const
+    {
+        if (in != nullptr)
+            spec.checkpoint_in = in;
+        if (out != nullptr)
+            spec.checkpoint_out = out;
+    }
+};
+
+/**
  * Shared run-report flags for the figure benches:
  *   --metrics-level LEVEL  telemetry granularity: machine, chip, router,
  *                          or full (default full). `machine` keeps the
@@ -690,7 +737,7 @@ struct ReportOptions
             return;
         writeFile(report,
                   JsonObj()
-                      .add("report_version", num(1))
+                      .add("report_version", num(2))
                       .add("bench", str(bench_name))
                       .add("config", config_json)
                       .add("run", body)
@@ -719,6 +766,7 @@ struct RunOptions
     AuditOptions audit;
     HostProfileOptions host_profile;
     ReportOptions report;
+    CheckpointOptions ckpt;
 
     void
     registerInto(OptionRegistry &reg)
@@ -737,6 +785,7 @@ struct RunOptions
         audit.registerInto(reg);
         host_profile.registerInto(reg);
         report.registerInto(reg);
+        ckpt.registerInto(reg);
     }
 
     /** Resolve implications and fail fast; call once after parse(). */
@@ -753,7 +802,7 @@ struct RunOptions
         }
         return trace.validate() && flows.validate() && ts.validate()
                && audit.validate() && host_profile.validate()
-               && report.validate();
+               && report.validate() && ckpt.validate();
     }
 
     /** The bundle every requested option group contributes to. */

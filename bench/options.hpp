@@ -69,6 +69,15 @@ class OptionRegistry
         opts_.push_back({ name, nullptr, help, Kind::Flag, out });
     }
 
+    /** Repeatable string option: every `--name <VALUE>` appends to
+     * *out, in command-line order. */
+    void
+    add(const char *name, const char *value_name, const char *help,
+        std::vector<std::string> *out)
+    {
+        opts_.push_back({ name, value_name, help, Kind::StringList, out });
+    }
+
     /**
      * Presence flag with an optional attached value: `--name` sets
      * *present; `--name=VALUE` additionally stores the value (pointing
@@ -197,6 +206,7 @@ class OptionRegistry
         Long,
         Double,
         String,
+        StringList, ///< repeatable; appends to a vector<string>
         Flag,
         OptionalString, ///< presence flag with optional `=VALUE`
     };
@@ -234,6 +244,10 @@ class OptionRegistry
             break;
           case Kind::String:
             *static_cast<const char **>(opt.out) = val;
+            return true;
+          case Kind::StringList:
+            static_cast<std::vector<std::string> *>(opt.out)
+                ->push_back(val);
             return true;
           case Kind::Flag:
           case Kind::OptionalString:

@@ -34,7 +34,7 @@ main()
     auto pkt = m.makeWrite(src, dst);
     pkt->payload[0] = { 0xdeadbeef, 0xcafef00d, 0x12345678 };
     m.send(pkt);
-    m.runUntilDelivered(1, 100000);
+    m.run(RunSpec::untilDelivered(1, 100000));
     std::printf("write delivered: %d inter-node hops, %.1f ns in-network\n",
                 pkt->hops,
                 cyclesToNs(pkt->eject_time - pkt->inject_time));
@@ -46,7 +46,7 @@ main()
                         p->dst.node, p->dst.ep);
     });
     m.send(m.makeRead(src, dst));
-    m.runUntilDelivered(3, 100000);
+    m.run(RunSpec::untilDelivered(3, 100000));
 
     // A counted write: the handler fires when all expected writes arrive.
     m.endpoint(dst).armCounter(7, 2);

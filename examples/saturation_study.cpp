@@ -29,6 +29,7 @@ main(int argc, char **argv)
     bench::AuditOptions audit;
     bench::FlowOptions flows;
     bench::HostProfileOptions host_profile;
+    bench::CheckpointOptions ckpt;
     bench::OptionRegistry reg(
         "Saturation study: open-loop injection sweep toward the analytic "
         "saturation point, plus equality-of-service beyond it");
@@ -43,6 +44,7 @@ main(int argc, char **argv)
     audit.registerInto(reg);
     flows.registerInto(reg);
     host_profile.registerInto(reg);
+    ckpt.registerInto(reg);
     reg.addPositional("HEATMAP_CSV",
                       "path for the near-saturation congestion heatmap "
                       "CSV (written from the highest-load sweep point)",
@@ -54,7 +56,8 @@ main(int argc, char **argv)
                              "--lookahead >= 0\n");
         return 1;
     }
-    if (!audit.validate() || !flows.validate() || !host_profile.validate())
+    if (!audit.validate() || !flows.validate() || !host_profile.validate()
+        || !ckpt.validate())
         return 1;
 
     const std::vector<int> radix{ 4, 4, 4 };
@@ -108,7 +111,13 @@ main(int argc, char **argv)
         OpenLoopDriver driver(m, dcfg);
         m.engine().add(driver);
 
-        m.run(8000);
+        // The highest-load point is the interesting one: it gets the
+        // checkpoint I/O (--checkpoint-out lands at the sampler's
+        // steady-state convergence; --checkpoint-in warm-starts there).
+        RunSpec spec = RunSpec::forCycles(8000);
+        if (frac == 1.0)
+            ckpt.addTo(spec);
+        m.run(spec);
         const double per_core =
             static_cast<double>(m.totalDelivered())
             / (static_cast<double>(m.geom().numNodes()) * cores.size())
@@ -187,7 +196,7 @@ main(int argc, char **argv)
         dcfg.pattern = &pat;
         BatchDriver driver(m, dcfg);
         m.engine().add(driver);
-        m.runUntilDelivered(driver.expected() / 2, 3000000);
+        m.run(RunSpec::untilDelivered(driver.expected() / 2, 3000000));
 
         const auto [mn, mx] =
             std::minmax_element(per_src.begin(), per_src.end());

@@ -14,6 +14,9 @@
 
 namespace anton2 {
 
+class CkptWriter;
+class CkptReader;
+
 /** Per-input request metadata consumed by some arbiter policies. */
 struct ReqInfo
 {
@@ -41,6 +44,14 @@ class Arbiter
      * @return The granted input, or -1 if req_mask is empty.
      */
     virtual int pick(std::uint32_t req_mask, const ReqInfo *info) = 0;
+
+    /**
+     * Checkpoint hooks. Stateless policies keep the no-op defaults;
+     * stateful ones (round-robin pointer, inverse-weighted accumulators)
+     * override both so fairness state survives a save/restore exactly.
+     */
+    virtual void saveState(CkptWriter &) const {}
+    virtual void loadState(CkptReader &) {}
 
     int numInputs() const { return num_inputs_; }
 

@@ -53,6 +53,9 @@ class RoundRobinArbiter : public Arbiter
         return -1;
     }
 
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
+
   private:
     int ptr_ = 0;
 };

@@ -62,6 +62,10 @@ class InvWeightAccumulators
     int numInputs() const { return k_; }
     int numPatterns() const { return num_patterns_; }
 
+    /** Checkpoint the accumulators and programmed weights. */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     int k_;
     int weight_bits_;
@@ -82,6 +86,9 @@ class InverseWeightedArbiter : public Arbiter
                                     int num_patterns = kNumPatterns);
 
     int pick(std::uint32_t req_mask, const ReqInfo *info) override;
+
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
 
     InvWeightAccumulators &accumulators() { return accum_; }
     const InvWeightAccumulators &accumulators() const { return accum_; }

@@ -1,7 +1,9 @@
 #include "core/chip.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "debug/checkpoint.hpp"
 #include "routing/mesh_route.hpp"
 
 namespace anton2 {
@@ -392,6 +394,80 @@ Chip::egressVcAt(int ca, Packet &pkt, bool commit) const
         vc = pkt.vc.peekTorusHop(crossing);
     }
     return static_cast<std::uint8_t>(fullVc(pkt.tc, vc));
+}
+
+void
+Chip::saveState(CkptWriter &w) const
+{
+    w.tag("chip");
+    for (const auto &r : routers_)
+        r->saveState(w);
+    for (const auto &ca : channel_adapters_)
+        ca->saveState(w);
+    for (const auto &ep : endpoints_)
+        ep->saveState(w);
+    w.tag("chip.channels");
+    w.u32(static_cast<std::uint32_t>(channels_.size()));
+    for (const auto &ch : channels_)
+        ch->saveState(w);
+    // The multicast table is installed by calls, not construction, so it
+    // is part of the state; sort by group id for deterministic bytes.
+    w.tag("chip.mcast");
+    std::vector<std::int32_t> groups;
+    groups.reserve(mcast_.size());
+    for (const auto &[group, entry] : mcast_)
+        groups.push_back(group);
+    std::sort(groups.begin(), groups.end());
+    w.u32(static_cast<std::uint32_t>(groups.size()));
+    for (std::int32_t group : groups) {
+        const McastNodeEntry &entry = mcast_.at(group);
+        w.i32(group);
+        w.u32(static_cast<std::uint32_t>(entry.forward.size()));
+        for (const McastHop &hop : entry.forward) {
+            w.u8(hop.dim);
+            w.i8(static_cast<std::int8_t>(hop.dir));
+        }
+        w.u32(static_cast<std::uint32_t>(entry.local.size()));
+        for (int ep : entry.local)
+            w.i32(ep);
+    }
+}
+
+void
+Chip::loadState(CkptReader &r)
+{
+    r.expect("chip");
+    for (const auto &rt : routers_)
+        rt->loadState(r);
+    for (const auto &ca : channel_adapters_)
+        ca->loadState(r);
+    for (const auto &ep : endpoints_)
+        ep->loadState(r);
+    r.expect("chip.channels");
+    if (r.u32() != channels_.size())
+        throw CheckpointError("chip channel count mismatch");
+    for (const auto &ch : channels_)
+        ch->loadState(r);
+    r.expect("chip.mcast");
+    mcast_.clear();
+    std::uint32_t ngroups = r.u32();
+    for (std::uint32_t g = 0; g < ngroups; ++g) {
+        std::int32_t group = r.i32();
+        McastNodeEntry entry;
+        std::uint32_t nfwd = r.u32();
+        entry.forward.reserve(nfwd);
+        for (std::uint32_t i = 0; i < nfwd; ++i) {
+            McastHop hop;
+            hop.dim = r.u8();
+            hop.dir = static_cast<Dir>(r.i8());
+            entry.forward.push_back(hop);
+        }
+        std::uint32_t nlocal = r.u32();
+        entry.local.reserve(nlocal);
+        for (std::uint32_t i = 0; i < nlocal; ++i)
+            entry.local.push_back(r.i32());
+        mcast_.emplace(group, std::move(entry));
+    }
 }
 
 } // namespace anton2

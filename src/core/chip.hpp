@@ -184,6 +184,14 @@ class Chip
      */
     void faultNoPromotion(int ca);
 
+    /**
+     * Checkpoint this chip: every router, channel adapter, and endpoint
+     * in registration order, every on-chip channel in wiring order, and
+     * the multicast table. Torus channels belong to the Machine.
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     RouteDecision routeAt(RouterId r, Packet &pkt) const;
     std::vector<IngressCopy> ingressAt(int ca, const PacketPtr &pkt);

@@ -134,8 +134,11 @@ Machine::Machine(const MachineConfig &cfg)
     setThreads(cfg_.threads);
     setLookahead(cfg_.lookahead);
 
-    if (cfg_.enable_metrics)
-        enableMetrics();
+    if (cfg_.enable_metrics) {
+        Instrumentation inst;
+        inst.metrics = true;
+        attachInstrumentation(inst);
+    }
 }
 
 Machine::PacketPool::~PacketPool()
@@ -249,7 +252,7 @@ Machine::doEnableMetrics(MetricsLevel level)
 std::string
 Machine::metricsJson()
 {
-    assert(metrics_ != nullptr && "call enableMetrics() first");
+    assert(metrics_ != nullptr && "attach metrics first");
     MetricsRegistry &reg = *metrics_;
     const MetricsLevel level = reg.level();
     const auto cycles = static_cast<double>(engine_.now());
@@ -455,7 +458,7 @@ Machine::hotspotDigest(std::size_t k)
 std::string
 Machine::runReportJson(std::size_t topk)
 {
-    assert(metrics_ != nullptr && "call enableMetrics() first");
+    assert(metrics_ != nullptr && "attach metrics first");
     if (sampler_ != nullptr)
         sampler_->finalize(engine_.now());
 
@@ -466,6 +469,15 @@ Machine::runReportJson(std::size_t topk)
            + jsonNumber(static_cast<double>(engine_.now())) + ",\n";
     out += "  \"delivered\": "
            + jsonNumber(static_cast<double>(delivered_)) + ",\n";
+    // Checkpoint provenance: where this run's state came from (null for
+    // a cold start), so warm-started sweep points are auditable.
+    if (restored_from_.empty()) {
+        out += "  \"checkpoint\": null,\n";
+    } else {
+        out += "  \"checkpoint\": {\"source\": " + jsonString(restored_from_)
+               + ", \"fork_cycle\": "
+               + jsonNumber(static_cast<double>(restored_cycle_)) + "},\n";
+    }
     out += "  \"metrics\": " + metricsJson();
     // metricsJson() ends with a newline; splice the separator in place.
     out.insert(out.size() - 1, ",");
@@ -677,7 +689,7 @@ Machine::doEnableTimeseries(const TimeseriesConfig &cfg)
 std::string
 Machine::timeseriesJson()
 {
-    assert(sampler_ != nullptr && "call enableTimeseries() first");
+    assert(sampler_ != nullptr && "attach a timeseries sampler first");
     sampler_->finalize(engine_.now());
     return sampler_->toJson();
 }
@@ -685,7 +697,7 @@ Machine::timeseriesJson()
 std::string
 Machine::heatmapCsv()
 {
-    assert(sampler_ != nullptr && "call enableTimeseries() first");
+    assert(sampler_ != nullptr && "attach a timeseries sampler first");
     sampler_->finalize(engine_.now());
     return sampler_->heatmapCsv();
 }
@@ -731,7 +743,7 @@ Machine::wireProgressRate()
 std::string
 Machine::hostTimelineChromeJson()
 {
-    assert(host_profile_ != nullptr && "call enableHostProfile() first");
+    assert(host_profile_ != nullptr && "attach the host profiler first");
     const EngineProfiler &prof = *host_profile_;
 
     HostTimelineInput in;
@@ -795,7 +807,7 @@ Machine::doEnableFlows(const FlowProbeConfig &cfg)
 std::string
 Machine::flowMatrixCsv()
 {
-    assert(flow_ != nullptr && "call enableFlows() first");
+    assert(flow_ != nullptr && "attach a flow probe first");
     return flow_->matrixCsv();
 }
 
@@ -820,7 +832,7 @@ Machine::doEnableTracing(const TraceConfig &cfg)
 std::string
 Machine::traceChromeJson()
 {
-    assert(trace_ != nullptr && "call enableTracing() first");
+    assert(trace_ != nullptr && "attach tracing first");
 
     ChromeTraceInput in;
     in.events = trace_->drain();
@@ -876,7 +888,7 @@ Machine::traceChromeJson()
         }
     }
 
-    // Sampled flow packets (enableFlows with a sample stride): each
+    // Sampled flow packets (a flow probe with a sample stride): each
     // becomes its own track of per-hop duration slices in a synthetic
     // "flows" process, named by the unit the packet occupied.
     if (flow_ != nullptr) {
@@ -939,7 +951,7 @@ Machine::traceChromeJson()
 std::string
 Machine::traceFlightCsv()
 {
-    assert(trace_ != nullptr && "call enableTracing() first");
+    assert(trace_ != nullptr && "attach tracing first");
     return flightRecordCsv(trace_->drain());
 }
 
@@ -1056,45 +1068,119 @@ Machine::setDeliverHook(std::function<void(const PacketPtr &, Cycle)> fn)
     deliver_hook_ = std::move(fn);
 }
 
-void
-Machine::run(Cycle cycles)
+const char *
+stopReasonName(StopReason r)
 {
-    // The deadline is exact, so the progress meter's ETA is too.
-    if (progress_ != nullptr)
-        progress_->setTargetCycles(engine_.now() + cycles);
-    engine_.run(cycles);
+    switch (r) {
+      case StopReason::MaxCycles:
+        return "max_cycles";
+      case StopReason::Predicate:
+        return "predicate";
+      case StopReason::Delivered:
+        return "delivered";
+      case StopReason::Quiescent:
+        return "quiescent";
+      case StopReason::AuditTrip:
+        return "audit_trip";
+    }
+    return "unknown";
 }
 
-bool
-Machine::runUntilDelivered(std::uint64_t count, Cycle max_cycles)
+RunResult
+Machine::run(const RunSpec &spec)
 {
-    // The budget is an upper bound (the predicate usually fires first),
-    // so the meter reports the ETA as a bound too.
-    if (progress_ != nullptr)
-        progress_->setTargetCycles(engine_.now() + max_cycles);
-    // Abort on a watchdog trip: the network is wedged and the remaining
-    // deliveries will never arrive.
-    engine_.runUntil(
-        [&] {
-            return delivered_ >= count
-                   || (audit_ != nullptr && audit_->tripped());
-        },
-        max_cycles, /*check_every=*/engine_.window());
-    return delivered_ >= count;
-}
+    if (!spec.checkpoint_in.empty())
+        restoreCheckpoint(spec.checkpoint_in);
 
-bool
-Machine::runUntilQuiescent(Cycle max_cycles)
-{
-    // Check quiescence only every few cycles: busy() walks all
-    // components, and drain is monotone at the end of a run. Never
-    // check more often than the lookahead window, or the stride would
-    // force every window down to the check interval.
-    const Cycle stride = engine_.window() > 8 ? engine_.window() : 8;
+    RunResult res;
+    const Cycle start = engine_.now();
+
+    // The budget is an upper bound (a stop condition usually fires
+    // first), so the meter reports the ETA as a bound too.
     if (progress_ != nullptr)
-        progress_->setTargetCycles(engine_.now() + max_cycles);
-    return engine_.runUntil([this] { return !engine_.busy(); }, max_cycles,
-                            /*check_every=*/stride);
+        progress_->setTargetCycles(start + spec.max_cycles);
+
+    Cycle stride = spec.check_every;
+    if (stride == 0)
+        stride = engine_.window();
+    if (stride < 1)
+        stride = 1;
+
+    // The first engaged condition to fire ends the run. The delivery
+    // target outranks an audit trip observed at the same check (the run
+    // did what was asked); an audit trip outranks everything else (the
+    // network is wedged and whatever the run waits for never happens).
+    StopReason fired = StopReason::MaxCycles;
+    auto done = [&] {
+        if (spec.until_delivered > 0
+            && delivered_ >= spec.until_delivered) {
+            fired = StopReason::Delivered;
+            return true;
+        }
+        if (spec.stop_on_audit_trip && audit_ != nullptr
+            && audit_->tripped()) {
+            fired = StopReason::AuditTrip;
+            return true;
+        }
+        if (spec.until_quiescent && !engine_.busy()) {
+            fired = StopReason::Quiescent;
+            return true;
+        }
+        if (spec.stop && spec.stop()) {
+            fired = StopReason::Predicate;
+            return true;
+        }
+        return false;
+    };
+
+    // Warm-start saves happen at a check boundary so the image lands on
+    // a window-final cycle at every lookahead setting.
+    auto maybe_save = [&] {
+        if (spec.checkpoint_out.empty() || res.checkpoint_saved)
+            return;
+        if (sampler_ == nullptr || !sampler_->steadyState().converged)
+            return;
+        saveCheckpoint(spec.checkpoint_out);
+        res.checkpoint_saved = true;
+        res.checkpoint_cycle = engine_.now();
+    };
+
+    // Engine::runUntil's cadence, inlined so the steady-state
+    // checkpoint hook sees every predicate-check boundary: check at
+    // `start`, then every `stride` cycles, then exactly at the
+    // deadline.
+    const Cycle end = start + spec.max_cycles;
+    Cycle next_check = start;
+    bool stopped = false;
+    while (engine_.now() < end) {
+        if (engine_.now() >= next_check) {
+            if (done()) {
+                stopped = true;
+                break;
+            }
+            maybe_save();
+            next_check = engine_.now() + stride;
+        }
+        const Cycle stop = next_check < end ? next_check : end;
+        engine_.advance(stop - engine_.now());
+    }
+    if (!stopped)
+        done(); // the exact-deadline check (may still set `fired`)
+
+    // Fallback: no sampler convergence (or none attached) - write the
+    // image at whatever state the run ended in.
+    if (!spec.checkpoint_out.empty() && !res.checkpoint_saved) {
+        saveCheckpoint(spec.checkpoint_out);
+        res.checkpoint_saved = true;
+        res.checkpoint_cycle = engine_.now();
+    }
+
+    res.cycles = engine_.now() - start;
+    res.end_cycle = engine_.now();
+    res.delivered = delivered_;
+    res.reason = fired;
+    res.audit_tripped = audit_ != nullptr && audit_->tripped();
+    return res;
 }
 
 } // namespace anton2

@@ -53,7 +53,7 @@ struct NetworkFault
     int vc = -1; ///< WithholdTorusCredits only; -1 = every VC
 };
 
-/** Trace recorder sizing and sampling (Machine::enableTracing). */
+/** Trace recorder sizing and sampling (Instrumentation::trace). */
 struct TraceConfig
 {
     std::size_t capacity = std::size_t{ 1 } << 19; ///< ring slots
@@ -119,6 +119,115 @@ struct Instrumentation
     std::optional<AuditConfig> audit;
     /** Seeded negative-control faults, armed before simulating. */
     std::vector<NetworkFault> faults;
+};
+
+/** Why a Machine::run(RunSpec) returned. */
+enum class StopReason
+{
+    MaxCycles,  ///< the cycle budget elapsed first
+    Predicate,  ///< the custom stop predicate fired
+    Delivered,  ///< the delivery target was reached
+    Quiescent,  ///< no component held work
+    AuditTrip,  ///< the runtime auditor's watchdog tripped
+};
+
+/** Stable lower-case name for reports ("max_cycles", "delivered", ...). */
+const char *stopReasonName(StopReason r);
+
+/**
+ * One run, declaratively: how long, what stops it, and the checkpoint
+ * plumbing. This is the single entry point behind every experiment
+ * harness; the legacy run helpers survive as thin forwarders that build
+ * a RunSpec. Engaged stop conditions compose: the run ends at the first
+ * one to fire (the delivery target is checked first, then audit trips,
+ * quiescence, and the custom predicate).
+ */
+struct RunSpec
+{
+    /** Cycle budget (mandatory; the run never exceeds it). */
+    Cycle max_cycles = 0;
+
+    /** Optional custom stop predicate, evaluated between cycles. */
+    std::function<bool()> stop;
+
+    /** Predicate-check stride in cycles; 0 = the engine's lookahead
+     * window (checks at barrier boundaries, the natural cadence).
+     * Monotone conditions tolerate a coarse stride at the cost of
+     * overshooting the firing cycle by at most `check_every - 1`. */
+    Cycle check_every = 0;
+
+    /** Stop once totalDelivered() reaches this count (0 = disabled). */
+    std::uint64_t until_delivered = 0;
+
+    /** Stop once no component reports buffered work. */
+    bool until_quiescent = false;
+
+    /** Abort when the attached auditor's watchdog trips (the network is
+     * wedged; whatever the run waits for will never happen). */
+    bool stop_on_audit_trip = true;
+
+    /** Restore this checkpoint before running (empty = cold start). */
+    std::string checkpoint_in;
+
+    /**
+     * Save a checkpoint to this path during the run (empty = never).
+     * With an auto-steady interval sampler attached, the save happens
+     * at the first predicate-check boundary after steady-state
+     * convergence - the warm-start image batch sweeps fork from;
+     * otherwise (or if convergence never comes) it is written when the
+     * run returns.
+     */
+    std::string checkpoint_out;
+
+    /** Plain fixed-length run (the old run(cycles)). */
+    static RunSpec
+    forCycles(Cycle n)
+    {
+        RunSpec s;
+        s.max_cycles = n;
+        return s;
+    }
+
+    /** Run until @p count total deliveries (the old runUntilDelivered). */
+    static RunSpec
+    untilDelivered(std::uint64_t count, Cycle max_cycles)
+    {
+        RunSpec s;
+        s.max_cycles = max_cycles;
+        s.until_delivered = count;
+        return s;
+    }
+
+    /** Drain the network (the old runUntilQuiescent). */
+    static RunSpec
+    untilQuiescent(Cycle max_cycles)
+    {
+        RunSpec s;
+        s.max_cycles = max_cycles;
+        s.until_quiescent = true;
+        return s;
+    }
+};
+
+/** What a Machine::run(RunSpec) did. */
+struct RunResult
+{
+    Cycle cycles = 0;            ///< cycles advanced by this run
+    Cycle end_cycle = 0;         ///< simulation time at return
+    std::uint64_t delivered = 0; ///< totalDelivered() at return
+    StopReason reason = StopReason::MaxCycles;
+    bool audit_tripped = false;  ///< auditor verdict (false if detached)
+    bool checkpoint_saved = false;
+    Cycle checkpoint_cycle = 0;  ///< cycle checkpoint_out was written at
+
+    /** True when a requested stop condition fired (a run with no stop
+     * conditions only ever returns MaxCycles, which reads as false). */
+    bool
+    ok() const
+    {
+        return reason != StopReason::MaxCycles
+               && reason != StopReason::AuditTrip;
+    }
 };
 
 class Machine
@@ -212,13 +321,43 @@ class Machine
     /** The maximum conservative window: min torus link latency. */
     Cycle lookaheadCap() const { return lookahead_cap_; }
 
-    void run(Cycle cycles);
+    /**
+     * The single run entry point: restore checkpoint_in (if set),
+     * advance until the first engaged stop condition fires or
+     * max_cycles elapse, and save checkpoint_out (if set) at
+     * steady-state convergence or run end. Deterministic: for a fixed
+     * spec the result and every export are byte-identical at any
+     * thread count.
+     */
+    RunResult run(const RunSpec &spec);
 
-    /** Run until @p count packets have been delivered (or timeout). */
-    bool runUntilDelivered(std::uint64_t count, Cycle max_cycles);
+    /** Forwarder: run for a fixed @p cycles (RunSpec::forCycles). */
+    void
+    run(Cycle cycles)
+    {
+        run(RunSpec::forCycles(cycles));
+    }
 
-    /** Run until no component holds work (or timeout). */
-    bool runUntilQuiescent(Cycle max_cycles);
+    /** Forwarder: run until @p count deliveries (or timeout); true if
+     * the target was reached (RunSpec::untilDelivered). */
+    bool
+    runUntilDelivered(std::uint64_t count, Cycle max_cycles)
+    {
+        return run(RunSpec::untilDelivered(count, max_cycles)).reason
+               == StopReason::Delivered;
+    }
+
+    /** Forwarder: run until no component holds work (or timeout); true
+     * on quiescence (RunSpec::untilQuiescent). */
+    bool
+    runUntilQuiescent(Cycle max_cycles)
+    {
+        RunSpec spec = RunSpec::untilQuiescent(max_cycles);
+        // busy() walks every component and drain is monotone, so check
+        // no more often than every 8 cycles (or the lookahead window).
+        spec.check_every = engine_.window() > 8 ? engine_.window() : 8;
+        return run(spec).reason == StopReason::Quiescent;
+    }
 
     std::uint64_t totalDelivered() const { return delivered_; }
     Cycle lastDeliveryTime() const { return last_delivery_; }
@@ -235,26 +374,13 @@ class Machine
      * Attach every engaged layer of @p inst in one call: faults are
      * armed first, then metrics, tracing, time series, the progress
      * meter, and the auditor (the auditor last, so its serial-tail tick
-     * audits a fully settled cycle). This is the primary attach point;
-     * the individual enable*() members below survive as thin deprecated
-     * forwarders. Recording starts immediately, so attach before
-     * driving traffic for complete counts.
+     * audits a fully settled cycle). This is the only attach path (the
+     * legacy per-layer enable*() forwarders are gone). Recording starts
+     * immediately, so attach before driving traffic for complete
+     * counts. All layers are idempotent: attaching a second bundle
+     * unions it with the first.
      */
     void attachInstrumentation(const Instrumentation &inst);
-
-    /**
-     * Deprecated forwarder for attachInstrumentation(): create the
-     * metrics registry (if absent) and bind every component. Idempotent;
-     * returns the registry.
-     */
-    MetricsRegistry &
-    enableMetrics()
-    {
-        Instrumentation inst;
-        inst.metrics = true;
-        attachInstrumentation(inst);
-        return *metrics_;
-    }
 
     /** The bound registry, or null when telemetry is disabled. */
     MetricsRegistry *metrics() { return metrics_.get(); }
@@ -264,7 +390,7 @@ class Machine
      * and the hierarchical rollups (`machine.noc.*` / `machine.link.*`
      * / `machine.ep.*`, per-chip reductions at the fine levels), then
      * serialize the registry at its bound MetricsLevel. Requires
-     * enableMetrics().
+     * attached metrics.
      */
     std::string metricsJson();
 
@@ -284,7 +410,7 @@ class Machine
      * outcome (null without a sampler), and the audit verdict (null
      * without the auditor). Byte-identical across thread counts; bench
      * wrappers append their config and the non-deterministic host
-     * section *after* this body. Requires enableMetrics().
+     * section *after* this body. Requires attached metrics.
      */
     std::string runReportJson(std::size_t topk = 8);
 
@@ -296,27 +422,13 @@ class Machine
     // Event tracing
     // ------------------------------------------------------------------
 
-    /**
-     * Deprecated forwarder for attachInstrumentation(): create the
-     * trace ring (if absent) and bind every component. Idempotent;
-     * returns the sink.
-     */
-    RingTraceSink &
-    enableTracing(const TraceConfig &cfg = {})
-    {
-        Instrumentation inst;
-        inst.trace = cfg;
-        attachInstrumentation(inst);
-        return *trace_;
-    }
-
     /** The bound trace sink, or null when tracing is disabled. */
     RingTraceSink *trace() { return trace_.get(); }
 
     /**
      * Export the recorded events plus per-port stall attribution as
      * Chrome trace-event JSON with layout-aware track names. Requires
-     * enableTracing().
+     * an attached trace layer.
      */
     std::string traceChromeJson();
 
@@ -327,50 +439,16 @@ class Machine
     // Flow-level observability
     // ------------------------------------------------------------------
 
-    /**
-     * Convenience forwarder for attachInstrumentation(): create the
-     * flow probe (if absent) and bind every component. Routers, channel
-     * adapters, and endpoints then emit per-hop latency spans that
-     * aggregate into the per-(src, dst, class) flow matrix and the
-     * per-unit congestion-blame counters; a detached Machine takes zero
-     * additional clock reads (one pointer test per emission site).
-     * Idempotent; returns the probe.
-     */
-    FlowProbe &
-    enableFlows(const FlowProbeConfig &cfg = {})
-    {
-        Instrumentation inst;
-        inst.flows = cfg;
-        attachInstrumentation(inst);
-        return *flow_;
-    }
-
     /** The bound flow probe, or null when flow observability is off. */
     FlowProbe *flows() { return flow_.get(); }
 
     /** Export the sparse flow matrix as CSV (one row per active
-     * (src, dst, class) triple). Requires enableFlows(). */
+     * (src, dst, class) triple). Requires an attached flow probe. */
     std::string flowMatrixCsv();
 
     // ------------------------------------------------------------------
     // Windowed time series
     // ------------------------------------------------------------------
-
-    /**
-     * Deprecated forwarder for attachInstrumentation(): create the
-     * interval sampler (if absent) with the standard series set -
-     * machine injection/ejection/latency, per-chip buffer occupancy and
-     * credit levels, per-link flit counts (plus per-router series under
-     * cfg.per_router). Idempotent; returns the sampler.
-     */
-    IntervalSampler &
-    enableTimeseries(const TimeseriesConfig &cfg = {})
-    {
-        Instrumentation inst;
-        inst.timeseries = cfg;
-        attachInstrumentation(inst);
-        return *sampler_;
-    }
 
     /** The bound sampler, or null when time-series sampling is off. */
     IntervalSampler *timeseries() { return sampler_.get(); }
@@ -381,42 +459,12 @@ class Machine
     /** Finalize and serialize the per-link congestion heatmap CSV. */
     std::string heatmapCsv();
 
-    /**
-     * Deprecated forwarder for attachInstrumentation(): add the opt-in
-     * live progress meter (stderr by default). Purely observational.
-     * Idempotent.
-     */
-    ProgressMeter &
-    enableProgress(const ProgressMeter::Config &cfg = {})
-    {
-        Instrumentation inst;
-        inst.progress = cfg;
-        attachInstrumentation(inst);
-        return *progress_;
-    }
-
     /** The bound progress meter, or null. */
     ProgressMeter *progress() { return progress_.get(); }
 
     // ------------------------------------------------------------------
     // Engine self-profiling (host wall-clock attribution)
     // ------------------------------------------------------------------
-
-    /**
-     * Convenience forwarder for attachInstrumentation(): attach the
-     * engine self-profiler. Idempotent; returns the profiler. Purely
-     * host-side: every deterministic export stays byte-identical with
-     * profiling on or off, and a Machine without it performs zero
-     * profiling clock reads.
-     */
-    EngineProfiler &
-    enableHostProfile(const EngineProfileConfig &cfg = {})
-    {
-        Instrumentation inst;
-        inst.host_profile = cfg;
-        attachInstrumentation(inst);
-        return *host_profile_;
-    }
 
     /** The attached engine profiler, or null when profiling is off. */
     EngineProfiler *hostProfile() { return host_profile_.get(); }
@@ -426,29 +474,13 @@ class Machine
      * host timeline: worker lanes as threads, each window's parallel
      * tick as a duration slice (barrier waits appear as the gaps
      * between slices), the serial replay on its own track. Requires
-     * enableHostProfile().
+     * an attached host profiler.
      */
     std::string hostTimelineChromeJson();
 
     // ------------------------------------------------------------------
     // Runtime auditor (invariants, watchdog, forensic snapshots)
     // ------------------------------------------------------------------
-
-    /**
-     * Deprecated forwarder for attachInstrumentation(): create the
-     * runtime auditor (if absent) with the machine-wide invariant
-     * checks (flit conservation, credit conservation on every on-chip
-     * and torus channel, VC-class legality) and the deadlock/livelock
-     * watchdog. Idempotent; returns the auditor.
-     */
-    Auditor &
-    enableAudit(const AuditConfig &cfg = {})
-    {
-        Instrumentation inst;
-        inst.audit = cfg;
-        attachInstrumentation(inst);
-        return *audit_;
-    }
 
     /** The bound auditor, or null when auditing is disabled. */
     Auditor *audit() { return audit_.get(); }
@@ -457,12 +489,12 @@ class Machine
      * Capture a forensic snapshot of the network right now: per-buffer
      * occupancy and resident packets, depressed credit counters, the
      * waits-for graph of blocked heads, and its deadlock/livelock
-     * analysis. Works with or without enableAudit().
+     * analysis. Works with or without an attached auditor.
      */
     MachineSnapshot dumpSnapshot(const std::string &reason = "on_demand");
 
     /**
-     * Deprecated forwarder for attachInstrumentation(): arm a seeded
+     * Convenience forwarder for attachInstrumentation(): arm a seeded
      * negative-control fault (test/debug only).
      */
     void
@@ -472,6 +504,59 @@ class Machine
         inst.faults.push_back(f);
         attachInstrumentation(inst);
     }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore
+    // ------------------------------------------------------------------
+
+    /**
+     * Write the complete machine state to @p path: every router,
+     * adapter, and endpoint buffer, credit counter, in-flight phit
+     * (with virtual cut-through packet sharing preserved), the
+     * multicast tables, the RNG, the delivery statistics, the cycle
+     * count, and every registered checkpoint client (traffic drivers).
+     * A machine restored from the file continues byte-identically to
+     * the uninterrupted run at any thread count and lookahead window.
+     * Instrumentation layers are NOT checkpointed: attach them after
+     * restoring, exactly as the baseline run attached them at the save
+     * cycle. Throws CheckpointError on I/O failure.
+     */
+    void saveCheckpoint(const std::string &path);
+
+    /**
+     * Restore the state written by saveCheckpoint(). The machine must
+     * have been constructed with an equivalent MachineConfig (topology,
+     * chip configuration, latencies, seed - everything that shapes
+     * buffers and wires; thread count and lookahead window are NOT part
+     * of the fingerprint and may differ). Checkpoint clients must be
+     * registered in the same order as at save time. Throws
+     * CheckpointError on version/fingerprint mismatch or corruption.
+     */
+    void restoreCheckpoint(const std::string &path);
+
+    /** Fingerprint of the structural configuration, stamped into every
+     * checkpoint and validated on restore. */
+    std::uint64_t configFingerprint() const;
+
+    /**
+     * Register extra state to ride along in checkpoints (traffic
+     * drivers do this in their constructor). Clients are saved and
+     * restored in registration order; @p name is validated on restore
+     * so a save/load pairing drift fails loudly. @p owner keys
+     * unregisterCheckpointClients (a destructor must remove its hooks).
+     */
+    void registerCheckpointClient(std::string name,
+                                  std::function<void(CkptWriter &)> save,
+                                  std::function<void(CkptReader &)> load,
+                                  const void *owner);
+
+    /** Remove every client registered with @p owner. */
+    void unregisterCheckpointClients(const void *owner);
+
+    /** Path this machine was restored from ("" for a cold start). */
+    const std::string &restoredFrom() const { return restored_from_; }
+    /** Cycle the restored checkpoint was saved at (0 for cold start). */
+    Cycle restoredCycle() const { return restored_cycle_; }
 
   private:
     MetricsRegistry &doEnableMetrics(MetricsLevel level);
@@ -534,6 +619,19 @@ class Machine
     Cycle last_delivery_ = 0;
     ScalarStat latency_;
     std::function<void(const PacketPtr &, Cycle)> deliver_hook_;
+
+    /** Extra state riding along in checkpoints (see
+     * registerCheckpointClient). */
+    struct CheckpointClient
+    {
+        std::string name;
+        std::function<void(CkptWriter &)> save;
+        std::function<void(CkptReader &)> load;
+        const void *owner = nullptr;
+    };
+    std::vector<CheckpointClient> ckpt_clients_;
+    std::string restored_from_; ///< checkpoint provenance (run report)
+    Cycle restored_cycle_ = 0;
 
     std::unique_ptr<MetricsRegistry> metrics_;
     Counter *m_delivered_ = nullptr; ///< machine.delivered

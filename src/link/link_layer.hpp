@@ -83,6 +83,11 @@ class LossyFrameChannel
     bool busy() const { return wire_.busy(); }
     std::uint64_t framesSent() const { return frames_; }
 
+    /** Checkpoint in-flight frames, the error-injection RNG, and the
+     * frame tally. */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     Wire<LinkFrame> wire_;
     double flip_prob_;
@@ -135,6 +140,11 @@ class LinkSender : public Component
     std::uint64_t retransmissions() const { return retransmissions_; }
     std::size_t backlog() const { return queue_.size(); }
 
+    /** Checkpoint the go-back-N window: queue, sequence state, timer,
+     * tokens, and tallies. */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     LinkConfig cfg_;
     LossyFrameChannel &tx_;
@@ -177,6 +187,10 @@ class LinkReceiver : public Component
     std::uint64_t delivered() const { return delivered_; }
     std::uint64_t crcDrops() const { return crc_drops_; }
     std::uint64_t orderDrops() const { return order_drops_; }
+
+    /** Checkpoint the expected sequence number and tallies. */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     Counter *m_delivered_ = nullptr;

@@ -14,6 +14,9 @@
 
 namespace anton2 {
 
+class CkptWriter;
+class CkptReader;
+
 /**
  * A unidirectional channel: a data wire carrying one phit per cycle and a
  * reverse wire returning one credit per cycle.
@@ -33,6 +36,10 @@ struct Channel
     Wire<Credit> credit;
 
     bool busy() const { return data.busy() || credit.busy(); }
+
+    /** Checkpoint both wires (in-flight phits and credits). */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 };
 
 /** Phits in flight on @p w for VC @p vc (runtime-audit probe). */
@@ -109,6 +116,10 @@ class CreditCounter
             total += c;
         return total;
     }
+
+    /** Checkpoint the per-VC counter values. */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     std::vector<int> credits_;
@@ -200,6 +211,10 @@ class VcBuffer
     /** Entry @p i from the head (for pipeline lookahead). */
     Entry &entry(std::size_t i) { return entries_[i]; }
     const Entry &entry(std::size_t i) const { return entries_[i]; }
+
+    /** Checkpoint all entries including pipeline progress. */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     std::vector<Entry> entries_;

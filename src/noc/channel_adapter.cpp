@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "arb/inverse_weighted.hpp"
+#include "debug/checkpoint.hpp"
 #include "noc/router.hpp"
 
 namespace anton2 {
@@ -454,6 +455,97 @@ ChannelAdapter::collectBlockedHeads(std::vector<BlockedHead> &out) const
         b.pkt = copy.pkt;
         out.push_back(std::move(b));
     }
+}
+
+void
+ChannelAdapter::saveState(CkptWriter &w) const
+{
+    w.tag("channel_adapter");
+    // Egress side.
+    for (const VcBuffer &vc : egress_vcs_)
+        vc.saveState(w);
+    torus_credits_.saveState(w);
+    egress_arb_->saveState(w);
+    w.i32(ser_tokens_);
+    w.b(egress_busy_);
+    w.i32(egress_vc_);
+    w.u8(egress_link_vc_);
+    w.cycle(egress_grant_at_);
+    // Ingress side.
+    for (const VcBuffer &vc : ingress_vcs_)
+        vc.saveState(w);
+    w.u32(static_cast<std::uint32_t>(ingress_heads_.size()));
+    for (const IngressEntry &e : ingress_heads_) {
+        w.u32(static_cast<std::uint32_t>(e.copies.size()));
+        for (const IngressCopy &c : e.copies) {
+            w.packetRef(c.pkt);
+            w.u8(c.vc);
+        }
+        w.u64(e.next_copy);
+        w.u16(e.copy_sent);
+        w.b(e.active_granted);
+    }
+    for (const bool x : ingress_expanded_)
+        w.b(x);
+    router_credits_.saveState(w);
+    ingress_arb_->saveState(w);
+    w.b(ingress_busy_);
+    w.i32(ingress_vc_);
+    w.u32(static_cast<std::uint32_t>(pending_credits_.size()));
+    for (std::uint8_t c : pending_credits_)
+        w.u8(c);
+    // Counters.
+    w.u64(flits_sent_);
+    w.u64(flits_received_);
+    w.u64(idle_cycles_);
+    w.u64(credits_withheld_);
+    w.i32(egress_packets_);
+    w.i32(ingress_packets_);
+}
+
+void
+ChannelAdapter::loadState(CkptReader &r)
+{
+    r.expect("channel_adapter");
+    for (VcBuffer &vc : egress_vcs_)
+        vc.loadState(r);
+    torus_credits_.loadState(r);
+    egress_arb_->loadState(r);
+    ser_tokens_ = r.i32();
+    egress_busy_ = r.b();
+    egress_vc_ = r.i32();
+    egress_link_vc_ = r.u8();
+    egress_grant_at_ = r.cycle();
+    for (VcBuffer &vc : ingress_vcs_)
+        vc.loadState(r);
+    const std::uint32_t heads = r.u32();
+    if (heads != ingress_heads_.size())
+        throw CheckpointError("checkpoint: adapter VC count mismatch");
+    for (IngressEntry &e : ingress_heads_) {
+        e.copies.resize(r.u32());
+        for (IngressCopy &c : e.copies) {
+            c.pkt = r.packetRef();
+            c.vc = r.u8();
+        }
+        e.next_copy = static_cast<std::size_t>(r.u64());
+        e.copy_sent = r.u16();
+        e.active_granted = r.b();
+    }
+    for (std::size_t i = 0; i < ingress_expanded_.size(); ++i)
+        ingress_expanded_[i] = r.b();
+    router_credits_.loadState(r);
+    ingress_arb_->loadState(r);
+    ingress_busy_ = r.b();
+    ingress_vc_ = r.i32();
+    pending_credits_.resize(r.u32());
+    for (std::uint8_t &c : pending_credits_)
+        c = r.u8();
+    flits_sent_ = r.u64();
+    flits_received_ = r.u64();
+    idle_cycles_ = r.u64();
+    credits_withheld_ = r.u64();
+    egress_packets_ = r.i32();
+    ingress_packets_ = r.i32();
 }
 
 bool

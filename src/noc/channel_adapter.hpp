@@ -203,6 +203,15 @@ class ChannelAdapter final : public Component
 
     std::uint64_t creditsWithheld() const { return credits_withheld_; }
 
+    /**
+     * Checkpoint both sides: VC buffers, credit counters, arbitration
+     * state, serialization tokens, active grants, ingress expansion
+     * state, and the queued torus credits. (The four attached channels
+     * are checkpointed by their owners.)
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     struct IngressEntry
     {

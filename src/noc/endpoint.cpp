@@ -1,6 +1,9 @@
 #include "noc/endpoint.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "debug/checkpoint.hpp"
 
 namespace anton2 {
 
@@ -295,6 +298,88 @@ EndpointAdapter::oldestBirth() const
             oldest = slot.pkt->birth;
     }
     return oldest;
+}
+
+void
+EndpointAdapter::saveState(CkptWriter &w) const
+{
+    w.tag("endpoint");
+    // Staged deliveries are flushed by the serial phase within the same
+    // cycle, so at any window boundary the pending list is empty; a
+    // non-empty list here means the save point is mid-window.
+    assert(pending_.empty() && "checkpoint mid-window (pending deliveries)");
+    w.b(to_router_ != nullptr);
+    if (to_router_ != nullptr)
+        router_credits_.saveState(w);
+    for (const auto &q : inject_q_) {
+        w.u32(static_cast<std::uint32_t>(q.size()));
+        for (const PacketPtr &p : q)
+            w.packetRef(p);
+    }
+    w.i32(next_class_);
+    w.packetRef(inj_active_);
+    w.u16(inj_sent_);
+    w.u32(static_cast<std::uint32_t>(eject_.size()));
+    for (const EjectSlot &s : eject_) {
+        w.packetRef(s.pkt);
+        w.u16(s.arrived);
+        w.cycle(s.head_at);
+    }
+    // unordered_map iteration order is not deterministic; sort by key so
+    // identical machine states produce identical checkpoint bytes.
+    std::vector<std::pair<std::int32_t, int>> armed(counters_.begin(),
+                                                    counters_.end());
+    std::sort(armed.begin(), armed.end());
+    w.u32(static_cast<std::uint32_t>(armed.size()));
+    for (const auto &[counter, count] : armed) {
+        w.i32(counter);
+        w.i32(count);
+    }
+    w.u64(delivered_);
+    w.u64(injected_);
+    w.u64(flits_injected_);
+    w.u64(flits_ejected_);
+    w.cycle(last_delivery_);
+}
+
+void
+EndpointAdapter::loadState(CkptReader &r)
+{
+    r.expect("endpoint");
+    const bool has_out = r.b();
+    if (has_out != (to_router_ != nullptr))
+        throw CheckpointError("checkpoint: endpoint wiring mismatch");
+    if (to_router_ != nullptr)
+        router_credits_.loadState(r);
+    for (auto &q : inject_q_) {
+        q.clear();
+        const std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n; ++i)
+            q.push_back(r.packetRef());
+    }
+    next_class_ = r.i32();
+    inj_active_ = r.packetRef();
+    inj_sent_ = r.u16();
+    const std::uint32_t slots = r.u32();
+    if (slots != eject_.size())
+        throw CheckpointError("checkpoint: endpoint VC count mismatch");
+    for (EjectSlot &s : eject_) {
+        s.pkt = r.packetRef();
+        s.arrived = r.u16();
+        s.head_at = r.cycle();
+    }
+    counters_.clear();
+    const std::uint32_t armed = r.u32();
+    for (std::uint32_t i = 0; i < armed; ++i) {
+        const std::int32_t counter = r.i32();
+        counters_[counter] = r.i32();
+    }
+    pending_.clear();
+    delivered_ = r.u64();
+    injected_ = r.u64();
+    flits_injected_ = r.u64();
+    flits_ejected_ = r.u64();
+    last_delivery_ = r.cycle();
 }
 
 bool

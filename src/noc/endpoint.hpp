@@ -178,6 +178,14 @@ class EndpointAdapter final : public Component
      * streamed (kNoCycle if none). */
     Cycle oldestBirth() const;
 
+    /**
+     * Checkpoint queues, streaming state, reassembly slots, armed
+     * counters, and the delivery/injection tallies. Must be called at a
+     * window boundary (no staged deliveries pending).
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     void tickInject(Cycle now);
     void tickEject(Cycle now);

@@ -6,6 +6,7 @@
 
 #include "arb/basic_arbiters.hpp"
 #include "arb/inverse_weighted.hpp"
+#include "debug/checkpoint.hpp"
 
 namespace anton2 {
 
@@ -531,6 +532,80 @@ Router::collectBlockedHeads(std::vector<BlockedHead> &out) const
             out.push_back(std::move(b));
         }
     }
+}
+
+void
+Router::saveState(CkptWriter &w) const
+{
+    w.tag("router");
+    for (const InPort &ip : in_) {
+        w.b(ip.ch != nullptr);
+        if (ip.ch == nullptr)
+            continue;
+        for (const VcBuffer &vc : ip.vcs)
+            vc.saveState(w);
+        w.u32(ip.nonempty);
+        w.b(ip.draining);
+    }
+    for (const OutPort &op : out_) {
+        w.b(op.ch != nullptr);
+        if (op.ch == nullptr)
+            continue;
+        op.credits.saveState(w);
+        w.b(op.busy);
+        w.i32(op.src_port);
+        w.i32(op.src_vc);
+        w.u8(op.out_vc);
+    }
+    for (const auto &a : sa1_)
+        a->saveState(w);
+    for (const auto &a : sa2_)
+        a->saveState(w);
+    for (int v : sa1_winner_)
+        w.i32(v);
+    w.u32(st_sent_mask_);
+    w.u64(flits_routed_);
+    w.i32(buffered_packets_);
+}
+
+void
+Router::loadState(CkptReader &r)
+{
+    r.expect("router");
+    for (InPort &ip : in_) {
+        const bool connected = r.b();
+        if (connected != (ip.ch != nullptr))
+            throw CheckpointError("checkpoint: router input wiring "
+                                  "mismatch");
+        if (ip.ch == nullptr)
+            continue;
+        for (VcBuffer &vc : ip.vcs)
+            vc.loadState(r);
+        ip.nonempty = r.u32();
+        ip.draining = r.b();
+    }
+    for (OutPort &op : out_) {
+        const bool connected = r.b();
+        if (connected != (op.ch != nullptr))
+            throw CheckpointError("checkpoint: router output wiring "
+                                  "mismatch");
+        if (op.ch == nullptr)
+            continue;
+        op.credits.loadState(r);
+        op.busy = r.b();
+        op.src_port = r.i32();
+        op.src_vc = r.i32();
+        op.out_vc = r.u8();
+    }
+    for (auto &a : sa1_)
+        a->loadState(r);
+    for (auto &a : sa2_)
+        a->loadState(r);
+    for (int &v : sa1_winner_)
+        v = r.i32();
+    st_sent_mask_ = r.u32();
+    flits_routed_ = r.u64();
+    buffered_packets_ = r.i32();
 }
 
 } // namespace anton2

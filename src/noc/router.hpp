@@ -167,6 +167,15 @@ class Router final : public Component
      * downstream credits - the router's waits-for edges. */
     void collectBlockedHeads(std::vector<BlockedHead> &out) const;
 
+    /**
+     * Checkpoint every field that carries across cycles: per-input VC
+     * buffers and drain state, per-output grant/credit state, arbiter
+     * fairness state, and the SA1 winners consumed by next cycle's SA2.
+     * (The attached channels are checkpointed by their owner.)
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     struct InPort
     {

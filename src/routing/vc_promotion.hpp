@@ -160,6 +160,14 @@ class VcState
     bool crossedInCurrentDim() const { return crossed_; }
     VcPolicy policy() const { return policy_; }
 
+    /** Reinstate mid-route promotion state from a checkpoint. */
+    void
+    restoreState(std::uint8_t dims_completed, bool crossed)
+    {
+        dims_completed_ = dims_completed;
+        crossed_ = crossed;
+    }
+
   private:
     VcPolicy policy_;
     std::uint8_t dims_completed_ = 0;

@@ -1,0 +1,360 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/metrics.hpp"
+
+namespace anton2 {
+
+namespace {
+
+/** One child process to run: its argv (argv[0] = the bench) and where
+ * its stdout/stderr go. */
+struct ChildJob
+{
+    std::vector<std::string> argv;
+    std::string log_path;
+};
+
+/**
+ * Launch @p jobs with at most @p max_parallel running at once and
+ * return each child's exit code in job order (-1 = killed by signal or
+ * could not be spawned). Completion order does not matter: results are
+ * keyed by job index, so the caller's merge is schedule-independent.
+ */
+std::vector<int>
+runPool(const std::vector<ChildJob> &jobs, int max_parallel)
+{
+    std::vector<int> status(jobs.size(), -1);
+    std::unordered_map<pid_t, std::size_t> running;
+    std::size_t next = 0;
+
+    const auto reap_one = [&] {
+        int wstatus = 0;
+        const pid_t pid = ::waitpid(-1, &wstatus, 0);
+        if (pid < 0)
+            return false;
+        const auto it = running.find(pid);
+        if (it == running.end())
+            return true; // not ours (should not happen)
+        status[it->second] = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus)
+                                                : -1;
+        running.erase(it);
+        return true;
+    };
+
+    while (next < jobs.size() || !running.empty()) {
+        if (next < jobs.size()
+            && running.size() < static_cast<std::size_t>(max_parallel)) {
+            const ChildJob &job = jobs[next];
+            const pid_t pid = ::fork();
+            if (pid < 0) {
+                // Out of processes: record the failure and move on.
+                status[next++] = -1;
+                continue;
+            }
+            if (pid == 0) {
+                const int fd = ::open(job.log_path.c_str(),
+                                      O_WRONLY | O_CREAT | O_TRUNC, 0644);
+                if (fd >= 0) {
+                    ::dup2(fd, 1);
+                    ::dup2(fd, 2);
+                    ::close(fd);
+                }
+                std::vector<char *> argv;
+                argv.reserve(job.argv.size() + 1);
+                for (const std::string &a : job.argv)
+                    argv.push_back(const_cast<char *>(a.c_str()));
+                argv.push_back(nullptr);
+                ::execv(argv[0], argv.data());
+                std::fprintf(stderr, "exec %s failed\n", argv[0]);
+                ::_exit(127);
+            }
+            running.emplace(pid, next++);
+            continue;
+        }
+        if (!reap_one() && running.empty())
+            break;
+    }
+    return status;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return {};
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+/**
+ * Drop the report's trailing `host` section - the only part that varies
+ * run to run (wall times, memory). "host" is by construction the LAST
+ * top-level key of every report, so cutting from the comma that
+ * precedes it and re-closing the object keeps everything deterministic.
+ */
+std::string
+stripHostSection(std::string report)
+{
+    const std::size_t key = report.rfind("\n  \"host\":");
+    if (key == std::string::npos)
+        return report;
+    const std::size_t comma = report.rfind(',', key);
+    if (comma == std::string::npos)
+        return report;
+    report.resize(comma);
+    report += "\n}";
+    return report;
+}
+
+/** Parse the number that follows `"key":` at or after @p from; false
+ * when the key is absent or not followed by a number. */
+bool
+numberAfter(const std::string &s, std::size_t from, const char *key,
+            double &out)
+{
+    const std::size_t k = s.find(key, from);
+    if (k == std::string::npos)
+        return false;
+    std::size_t p = k + std::strlen(key);
+    while (p < s.size()
+           && std::isspace(static_cast<unsigned char>(s[p])) != 0)
+        ++p;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str() + p, &end);
+    if (end == s.c_str() + p)
+        return false;
+    out = v;
+    return true;
+}
+
+/** The report's `run.cycles` value (end-of-run simulated cycle). */
+bool
+reportCycles(const std::string &report, double &out)
+{
+    const std::size_t run = report.find("\"run\":");
+    return run != std::string::npos
+           && numberAfter(report, run, "\"cycles\":", out);
+}
+
+/** The report's `run.checkpoint.fork_cycle`; false for cold starts
+ * (`"checkpoint": null`). */
+bool
+reportForkCycle(const std::string &report, double &out)
+{
+    const std::size_t run = report.find("\"run\":");
+    if (run == std::string::npos)
+        return false;
+    const std::size_t ck = report.find("\"checkpoint\":", run);
+    if (ck == std::string::npos)
+        return false;
+    return numberAfter(report, ck, "\"fork_cycle\":", out);
+}
+
+/** Indent every line of a pre-serialized JSON fragment by @p pad spaces
+ * (the first line is left alone: it sits after the key). */
+std::string
+reindent(const std::string &raw, int pad)
+{
+    std::string out;
+    out.reserve(raw.size());
+    const std::string indent(static_cast<std::size_t>(pad), ' ');
+    for (char c : raw) {
+        out += c;
+        if (c == '\n')
+            out += indent;
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+splitArgs(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            if (!cur.empty())
+                out.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(std::move(cur));
+    return out;
+}
+
+BatchResult
+runBatch(const BatchConfig &cfg)
+{
+    if (cfg.bench.empty())
+        throw std::runtime_error("batch: no bench executable given");
+    if (cfg.points.empty())
+        throw std::runtime_error("batch: no config points given");
+    if (cfg.jobs < 1)
+        throw std::runtime_error("batch: --jobs must be >= 1");
+    const int forks = std::max(cfg.forks, 0);
+
+    const auto stem = [&](std::size_t point) {
+        return cfg.workdir + "/point" + std::to_string(point);
+    };
+
+    // One merged-artifact row per measured run, in (point, fork) order.
+    // `fork` is -1 for the wave-1 run (converge or cold).
+    struct Row
+    {
+        std::size_t point;
+        int fork;
+        std::string report_path;
+        int status = -1;
+    };
+
+    // Wave 1: every point's first run. Warm-start points converge with
+    // the warm args and drop a checkpoint; cold points just measure.
+    std::vector<ChildJob> wave1;
+    std::vector<Row> rows;
+    for (std::size_t i = 0; i < cfg.points.size(); ++i) {
+        ChildJob job;
+        job.argv.push_back(cfg.bench);
+        job.argv.insert(job.argv.end(), cfg.points[i].begin(),
+                        cfg.points[i].end());
+        if (forks > 0) {
+            job.argv.insert(job.argv.end(), cfg.warm_args.begin(),
+                            cfg.warm_args.end());
+            job.argv.push_back("--checkpoint-out");
+            job.argv.push_back(stem(i) + ".ckpt");
+        }
+        job.argv.push_back("--report");
+        job.argv.push_back(stem(i) + ".base.json");
+        job.log_path = stem(i) + ".base.log";
+        rows.push_back({ i, -1, stem(i) + ".base.json" });
+        wave1.push_back(std::move(job));
+    }
+    const std::vector<int> wave1_status = runPool(wave1, cfg.jobs);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i].status = wave1_status[i];
+
+    // Wave 2: the measurement forks, each restoring its point's
+    // steady-state image. Only launched for points whose converge run
+    // actually produced a checkpoint.
+    if (forks > 0) {
+        std::vector<ChildJob> wave2;
+        std::vector<std::size_t> wave2_rows;
+        for (std::size_t i = 0; i < cfg.points.size(); ++i) {
+            for (int f = 0; f < forks; ++f) {
+                const std::string tag = ".fork" + std::to_string(f);
+                rows.push_back({ i, f, stem(i) + tag + ".json" });
+                if (wave1_status[i] != 0) {
+                    continue; // converge failed: row stays failed
+                }
+                ChildJob job;
+                job.argv.push_back(cfg.bench);
+                job.argv.insert(job.argv.end(), cfg.points[i].begin(),
+                                cfg.points[i].end());
+                job.argv.push_back("--checkpoint-in");
+                job.argv.push_back(stem(i) + ".ckpt");
+                job.argv.push_back("--report");
+                job.argv.push_back(stem(i) + tag + ".json");
+                job.log_path = stem(i) + tag + ".log";
+                wave2_rows.push_back(rows.size() - 1);
+                wave2.push_back(std::move(job));
+            }
+        }
+        const std::vector<int> wave2_status = runPool(wave2, cfg.jobs);
+        for (std::size_t j = 0; j < wave2_rows.size(); ++j)
+            rows[wave2_rows[j]].status = wave2_status[j];
+    }
+
+    // Merge. Rows were built in (point, fork) order and reports are read
+    // from fixed paths, so the artifact is independent of scheduling.
+    BatchResult res;
+    std::string out = "{\n";
+    out += "  \"batch_version\": 1,\n";
+    out += "  \"bench\": " + jsonString(cfg.bench) + ",\n";
+    out += "  \"forks\": " + jsonNumber(forks) + ",\n";
+    out += "  \"points\": [";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const Row &row = rows[r];
+        std::vector<std::string> args;
+        for (const std::string &a : cfg.points[row.point])
+            args.push_back(jsonString(a));
+        std::string frag = "\n    {\n";
+        frag += "      \"point\": "
+                + jsonNumber(static_cast<double>(row.point)) + ",\n";
+        frag += "      \"args\": [";
+        for (std::size_t a = 0; a < args.size(); ++a)
+            frag += (a != 0 ? ", " : "") + args[a];
+        frag += "],\n";
+        const char *kind = row.fork >= 0 ? "fork"
+                           : forks > 0  ? "converge"
+                                        : "cold";
+        frag += "      \"kind\": " + jsonString(kind) + ",\n";
+        frag += "      \"fork\": "
+                + (row.fork >= 0 ? jsonNumber(row.fork)
+                                 : std::string("null"))
+                + ",\n";
+
+        const std::string report =
+            row.status == 0 ? readFile(row.report_path) : std::string();
+        if (report.empty()) {
+            ++res.failures;
+            frag += "      \"status\": "
+                    + jsonNumber(static_cast<double>(row.status)) + ",\n";
+            frag += "      \"fork_cycle\": null,\n";
+            frag += "      \"cycles\": null,\n";
+            frag += "      \"report\": null\n";
+        } else {
+            double cycles = 0.0;
+            double fork_cycle = 0.0;
+            const bool warm = reportForkCycle(report, fork_cycle);
+            frag += "      \"status\": 0,\n";
+            frag += "      \"fork_cycle\": "
+                    + (warm ? jsonNumber(fork_cycle)
+                            : std::string("null"))
+                    + ",\n";
+            frag += "      \"cycles\": "
+                    + (reportCycles(report, cycles) ? jsonNumber(cycles)
+                                                    : std::string("null"))
+                    + ",\n";
+            frag += "      \"report\": "
+                    + reindent(stripHostSection(report), 6) + "\n";
+        }
+        frag += "    }";
+        out += frag;
+        if (r + 1 < rows.size())
+            out += ",";
+    }
+    out += "\n  ]\n}\n";
+    res.artifact = std::move(out);
+
+    if (!cfg.out.empty()) {
+        std::FILE *f = std::fopen(cfg.out.c_str(), "w");
+        if (f == nullptr)
+            throw std::runtime_error("batch: cannot write " + cfg.out);
+        std::fwrite(res.artifact.data(), 1, res.artifact.size(), f);
+        std::fclose(f);
+    }
+    return res;
+}
+
+} // namespace anton2

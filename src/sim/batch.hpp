@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Batch experiment runner: fan a queue of bench config points across
+ * worker processes and merge their run reports into one deterministic
+ * batch artifact.
+ *
+ * Each point is an argument vector for an owning bench executable that
+ * speaks the shared flag set (--report, --checkpoint-in/out). With
+ * warm-start enabled (forks > 0) every point runs twice-phased:
+ *
+ *   1. a converge run (point args + warm args, typically --auto-steady)
+ *      that writes a checkpoint at steady-state convergence, and
+ *   2. N measurement forks that each restore that checkpoint
+ *      (--checkpoint-in) and run only the measured region.
+ *
+ * Children are launched fork/exec with a bounded job pool (--jobs);
+ * stdout/stderr go to per-run log files in the work directory. The
+ * merged artifact strips each report's host section (the only
+ * non-deterministic part) and is emitted in point/fork order, so the
+ * artifact is byte-identical regardless of how many jobs ran
+ * concurrently or in what order they finished.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anton2 {
+
+/** One batch: the owning bench, its config points, and the fan-out. */
+struct BatchConfig
+{
+    /** Path to the bench executable every point is run through. */
+    std::string bench;
+
+    /** One argument vector per config point (no argv[0], no --report /
+     * --checkpoint flags - the runner owns those). */
+    std::vector<std::vector<std::string>> points;
+
+    /** Max concurrently running child processes. */
+    int jobs = 1;
+
+    /** Measurement forks per point; 0 disables warm-start (each point
+     * is a single cold run). */
+    int forks = 0;
+
+    /** Extra args for the converge run only (e.g. --auto-steady);
+     * never passed to the measurement forks. */
+    std::vector<std::string> warm_args;
+
+    /** Where checkpoints, per-run reports, and logs land. */
+    std::string workdir = ".";
+
+    /** Merged artifact path; empty = return it without writing. */
+    std::string out;
+};
+
+/** Outcome of a batch: the merged artifact and how many runs failed. */
+struct BatchResult
+{
+    /** Child runs that exited nonzero or produced no report. */
+    int failures = 0;
+
+    /** The merged batch artifact JSON (also written to cfg.out). */
+    std::string artifact;
+
+    bool ok() const { return failures == 0; }
+};
+
+/**
+ * Run every point (and its measurement forks) through cfg.bench and
+ * merge the reports. Throws std::runtime_error when the batch cannot
+ * even start (unwritable workdir/artifact, no points); per-run child
+ * failures are recorded in the artifact and counted in failures.
+ */
+BatchResult runBatch(const BatchConfig &cfg);
+
+/** Split a flat argument string on whitespace ("--batch 4 --k 3" ->
+ * {"--batch", "4", "--k", "3"}); no quoting support. */
+std::vector<std::string> splitArgs(const std::string &s);
+
+} // namespace anton2

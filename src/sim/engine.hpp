@@ -228,6 +228,21 @@ class Engine
     /** True if any registered component reports buffered work. */
     bool busy() const;
 
+    /**
+     * Replay idle evolution for every parked shard and forget the
+     * parking state, so every component's members reflect cycle now().
+     * Checkpointing calls this before serializing; the next advance()
+     * re-probes parking from scratch. Non-perturbing: idle-skip replay
+     * is defined to be bit-exact with per-cycle ticking.
+     */
+    void flushParking() { unparkAll(); }
+
+    /**
+     * Reinstate the simulation clock from a checkpoint. Only valid
+     * between advances, with component and wire state restored to match.
+     */
+    void restoreNow(Cycle now) { now_ = now; }
+
     /** Registered components, sharded and serial-tail alike. */
     std::size_t componentCount() const;
 

@@ -9,6 +9,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace anton2 {
@@ -86,6 +87,21 @@ class Rng
     bit()
     {
         return (next() >> 63) != 0;
+    }
+
+    /** Raw generator state, for checkpointing. */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return { state_[0], state_[1], state_[2], state_[3] };
+    }
+
+    /** Reinstate generator state saved by state(). */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (std::size_t i = 0; i < 4; ++i)
+            state_[i] = s[i];
     }
 
   private:

@@ -89,6 +89,30 @@ class ScalarStat
         *this = ScalarStat{};
     }
 
+    /** Full accumulator state, for checkpointing (exact round-trip). */
+    struct State
+    {
+        std::uint64_t count;
+        double sum, mean, m2, min, max;
+    };
+
+    State
+    state() const
+    {
+        return { count_, sum_, mean_, m2_, min_, max_ };
+    }
+
+    void
+    restoreState(const State &s)
+    {
+        count_ = s.count;
+        sum_ = s.sum;
+        mean_ = s.mean;
+        m2_ = s.m2;
+        min_ = s.min;
+        max_ = s.max;
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;

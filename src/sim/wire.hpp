@@ -112,6 +112,49 @@ class Wire
         }
     }
 
+    /**
+     * Visit every in-flight value with its absolute delivery cycle, in
+     * ring order. The ring order is a pure function of the delivery
+     * cycles (slot index = cycle mod ring size), so it is deterministic
+     * across runs; checkpointing iterates with this.
+     */
+    template <typename Fn>
+    void
+    forEachSlot(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].has_value())
+                fn(deliver_at_[i], *slots_[i]);
+        }
+    }
+
+    /** Number of ring slots (latency + slack + 1); checkpoint invariant. */
+    std::size_t ringSlots() const { return slots_.size(); }
+
+    /** Drop every in-flight value (checkpoint restore starts clean). */
+    void
+    clearAll()
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            slots_[i].reset();
+            deliver_at_[i] = kNoCycle;
+        }
+    }
+
+    /**
+     * Reinstate one in-flight value at its absolute delivery cycle, as
+     * recorded by forEachSlot. Keeping the absolute cycle keeps the ring
+     * index consistent with the restored engine clock.
+     */
+    void
+    restoreSlot(Cycle deliver_at, T value)
+    {
+        const std::size_t i = index(deliver_at);
+        assert(!slots_[i].has_value() && "restore into occupied slot");
+        slots_[i] = std::move(value);
+        deliver_at_[i] = deliver_at;
+    }
+
   private:
     static std::size_t
     ringSize(Cycle latency, Cycle slack)

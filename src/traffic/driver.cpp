@@ -3,6 +3,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "debug/checkpoint.hpp"
+
 namespace anton2 {
 
 std::vector<EndpointAddr>
@@ -33,6 +35,44 @@ BatchDriver::BatchDriver(Machine &machine, Config cfg)
     expected_ = cfg_.batch_size * core_addrs_.size();
     base_delivered_ = machine_.totalDelivered();
     delivered_target_ = base_delivered_ + expected_;
+
+    // The batch's progress rides along in machine checkpoints, so a
+    // warm-start fork resumes mid-batch instead of restarting it. The
+    // restoring machine must construct an identically configured driver
+    // before restoreCheckpoint() (the client name pins the pairing).
+    machine_.registerCheckpointClient(
+        "batch-driver",
+        [this](CkptWriter &w) {
+            w.tag("driver.batch");
+            w.u32(static_cast<std::uint32_t>(sent_.size()));
+            for (std::uint64_t s : sent_)
+                w.u64(s);
+            w.u64(sent_total_);
+            w.u64(expected_);
+            w.u64(delivered_target_);
+            w.u64(base_delivered_);
+            w.cycle(start_);
+            w.b(started_);
+        },
+        [this](CkptReader &r) {
+            r.expect("driver.batch");
+            if (r.u32() != sent_.size())
+                throw CheckpointError("batch-driver core count mismatch");
+            for (auto &s : sent_)
+                s = r.u64();
+            sent_total_ = r.u64();
+            expected_ = r.u64();
+            delivered_target_ = r.u64();
+            base_delivered_ = r.u64();
+            start_ = r.cycle();
+            started_ = r.b();
+        },
+        this);
+}
+
+BatchDriver::~BatchDriver()
+{
+    machine_.unregisterCheckpointClients(this);
 }
 
 void
@@ -75,16 +115,12 @@ BatchDriver::tick(Cycle now)
 bool
 BatchDriver::run(Cycle max_cycles)
 {
-    // A tripped watchdog means the machine is wedged: stop burning host
-    // time simulating an idle network; the trip snapshot has the story.
-    machine_.engine().runUntil(
-        [&] {
-            return done(machine_)
-                   || (machine_.audit() != nullptr
-                       && machine_.audit()->tripped());
-        },
-        max_cycles, /*check_every=*/machine_.engine().window());
-    return done(machine_);
+    // A tripped watchdog ends the run early (RunSpec's default): the
+    // machine is wedged, and the trip snapshot has the story.
+    return machine_.run(RunSpec::untilDelivered(delivered_target_,
+                                                max_cycles))
+               .reason
+           == StopReason::Delivered;
 }
 
 Cycle

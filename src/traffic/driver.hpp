@@ -41,7 +41,10 @@ class BatchDriver : public Component
         double blend_fraction2 = 0.0; ///< probability a packet uses pattern2
     };
 
+    /** Registers the driver's progress state as a machine checkpoint
+     * client, so a warm-start image carries the batch mid-flight. */
     BatchDriver(Machine &machine, Config cfg);
+    ~BatchDriver() override;
 
     void tick(Cycle now) override;
     bool busy() const override { return sent_total_ < expected_; }
@@ -49,6 +52,9 @@ class BatchDriver : public Component
     /** Total packets the batch will send across all cores. */
     std::uint64_t expected() const { return expected_; }
     std::uint64_t sentTotal() const { return sent_total_; }
+
+    /** Machine-wide delivered() count that completes the batch. */
+    std::uint64_t deliveredTarget() const { return delivered_target_; }
 
     /** True once every batch packet has been delivered. */
     bool

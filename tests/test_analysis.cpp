@@ -346,8 +346,8 @@ TEST_F(LoadModelTest, TraceAgreesWithSimulatorDeliveryPath)
             }
         }
         m.send(pkt);
-        ASSERT_TRUE(m.runUntilDelivered(
-            static_cast<std::uint64_t>(trial) + 1, 20000));
+        ASSERT_TRUE(m.run(RunSpec::untilDelivered(
+            static_cast<std::uint64_t>(trial) + 1, 20000)).reason == StopReason::Delivered);
         EXPECT_EQ(static_cast<int>(traced_hops), pkt->hops);
     }
 }

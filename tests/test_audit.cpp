@@ -44,6 +44,17 @@ fastAudit(Cycle stall_threshold = 100000)
     return acfg;
 }
 
+/** Attach an auditor through the unified bundle (the only attach path)
+ * and hand back the bound instance. */
+Auditor &
+attachAudit(Machine &m, const AuditConfig &acfg)
+{
+    Instrumentation inst;
+    inst.audit = acfg;
+    m.attachInstrumentation(inst);
+    return *m.audit();
+}
+
 /** Seeded random unicast load shared by the clean-audit tests. */
 std::uint64_t
 driveSeededTraffic(Machine &m, std::uint64_t seed, std::uint64_t count)
@@ -68,9 +79,9 @@ driveSeededTraffic(Machine &m, std::uint64_t seed, std::uint64_t count)
 TEST(Audit, CleanOnSeededUniformTraffic)
 {
     Machine m(auditConfig());
-    Auditor &a = m.enableAudit(fastAudit());
+    Auditor &a = attachAudit(m, fastAudit());
     const auto sent = driveSeededTraffic(m, 71, 200);
-    ASSERT_TRUE(m.runUntilDelivered(sent, 500000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 500000)).reason == StopReason::Delivered);
     a.runChecksNow(m.now());
     EXPECT_GT(a.auditsRun(), 2u);
     EXPECT_EQ(a.violationCount(), 0u)
@@ -81,9 +92,9 @@ TEST(Audit, CleanOnSeededUniformTraffic)
 TEST(Audit, CleanOnBaseline2nPolicy)
 {
     Machine m(auditConfig(VcPolicy::Baseline2n));
-    Auditor &a = m.enableAudit(fastAudit());
+    Auditor &a = attachAudit(m, fastAudit());
     const auto sent = driveSeededTraffic(m, 72, 200);
-    ASSERT_TRUE(m.runUntilDelivered(sent, 500000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 500000)).reason == StopReason::Delivered);
     a.runChecksNow(m.now());
     EXPECT_EQ(a.violationCount(), 0u)
         << (a.violations().empty() ? "" : a.violations().front().detail);
@@ -96,7 +107,7 @@ TEST(Audit, CleanWithMulticastInFlight)
     // cannot track; the audit must skip that term (not report noise) while
     // copies are in flight, and still come up clean after they drain.
     Machine m(auditConfig());
-    Auditor &a = m.enableAudit(fastAudit());
+    Auditor &a = attachAudit(m, fastAudit());
 
     const NodeId src = m.geom().id({ 1, 0, 0 });
     std::vector<McastDest> dests;
@@ -110,7 +121,7 @@ TEST(Audit, CleanWithMulticastInFlight)
                                      DimOrder{ 0, 1, 2 }, 0, tie);
     const auto group = m.installTree(tree);
     m.sendMulticast({ src, 0 }, group);
-    ASSERT_TRUE(m.runUntilDelivered(dests.size(), 50000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(dests.size(), 50000)).reason == StopReason::Delivered);
     a.runChecksNow(m.now());
     EXPECT_EQ(a.violationCount(), 0u)
         << (a.violations().empty() ? "" : a.violations().front().detail);
@@ -125,7 +136,7 @@ TEST(Audit, MaxAgeGaugesPublishedWithoutAuditor)
     Machine m(cfg);
     ASSERT_EQ(m.audit(), nullptr);
     m.send(m.makeWrite({ 0, 0 }, { m.geom().id({ 2, 1, 1 }), 1 }));
-    ASSERT_TRUE(m.runUntilDelivered(1, 50000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 50000)).reason == StopReason::Delivered);
     const std::string json = m.metricsJson();
     // Dotted gauge paths serialize as a nested tree.
     EXPECT_NE(json.find("\"max_age\""), std::string::npos);
@@ -138,9 +149,9 @@ TEST(Audit, GaugesPublishedWhenBound)
     MachineConfig cfg = auditConfig();
     cfg.enable_metrics = true;
     Machine m(cfg);
-    m.enableAudit(fastAudit());
+    attachAudit(m, fastAudit());
     const auto sent = driveSeededTraffic(m, 73, 40);
-    ASSERT_TRUE(m.runUntilDelivered(sent, 100000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 100000)).reason == StopReason::Delivered);
     const std::string json = m.metricsJson();
     EXPECT_NE(json.find("\"audit\""), std::string::npos);
     EXPECT_NE(json.find("\"audits\""), std::string::npos);
@@ -178,12 +189,12 @@ TEST(Audit, WithholdCreditTripsWatchdogAndNamesLink)
     fault.kind = NetworkFault::Kind::WithholdTorusCredits;
     fault.node = 0;
     m.injectFault(fault);
-    Auditor &a = m.enableAudit(fastAudit(/*stall_threshold=*/300));
+    Auditor &a = attachAudit(m, fastAudit(/*stall_threshold=*/300));
 
     Rng tie(3);
     const NodeId dst = m.geom().id({ 2, 0, 0 });
     const auto sent = sendForcedXPlus(m, 0, dst, 40, tie);
-    EXPECT_FALSE(m.runUntilDelivered(sent, 100000));
+    EXPECT_FALSE(m.run(RunSpec::untilDelivered(sent, 100000)).reason == StopReason::Delivered);
 
     ASSERT_TRUE(a.tripped());
     const MachineSnapshot *snap = a.tripSnapshot();
@@ -226,7 +237,7 @@ TEST(Audit, NoPromotionDeadlocksRingWithDeadlockVerdict)
     fault.kind = NetworkFault::Kind::NoDatelinePromotion;
     fault.node = m.geom().id({ 7, 0, 0 }); // dateline between x=7 and x=0
     m.injectFault(fault);
-    Auditor &a = m.enableAudit(fastAudit(/*stall_threshold=*/500));
+    Auditor &a = attachAudit(m, fastAudit(/*stall_threshold=*/500));
 
     Rng tie(5);
     std::uint64_t sent = 0;
@@ -235,7 +246,7 @@ TEST(Audit, NoPromotionDeadlocksRingWithDeadlockVerdict)
         const NodeId dst = m.geom().id({ (x + 4) % 8, 0, 0 });
         sent += sendForcedXPlus(m, src, dst, 16, tie);
     }
-    EXPECT_FALSE(m.runUntilDelivered(sent, 200000));
+    EXPECT_FALSE(m.run(RunSpec::untilDelivered(sent, 200000)).reason == StopReason::Delivered);
 
     ASSERT_TRUE(a.tripped());
     const MachineSnapshot *snap = a.tripSnapshot();
@@ -260,14 +271,14 @@ TEST(Audit, NoPromotionDeadlocksRingWithDeadlockVerdict)
         const NodeId dst = healthy.geom().id({ (x + 4) % 8, 0, 0 });
         sent2 += sendForcedXPlus(healthy, src, dst, 16, tie2);
     }
-    EXPECT_TRUE(healthy.runUntilDelivered(sent2, 200000));
+    EXPECT_TRUE(healthy.run(RunSpec::untilDelivered(sent2, 200000)).reason == StopReason::Delivered);
 }
 
 TEST(Audit, OnDemandSnapshotOfHealthyMachine)
 {
     Machine m(auditConfig());
     const auto sent = driveSeededTraffic(m, 74, 60);
-    m.run(40); // mid-flight: some packets buffered
+    m.run(RunSpec::forCycles(40)); // mid-flight: some packets buffered
     const MachineSnapshot snap = m.dumpSnapshot();
     EXPECT_EQ(snap.reason, "on_demand");
     EXPECT_EQ(snap.now, m.now());
@@ -276,7 +287,7 @@ TEST(Audit, OnDemandSnapshotOfHealthyMachine)
     const std::string json = snapshotJson(snap);
     EXPECT_NE(json.find("\"reason\": \"on_demand\""), std::string::npos);
     EXPECT_NE(json.find("\"packets\": ["), std::string::npos);
-    ASSERT_TRUE(m.runUntilDelivered(sent, 500000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 500000)).reason == StopReason::Delivered);
     // Drained: a second snapshot holds no packets and an empty waits-for.
     const MachineSnapshot done = m.dumpSnapshot("drained");
     EXPECT_TRUE(done.packets.empty());
@@ -288,7 +299,7 @@ TEST(Audit, SnapshotBufferOccupancyIsConsistent)
 {
     Machine m(auditConfig());
     driveSeededTraffic(m, 75, 80);
-    m.run(30);
+    m.run(RunSpec::forCycles(30));
     const MachineSnapshot snap = m.dumpSnapshot();
     // Flits recorded per buffer must both respect capacity and agree with
     // the per-packet residency rows. A cutting-through packet can hold a

@@ -50,7 +50,7 @@ runAndSnapshot(std::uint64_t seed)
         m.send(m.makeWrite(src, dst, 0, size));
         ++sent;
     }
-    EXPECT_TRUE(m.runUntilDelivered(sent, 500000));
+    EXPECT_TRUE(m.run(RunSpec::untilDelivered(sent, 500000)).reason == StopReason::Delivered);
     EXPECT_EQ(m.totalDelivered(), sent);
 
     // Registry aggregates must agree with the machine's own accounting.
@@ -100,7 +100,9 @@ runAndSnapshotTimeseries(std::uint64_t seed)
     Machine m(cfg);
     TimeseriesConfig tcfg;
     tcfg.window = 64;
-    m.enableTimeseries(tcfg);
+    Instrumentation inst;
+    inst.timeseries = tcfg;
+    m.attachInstrumentation(inst);
 
     Rng traffic(seed * 1315423911ULL + 1);
     const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
@@ -116,7 +118,7 @@ runAndSnapshotTimeseries(std::uint64_t seed)
         m.send(m.makeWrite(src, dst, 0, size));
         ++sent;
     }
-    EXPECT_TRUE(m.runUntilDelivered(sent, 500000));
+    EXPECT_TRUE(m.run(RunSpec::untilDelivered(sent, 500000)).reason == StopReason::Delivered);
     return m.timeseriesJson() + "\n---\n" + m.heatmapCsv();
 }
 
@@ -164,7 +166,10 @@ runFaultedSnapshot(std::uint64_t seed)
     acfg.audit_interval = 64;
     acfg.watchdog_interval = 16;
     acfg.stall_threshold = 300;
-    Auditor &a = m.enableAudit(acfg);
+    Instrumentation inst;
+    inst.audit = acfg;
+    m.attachInstrumentation(inst);
+    Auditor &a = *m.audit();
 
     Rng traffic(seed * 1315423911ULL + 1);
     const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
@@ -194,7 +199,7 @@ runFaultedSnapshot(std::uint64_t seed)
         m.send(pkt);
         ++sent;
     }
-    EXPECT_FALSE(m.runUntilDelivered(sent, 200000))
+    EXPECT_FALSE(m.run(RunSpec::untilDelivered(sent, 200000)).reason == StopReason::Delivered)
         << "faulted run should wedge";
     EXPECT_TRUE(a.tripped());
     if (!a.tripped())
@@ -232,7 +237,7 @@ TEST(Determinism, RepeatedSerializationOfOneRunIsStable)
     cfg.enable_metrics = true;
     Machine m(cfg);
     m.send(m.makeWrite({ 0, 0 }, { 7, 1 }, 0, 2));
-    ASSERT_TRUE(m.runUntilDelivered(1, 100000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 100000)).reason == StopReason::Delivered);
     // metricsJson refreshes gauges then serializes; with no intervening
     // engine progress the output must not change.
     EXPECT_EQ(m.metricsJson(), m.metricsJson());

@@ -56,7 +56,9 @@ runFlows(std::uint64_t seed, int threads, Cycle lookahead,
     m.setLookahead(lookahead);
     FlowProbeConfig fc;
     fc.sample = sample;
-    m.enableFlows(fc);
+    Instrumentation finst;
+    finst.flows = fc;
+    m.attachInstrumentation(finst);
 
     Rng traffic(seed * 1315423911ULL + 1);
     const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
@@ -73,7 +75,7 @@ runFlows(std::uint64_t seed, int threads, Cycle lookahead,
         ++run.sent;
         run.flits_sent += static_cast<std::uint64_t>(size);
     }
-    EXPECT_TRUE(m.runUntilDelivered(run.sent, 500000));
+    EXPECT_TRUE(m.run(RunSpec::untilDelivered(run.sent, 500000)).reason == StopReason::Delivered);
 
     run.flows_json = m.flows()->reportJson(
         /*full_matrix=*/true, m.geom().numNodes());
@@ -126,7 +128,9 @@ TEST(FlowMatrix, LatencySumsReconcileExactlyWithAggregateStats)
     cfg.seed = 9;
     cfg.enable_metrics = true;
     Machine m(cfg);
-    m.enableFlows();
+    Instrumentation finst;
+    finst.flows = FlowProbeConfig{};
+    m.attachInstrumentation(finst);
 
     Rng traffic(1234567);
     const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
@@ -152,7 +156,7 @@ TEST(FlowMatrix, LatencySumsReconcileExactlyWithAggregateStats)
     }
     ASSERT_GT(reads, 0u);
     // Replies are extra deliveries beyond the requests.
-    ASSERT_TRUE(m.runUntilDelivered(sent + reads, 500000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent + reads, 500000)).reason == StopReason::Delivered);
 
     const FlowProbe &probe = *m.flows();
     std::uint64_t pkt_total = 0, lat_total = 0;
@@ -197,7 +201,9 @@ TEST(FlowBlame, LinkFlitsConserveAgainstDeliveredHopCrossings)
     cfg.fixed_torus_latency = 12;
     cfg.seed = 5;
     Machine m(cfg);
-    m.enableFlows();
+    Instrumentation finst;
+    finst.flows = FlowProbeConfig{};
+    m.attachInstrumentation(finst);
 
     std::uint64_t crossings = 0; // sum over deliveries of flits x hops
     std::uint64_t delivered_pkts = 0;
@@ -221,7 +227,7 @@ TEST(FlowBlame, LinkFlitsConserveAgainstDeliveredHopCrossings)
         m.send(m.makeWrite(src, dst, 0, size));
         ++sent;
     }
-    ASSERT_TRUE(m.runUntilDelivered(sent, 500000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 500000)).reason == StopReason::Delivered);
 
     const FlowProbe &probe = *m.flows();
     std::uint64_t link_flits = 0, link_pkt_hops = 0, ep_packets = 0;
@@ -321,7 +327,9 @@ TEST(FlowSpans, SampledPacketsCarryOrderedCompleteHopPaths)
     Machine m(cfg);
     FlowProbeConfig fc;
     fc.sample = 1; // retain every delivered packet's span
-    m.enableFlows(fc);
+    Instrumentation finst;
+    finst.flows = fc;
+    m.attachInstrumentation(finst);
 
     Rng traffic(99);
     const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
@@ -336,7 +344,7 @@ TEST(FlowSpans, SampledPacketsCarryOrderedCompleteHopPaths)
         m.send(m.makeWrite(src, dst));
         ++sent;
     }
-    ASSERT_TRUE(m.runUntilDelivered(sent, 500000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 500000)).reason == StopReason::Delivered);
 
     const FlowProbe &probe = *m.flows();
     EXPECT_EQ(probe.droppedSpans(), 0u);
@@ -424,7 +432,7 @@ TEST(LatencyHistogram, WorstPathOnLargeTorusLandsInRealBins)
     const NodeId a = m.geom().id({ 0, 0, 0 });
     const NodeId b = m.geom().id({ 4, 4, 4 });
     m.send(m.makeWrite({ a, 0 }, { b, 0 }));
-    ASSERT_TRUE(m.runUntilDelivered(1, 100000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 100000)).reason == StopReason::Delivered);
 
     ASSERT_EQ(h->stat().count(), 1u);
     const double lat = h->stat().sum();

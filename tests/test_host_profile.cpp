@@ -60,6 +60,17 @@ makeLoadedMachine(int threads, Cycle lookahead)
     return Machine(cfg);
 }
 
+/** Attach the engine profiler through the unified bundle (the only
+ * attach path). */
+void
+attachHostProfile(Machine &m,
+                  EngineProfileConfig cfg = EngineProfileConfig{})
+{
+    Instrumentation inst;
+    inst.host_profile = cfg;
+    m.attachInstrumentation(inst);
+}
+
 void
 preInject(Machine &m, int packets = 160)
 {
@@ -110,7 +121,7 @@ runWorkload(int threads, Cycle lookahead, bool profile)
     m.attachInstrumentation(inst);
 
     preInject(m);
-    m.run(1024);
+    m.run(RunSpec::forCycles(1024));
 
     RunExports r;
     r.delivered = m.totalDelivered();
@@ -138,7 +149,7 @@ TEST(HostProfileOff, NoProfilingClockReadsWithoutProfiler)
     Machine m = makeLoadedMachine(4, 0);
     preInject(m);
     const std::uint64_t before = hostProfileClockReads();
-    m.run(1024);
+    m.run(RunSpec::forCycles(1024));
     EXPECT_EQ(hostProfileClockReads() - before, 0u)
         << "engine hot path read the profiling clock with no profiler "
            "attached";
@@ -151,10 +162,10 @@ TEST(HostProfileOff, AttachedProfilerDoesReadClocks)
     // workload must produce a nonzero delta, proving the counter is
     // actually wired to the clock reads the off-test asserts away.
     Machine m = makeLoadedMachine(4, 0);
-    m.enableHostProfile();
+    attachHostProfile(m);
     preInject(m);
     const std::uint64_t before = hostProfileClockReads();
-    m.run(1024);
+    m.run(RunSpec::forCycles(1024));
     EXPECT_GT(hostProfileClockReads() - before, 0u);
 }
 
@@ -166,9 +177,9 @@ TEST(EngineProfiler, LaneTickWaitSerialSumToProfiledSeconds)
 {
     for (int threads : { 1, 2, 4 }) {
         Machine m = makeLoadedMachine(threads, 0);
-        m.enableHostProfile();
+        attachHostProfile(m);
         preInject(m);
-        m.run(1024);
+        m.run(RunSpec::forCycles(1024));
 
         const EngineProfiler &p = *m.hostProfile();
         ASSERT_GT(p.windows(), 0u) << "threads=" << threads;
@@ -191,8 +202,9 @@ TEST(EngineProfiler, LaneTickWaitSerialSumToProfiledSeconds)
         }
         EXPECT_GE(p.tickSecondsMax(),
                   p.tickSecondsMean() - 1e-12);
-        if (p.tickSecondsMean() > 0.0)
+        if (p.tickSecondsMean() > 0.0) {
             EXPECT_GE(p.imbalance(), 1.0 - 1e-9);
+        }
     }
 }
 
@@ -201,9 +213,9 @@ TEST(EngineProfiler, SampledWindowsNameStragglerAndClasses)
     Machine m = makeLoadedMachine(2, 0);
     EngineProfileConfig cfg;
     cfg.sample_every = 1; // attribute every window
-    m.enableHostProfile(cfg);
+    attachHostProfile(m, cfg);
     preInject(m);
-    m.run(1024);
+    m.run(RunSpec::forCycles(1024));
 
     const EngineProfiler &p = *m.hostProfile();
     EXPECT_EQ(p.sampledWindows(), p.windows());
@@ -238,11 +250,11 @@ TEST(EngineProfiler, SampledWindowsNameStragglerAndClasses)
 TEST(EngineProfiler, GaugeSchemaAndHostJsonRoundTrip)
 {
     Machine m = makeLoadedMachine(2, 0);
-    m.enableHostProfile();
+    attachHostProfile(m);
     preInject(m);
     HostProfiler prof;
     prof.beginPhase("run");
-    m.run(1024);
+    m.run(RunSpec::forCycles(1024));
     prof.endPhase();
 
     // The shared bench path: recordHostMem folds the engine gauges into
@@ -337,9 +349,9 @@ TEST(HostProfileDeterminism, ExportsByteIdenticalProfilingOnOrOff)
 TEST(HostTimeline, ChromeJsonLoadsAndCoversWindows)
 {
     Machine m = makeLoadedMachine(2, 0);
-    m.enableHostProfile();
+    attachHostProfile(m);
     preInject(m);
-    m.run(1024);
+    m.run(RunSpec::forCycles(1024));
 
     const std::string json = m.hostTimelineChromeJson();
     const auto root = TinyJsonParser(json).parse();

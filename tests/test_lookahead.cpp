@@ -493,7 +493,7 @@ runPreInjected(int threads, Cycle lookahead, std::uint64_t seed = 9)
         const int size = 1 + static_cast<int>(traffic.below(2));
         m.send(m.makeWrite(src, dst, 0, size));
     }
-    m.run(2048);
+    m.run(RunSpec::forCycles(2048));
     return captureExports(m);
 }
 
@@ -559,7 +559,7 @@ TEST(LookaheadDeterminism, RandomizedConfigsSerialVsThreadedByteEqual)
                 const int size = 1 + static_cast<int>(traffic.below(2));
                 m.send(m.makeWrite(src, dst, 0, size));
             }
-            m.run(1536);
+            m.run(RunSpec::forCycles(1536));
             EXPECT_FALSE(m.audit()->tripped())
                 << "seed=" << seed << " threads=" << threads;
             return captureExports(m);
@@ -636,7 +636,7 @@ TEST(LookaheadDeterminism, FaultedWatchdogTripsAtSameCycleUnderLookahead)
             Rng tie(3);
             const NodeId dst = m.geom().id({ 2, 0, 0 });
             const auto sent = sendForcedXPlus(m, 0, dst, 40, tie);
-            EXPECT_FALSE(m.runUntilDelivered(sent, 100000))
+            EXPECT_FALSE(m.run(RunSpec::untilDelivered(sent, 100000)).reason == StopReason::Delivered)
                 << "threads=" << threads << " lookahead=" << lookahead;
 
             Auditor &a = *m.audit();
@@ -703,7 +703,7 @@ runBenchLoad8x8x8(int threads)
     OpenLoopDriver driver(m, dcfg);
     m.engine().add(driver);
 
-    m.run(200);
+    m.run(RunSpec::forCycles(200));
     EXPECT_EQ(m.now(), 200u);
     return m.totalDelivered();
 }

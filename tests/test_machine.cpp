@@ -33,7 +33,7 @@ TEST(Machine, SingleWriteSameNodeDelivers)
     Machine m(smallConfig());
     auto pkt = m.makeWrite({ 0, 0 }, { 0, 3 });
     m.send(pkt);
-    ASSERT_TRUE(m.runUntilDelivered(1, 2000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 2000)).reason == StopReason::Delivered);
     EXPECT_EQ(m.totalDelivered(), 1u);
     EXPECT_EQ(pkt->hops, 0);
     EXPECT_GT(pkt->eject_time, pkt->inject_time);
@@ -45,7 +45,7 @@ TEST(Machine, SingleWriteNeighborNodeDelivers)
     const NodeId dst = m.geom().neighbor(0, 0, Dir::Pos);
     auto pkt = m.makeWrite({ 0, 0 }, { dst, 1 });
     m.send(pkt);
-    ASSERT_TRUE(m.runUntilDelivered(1, 5000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 5000)).reason == StopReason::Delivered);
     EXPECT_EQ(pkt->hops, 1);
 }
 
@@ -55,7 +55,7 @@ TEST(Machine, WriteAcrossAllDimensionsDelivers)
     const NodeId dst = m.geom().id({ 2, 1, 3 });
     auto pkt = m.makeWrite({ 0, 0 }, { dst, 2 });
     m.send(pkt);
-    ASSERT_TRUE(m.runUntilDelivered(1, 10000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 10000)).reason == StopReason::Delivered);
     EXPECT_EQ(pkt->hops, m.geom().hopDistance(0, dst));
 }
 
@@ -69,7 +69,7 @@ TEST(Machine, TwoFlitPacketDelivers)
     PacketPtr got;
     m.setDeliverHook([&](const PacketPtr &p, Cycle) { got = p; });
     m.send(pkt);
-    ASSERT_TRUE(m.runUntilDelivered(1, 10000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 10000)).reason == StopReason::Delivered);
     ASSERT_NE(got, nullptr);
     EXPECT_EQ(got->payload[1][2], 0x6666u);
 }
@@ -84,7 +84,7 @@ TEST(Machine, AllPairsSampleDelivers)
             ++sent;
         }
     }
-    ASSERT_TRUE(m.runUntilDelivered(sent, 200000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 200000)).reason == StopReason::Delivered);
     EXPECT_EQ(m.totalDelivered(), sent);
 }
 
@@ -106,7 +106,7 @@ TEST(Machine, EveryDimOrderAndSliceDelivers)
             ++sent;
         }
     }
-    ASSERT_TRUE(m.runUntilDelivered(sent, 50000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 50000)).reason == StopReason::Delivered);
 }
 
 TEST(Machine, XThroughRoutesWork)
@@ -116,7 +116,7 @@ TEST(Machine, XThroughRoutesWork)
     const NodeId dst = m.geom().id({ 2, 0, 0 });
     auto pkt = m.makeWrite({ 0, 0 }, { dst, 0 });
     m.send(pkt);
-    ASSERT_TRUE(m.runUntilDelivered(1, 10000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 10000)).reason == StopReason::Delivered);
     EXPECT_EQ(pkt->hops, 2);
 }
 
@@ -131,7 +131,7 @@ TEST(Machine, DatelineCrossingRoutesDeliver)
         m.send(m.makeWrite({ src, 0 }, { dst, 0 }));
         ++sent;
     }
-    ASSERT_TRUE(m.runUntilDelivered(sent, 50000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 50000)).reason == StopReason::Delivered);
 }
 
 TEST(Machine, LatencyScalesWithHops)
@@ -139,12 +139,12 @@ TEST(Machine, LatencyScalesWithHops)
     Machine m(smallConfig());
     auto near = m.makeWrite({ 0, 0 }, { m.geom().id({ 1, 0, 0 }), 0 });
     m.send(near);
-    ASSERT_TRUE(m.runUntilDelivered(1, 10000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 10000)).reason == StopReason::Delivered);
     const Cycle lat1 = near->eject_time - near->inject_time;
 
     auto far = m.makeWrite({ 0, 0 }, { m.geom().id({ 2, 2, 2 }), 0 });
     m.send(far);
-    ASSERT_TRUE(m.runUntilDelivered(2, 20000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(2, 20000)).reason == StopReason::Delivered);
     const Cycle lat6 = far->eject_time - far->inject_time;
     EXPECT_GT(lat6, lat1 + 4 * m.config().fixed_torus_latency);
 }
@@ -172,8 +172,8 @@ TEST(Machine, CountedWriteFiresHandlerAtZero)
     });
     for (int i = 0; i < 3; ++i)
         m.send(m.makeWrite({ 0, 0 }, { 5, 2 }, 0, 1, /*counter=*/42));
-    ASSERT_TRUE(m.runUntilDelivered(3, 50000));
-    m.run(10);
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(3, 50000)).reason == StopReason::Delivered);
+    m.run(RunSpec::forCycles(10));
     EXPECT_EQ(fired, 1);
     EXPECT_GT(fire_time, 0u);
 }
@@ -190,7 +190,7 @@ TEST(Machine, RemoteReadGeneratesReply)
     });
     m.send(m.makeRead(requester, target));
     // Two deliveries: the request at the target, the reply at the source.
-    ASSERT_TRUE(m.runUntilDelivered(2, 50000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(2, 50000)).reason == StopReason::Delivered);
     ASSERT_NE(reply_seen, nullptr);
     EXPECT_EQ(reply_seen->tc, TrafficClass::Reply);
     EXPECT_TRUE(reply_seen->dst == requester);
@@ -223,7 +223,7 @@ TEST(Machine, MulticastDeliversToAllDestinations)
         EXPECT_EQ(p->dst.ep, 2);
     });
     m.sendMulticast({ src, 0 }, group);
-    ASSERT_TRUE(m.runUntilDelivered(dests.size(), 50000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(dests.size(), 50000)).reason == StopReason::Delivered);
     EXPECT_EQ(delivered_nodes.size(), dests.size());
 }
 
@@ -262,7 +262,7 @@ TEST(Machine, Baseline2nPolicyAlsoDelivers)
         m.send(m.makeWrite({ 0, 0 }, { d, 0 }));
         ++sent;
     }
-    ASSERT_TRUE(m.runUntilDelivered(sent, 100000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(sent, 100000)).reason == StopReason::Delivered);
 }
 
 TEST(Machine, PacketsCarryDistinctIds)
@@ -280,7 +280,7 @@ TEST(Machine, DeterministicAcrossRuns)
         Machine m(smallConfig());
         for (NodeId d = 0; d < m.geom().numNodes(); d += 3)
             m.send(m.makeWrite({ 0, 0 }, { d, 1 }));
-        m.run(5000);
+        m.run(RunSpec::forCycles(5000));
         return std::make_pair(m.totalDelivered(), m.lastDeliveryTime());
     };
     EXPECT_EQ(run(), run());

@@ -345,7 +345,7 @@ TEST(ThreadedDeterminism, FaultedWatchdogTripsAtSameCycle)
         Rng tie(3);
         const NodeId dst = m.geom().id({ 2, 0, 0 });
         const auto sent = sendForcedXPlus(m, 0, dst, 40, tie);
-        EXPECT_FALSE(m.runUntilDelivered(sent, 100000))
+        EXPECT_FALSE(m.run(RunSpec::untilDelivered(sent, 100000)).reason == StopReason::Delivered)
             << "threads=" << threads;
 
         Auditor &a = *m.audit();
@@ -412,10 +412,11 @@ TEST(ThreadedDeterminism, SetThreadsMidRunIsSafeAndUnobservable)
                     "mid-run reconfiguration");
 }
 
-TEST(ThreadedDeterminism, AttachInstrumentationMatchesLegacyCalls)
+TEST(ThreadedDeterminism, IncrementalAttachMatchesBundledAttach)
 {
-    // The deprecated one-call-per-layer attach points must behave as the
-    // bundled attachInstrumentation (they forward to it).
+    // attachInstrumentation() is the only attach path (the per-layer
+    // enable*() forwarders are gone); attaching the same layers one
+    // bundle at a time must behave as a single bundled call.
     MachineConfig cfg;
     cfg.radix = { 2, 2, 2 };
     cfg.chip.endpoints_per_node = 2;
@@ -427,18 +428,34 @@ TEST(ThreadedDeterminism, AttachInstrumentationMatchesLegacyCalls)
     bundled.attachInstrumentation(fullInstrumentation());
 
     Machine legacy(cfg);
-    legacy.enableMetrics();
-    TraceConfig tcfg;
-    tcfg.capacity = std::size_t{ 1 } << 16;
-    legacy.enableTracing(tcfg);
-    TimeseriesConfig scfg;
-    scfg.window = 64;
-    scfg.per_router = true;
-    legacy.enableTimeseries(scfg);
-    AuditConfig acfg;
-    acfg.audit_interval = 32;
-    acfg.watchdog_interval = 16;
-    legacy.enableAudit(acfg);
+    {
+        Instrumentation inst;
+        inst.metrics = true;
+        legacy.attachInstrumentation(inst);
+    }
+    {
+        Instrumentation inst;
+        TraceConfig tcfg;
+        tcfg.capacity = std::size_t{ 1 } << 16;
+        inst.trace = tcfg;
+        legacy.attachInstrumentation(inst);
+    }
+    {
+        Instrumentation inst;
+        TimeseriesConfig scfg;
+        scfg.window = 64;
+        scfg.per_router = true;
+        inst.timeseries = scfg;
+        legacy.attachInstrumentation(inst);
+    }
+    {
+        Instrumentation inst;
+        AuditConfig acfg;
+        acfg.audit_interval = 32;
+        acfg.watchdog_interval = 16;
+        inst.audit = acfg;
+        legacy.attachInstrumentation(inst);
+    }
 
     auto drive = [](Machine &m) {
         UniformPattern pat(m.geom());

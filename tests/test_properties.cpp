@@ -64,7 +64,7 @@ TEST(Property, SimulatedHopsMatchGeometryDistance)
         pkts.push_back(pkt);
         m.send(pkt);
     }
-    ASSERT_TRUE(m.runUntilDelivered(pkts.size(), 500000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(pkts.size(), 500000)).reason == StopReason::Delivered);
     for (const auto &pkt : pkts)
         EXPECT_EQ(pkt->hops, m.geom().hopDistance(0, pkt->dst.node));
 }

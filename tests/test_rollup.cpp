@@ -422,7 +422,7 @@ TEST(RollupRegression, Pinned8x8x8DeliveredAtMachineLevel)
     OpenLoopDriver driver(m, dcfg);
     m.engine().add(driver);
 
-    m.run(200);
+    m.run(RunSpec::forCycles(200));
     EXPECT_EQ(m.now(), 200u);
     EXPECT_EQ(m.totalDelivered(), kExpectedDelivered);
 

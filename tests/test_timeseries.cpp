@@ -21,6 +21,17 @@
 namespace anton2 {
 namespace {
 
+/** Attach a sampler through the unified bundle (the only attach path)
+ * and hand back the bound instance. */
+IntervalSampler &
+attachSampler(Machine &m, const TimeseriesConfig &tcfg)
+{
+    Instrumentation inst;
+    inst.timeseries = tcfg;
+    m.attachInstrumentation(inst);
+    return *m.timeseries();
+}
+
 // ---------------------------------------------------------------------
 // ScalarStat snapshots
 // ---------------------------------------------------------------------
@@ -166,7 +177,7 @@ runSampledMachine(Machine &m, std::uint64_t packets, std::uint64_t seed)
                            1 + static_cast<int>(traffic.below(2))));
         ++sent;
     }
-    EXPECT_TRUE(m.runUntilDelivered(sent, 500000));
+    EXPECT_TRUE(m.run(RunSpec::untilDelivered(sent, 500000)).reason == StopReason::Delivered);
     return m;
 }
 
@@ -188,7 +199,7 @@ TEST(IntervalSampler, WindowGeometryIncludesPartialFinalWindow)
     Machine m(cfg);
     TimeseriesConfig tcfg;
     tcfg.window = 100;
-    IntervalSampler &s = m.enableTimeseries(tcfg);
+    IntervalSampler &s = attachSampler(m, tcfg);
     runSampledMachine(m, 60, 11);
 
     const Cycle end = m.now();
@@ -213,7 +224,7 @@ TEST(IntervalSampler, WindowedSumsMatchAggregatesByteExactly)
     Machine m(cfg);
     TimeseriesConfig tcfg;
     tcfg.window = 64;
-    IntervalSampler &s = m.enableTimeseries(tcfg);
+    IntervalSampler &s = attachSampler(m, tcfg);
     runSampledMachine(m, 120, 13);
     s.finalize(m.now());
 
@@ -268,7 +279,7 @@ TEST(IntervalSampler, LatencyWindowMeanReconstructsAggregateMean)
     Machine m(cfg);
     TimeseriesConfig tcfg;
     tcfg.window = 64;
-    IntervalSampler &s = m.enableTimeseries(tcfg);
+    IntervalSampler &s = attachSampler(m, tcfg);
     runSampledMachine(m, 100, 17);
     s.finalize(m.now());
 
@@ -298,8 +309,8 @@ TEST(IntervalSampler, MaxWindowsDropsAreCountedNotSilent)
     TimeseriesConfig tcfg;
     tcfg.window = 16;
     tcfg.max_windows = 4;
-    IntervalSampler &s = m.enableTimeseries(tcfg);
-    m.run(200);
+    IntervalSampler &s = attachSampler(m, tcfg);
+    m.run(RunSpec::forCycles(200));
     s.finalize(m.now());
     EXPECT_EQ(s.numWindows(), 4u);
     EXPECT_GT(s.droppedWindows(), 0u);
@@ -312,7 +323,7 @@ TEST(IntervalSampler, PerRouterSeriesAreOptIn)
     {
         Machine m(cfg);
         TimeseriesConfig tcfg;
-        m.enableTimeseries(tcfg);
+        attachSampler(m, tcfg);
         EXPECT_EQ(m.timeseries()->findSeries("chip.0.router.0.0."
                                              "occupancy_flits"),
                   IntervalSampler::npos);
@@ -321,7 +332,7 @@ TEST(IntervalSampler, PerRouterSeriesAreOptIn)
         Machine m(cfg);
         TimeseriesConfig tcfg;
         tcfg.per_router = true;
-        m.enableTimeseries(tcfg);
+        attachSampler(m, tcfg);
         EXPECT_NE(m.timeseries()->findSeries("chip.0.router.0.0."
                                              "occupancy_flits"),
                   IntervalSampler::npos);
@@ -334,7 +345,7 @@ TEST(IntervalSampler, HeatmapCsvHasOneRowPerLinkPerWindow)
     Machine m(cfg);
     TimeseriesConfig tcfg;
     tcfg.window = 128;
-    IntervalSampler &s = m.enableTimeseries(tcfg);
+    IntervalSampler &s = attachSampler(m, tcfg);
     runSampledMachine(m, 60, 29);
     const std::string csv = m.heatmapCsv();
 
@@ -363,7 +374,7 @@ TEST(AutoSteady, LowLoadRunConvergesWithinTheDefaultWarmupBudget)
     TimeseriesConfig tcfg;
     tcfg.window = 250;
     tcfg.auto_steady = true;
-    IntervalSampler &s = m.enableTimeseries(tcfg);
+    IntervalSampler &s = attachSampler(m, tcfg);
 
     UniformPattern pat(m.geom());
     OpenLoopDriver::Config dcfg;
@@ -372,7 +383,7 @@ TEST(AutoSteady, LowLoadRunConvergesWithinTheDefaultWarmupBudget)
     dcfg.pattern = &pat;
     OpenLoopDriver driver(m, dcfg);
     m.engine().add(driver);
-    m.run(kDefaultWarmupCycles + 4000);
+    m.run(RunSpec::forCycles(kDefaultWarmupCycles + 4000));
 
     const SteadyStateResult &r = s.steadyState();
     EXPECT_TRUE(r.auto_steady);
@@ -406,7 +417,7 @@ TEST(AutoSteady, FixedWarmupResetsRegistryAtTheRequestedCycle)
     TimeseriesConfig tcfg;
     tcfg.window = 100;
     tcfg.warmup_reset = 350;
-    IntervalSampler &s = m.enableTimeseries(tcfg);
+    IntervalSampler &s = attachSampler(m, tcfg);
 
     UniformPattern pat(m.geom());
     OpenLoopDriver::Config dcfg;
@@ -415,7 +426,7 @@ TEST(AutoSteady, FixedWarmupResetsRegistryAtTheRequestedCycle)
     dcfg.pattern = &pat;
     OpenLoopDriver driver(m, dcfg);
     m.engine().add(driver);
-    m.run(2000);
+    m.run(RunSpec::forCycles(2000));
 
     // First boundary at or past cycle 350 with window 100 is cycle 400.
     EXPECT_EQ(s.steadyState().metrics_reset_cycle, 400u);
@@ -433,10 +444,12 @@ TEST(ChromeCounters, TimeseriesAppendsCounterTracksToTheTrace)
 {
     auto cfg = smallConfig(43);
     Machine m(cfg);
-    m.enableTracing();
     TimeseriesConfig tcfg;
     tcfg.window = 64;
-    m.enableTimeseries(tcfg);
+    Instrumentation inst;
+    inst.trace = TraceConfig{};
+    inst.timeseries = tcfg;
+    m.attachInstrumentation(inst);
     runSampledMachine(m, 60, 43);
 
     const std::string json = m.traceChromeJson();

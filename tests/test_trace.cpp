@@ -128,7 +128,9 @@ runTraced(std::uint64_t seed, std::uint64_t sample = 1)
     TraceConfig tc;
     tc.capacity = std::size_t{ 1 } << 16;
     tc.sample = sample;
-    m.enableTracing(tc);
+    Instrumentation inst;
+    inst.trace = tc;
+    m.attachInstrumentation(inst);
 
     Rng traffic(seed * 1315423911ULL + 1);
     const auto nodes = static_cast<std::uint64_t>(m.geom().numNodes());
@@ -144,7 +146,7 @@ runTraced(std::uint64_t seed, std::uint64_t sample = 1)
         m.send(m.makeWrite(src, dst, 0, size));
         ++run.sent;
     }
-    EXPECT_TRUE(m.runUntilDelivered(run.sent, 500000));
+    EXPECT_TRUE(m.run(RunSpec::untilDelivered(run.sent, 500000)).reason == StopReason::Delivered);
 
     run.events = m.trace()->drain();
     EXPECT_EQ(m.trace()->dropped(), 0u)
@@ -347,9 +349,11 @@ TEST(Tracing, StallSamplerAccountsForEveryConnectedPortCycle)
     cfg.use_packaging = false;
     cfg.seed = 3;
     Machine m(cfg);
-    m.enableTracing();
+    Instrumentation inst;
+    inst.trace = TraceConfig{};
+    m.attachInstrumentation(inst);
     m.send(m.makeWrite({ 0, 0 }, { 7, 1 }, 0, 2));
-    ASSERT_TRUE(m.runUntilDelivered(1, 100000));
+    ASSERT_TRUE(m.run(RunSpec::untilDelivered(1, 100000)).reason == StopReason::Delivered);
 
     std::uint64_t busy = 0;
     for (NodeId n = 0; n < m.geom().numNodes(); ++n) {
@@ -383,10 +387,10 @@ TEST(Tracing, DisabledTracingLeavesNoSinkOrSampler)
     EXPECT_EQ(m.trace(), nullptr);
     EXPECT_EQ(m.chip(0).router(0).stallSampler(), nullptr);
     m.send(m.makeWrite({ 0, 0 }, { 7, 1 }));
-    EXPECT_TRUE(m.runUntilDelivered(1, 100000));
+    EXPECT_TRUE(m.run(RunSpec::untilDelivered(1, 100000)).reason == StopReason::Delivered);
 }
 
-TEST(Tracing, EnableTracingIsIdempotent)
+TEST(Tracing, RepeatedTraceAttachIsIdempotent)
 {
     MachineConfig cfg;
     cfg.radix = { 2, 2, 2 };
@@ -394,9 +398,14 @@ TEST(Tracing, EnableTracingIsIdempotent)
     cfg.use_packaging = false;
     cfg.seed = 3;
     Machine m(cfg);
-    RingTraceSink &a = m.enableTracing();
-    RingTraceSink &b = m.enableTracing();
-    EXPECT_EQ(&a, &b);
+    Instrumentation inst;
+    inst.trace = TraceConfig{};
+    m.attachInstrumentation(inst);
+    RingTraceSink *a = m.trace();
+    m.attachInstrumentation(inst);
+    RingTraceSink *b = m.trace();
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a, b);
 }
 
 TEST(Tracing, EventAndStallNamesAreStable)

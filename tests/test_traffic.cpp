@@ -184,7 +184,7 @@ TEST(OpenLoopDriver, OffersApproximatelyAtRate)
     dcfg.pattern = &pat;
     OpenLoopDriver driver(m, dcfg);
     m.engine().add(driver);
-    m.run(5000);
+    m.run(RunSpec::forCycles(5000));
     const double expected = 0.02 * 64 * 5000;
     EXPECT_NEAR(static_cast<double>(driver.offered()), expected,
                 expected * 0.15);
@@ -201,7 +201,7 @@ TEST(OpenLoopDriver, DisabledDriverOffersNothing)
     OpenLoopDriver driver(m, dcfg);
     driver.setEnabled(false);
     m.engine().add(driver);
-    m.run(1000);
+    m.run(RunSpec::forCycles(1000));
     EXPECT_EQ(driver.offered(), 0u);
 }
 
